@@ -1,0 +1,110 @@
+//! Fig. 8: emulated KVS — average transactions per second for GET/SET
+//! mixes, Zipf(0.99) and uniform keys, slice-aware vs. normal values.
+//!
+//! One serving core; requests in 128 B TCP packets through the NIC path.
+//! Scale note: the paper's store is 2^24 64 B values (1 GB). The default
+//! here is 2^21 (128 MB — still 6.4x the LLC, preserving the hit-rate
+//! structure); pass a third argument `24` to run the full-size store.
+
+use kvs::proto::RequestGen;
+use kvs::server::{run_server, ServerConfig};
+use kvs::store::{KvStore, Placement};
+use llc_sim::hash::{SliceHash, XorSliceHash};
+use llc_sim::machine::{Machine, MachineConfig};
+use rte::mempool::MbufPool;
+use rte::nic::{FixedHeadroom, Port};
+use rte::steering::{Rss, Steering};
+use slice_aware::alloc::SliceAllocator;
+use trafficgen::ZipfGen;
+use xstats::report::{f, Table};
+
+fn run_config(
+    n_values: usize,
+    placement: Placement,
+    theta: f64,
+    get_permille: u32,
+    requests: usize,
+) -> f64 {
+    // The slice-aware carving needs ~slices x the store's footprint.
+    let store_bytes = n_values * 64;
+    let region_bytes = (store_bytes * 9).max(64 << 20);
+    let mut m = Machine::new(
+        MachineConfig::haswell_e5_2667_v3()
+            .with_dram_capacity(region_bytes + store_bytes + (256 << 20)),
+    );
+    let region = m.mem_mut().alloc(region_bytes, 1 << 20).unwrap();
+    let hash = XorSliceHash::haswell_8slice();
+    let mut alloc = SliceAllocator::new(region, move |pa| hash.slice_of(pa));
+    let mut store = KvStore::build(&mut m, &mut alloc, n_values, placement).unwrap();
+    let mut pool = MbufPool::create(&mut m, 1024, 128, 2048).unwrap();
+    let mut port = Port::new(0, Steering::Rss(Rss::new(1)), 256);
+    let keygen = ZipfGen::new(n_values as u64, theta, 4242);
+    let mut gen = RequestGen::new(keygen, get_permille, 77);
+    let mut policy = FixedHeadroom(128);
+    // Warm-up pass (the paper averages many runs on a hot server).
+    let warm = ServerConfig::fig8(requests / 4, get_permille, 1);
+    run_server(&mut m, &mut store, &mut pool, &mut port, &mut policy, &mut gen, &warm);
+    let cfg = ServerConfig::fig8(requests, get_permille, 1);
+    let rep = run_server(&mut m, &mut store, &mut pool, &mut port, &mut policy, &mut gen, &cfg);
+    if std::env::var("KVS_DEBUG").is_ok() {
+        eprintln!(
+            "  [{placement:?} theta={theta} get={get_permille}] cycles/request = {:.1}",
+            rep.cycles_per_request
+        );
+    }
+    rep.tps / 1e6
+}
+
+fn main() {
+    let scale = bench::Scale::from_args(1, 150_000);
+    let args: Vec<String> = std::env::args().collect();
+    let log2_n: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(21);
+    let n_values = 1usize << log2_n;
+    println!(
+        "Fig. 8 — emulated KVS, 1 core, 2^{log2_n} x 64 B values, {} requests/point\n",
+        scale.packets
+    );
+    // Hot set sized to half a slice (the §3 rule of thumb).
+    let hot = Placement::HotSliceAware {
+        slice: 0,
+        hot_count: 20_000,
+    };
+    let mut t = Table::new([
+        "Workload",
+        "SliceAll-Skewed",
+        "SliceHot-Skewed",
+        "Normal-Skewed",
+        "SliceHot-Uniform",
+        "Normal-Uniform",
+    ]);
+    let mut improvements = Vec::new();
+    for (label, permille) in [("100% GET", 1000u32), ("95% GET", 950), ("50% GET", 500)] {
+        let mut cells = vec![label.to_string()];
+        let mut by_cfg = Vec::new();
+        for (placement, theta) in [
+            (Placement::SliceAware { slice: 0 }, 0.99),
+            (hot, 0.99),
+            (Placement::Normal, 0.99),
+            (hot, 0.0),
+            (Placement::Normal, 0.0),
+        ] {
+            let tps = run_config(n_values, placement, theta, permille, scale.packets);
+            by_cfg.push(tps);
+            cells.push(f(tps, 3));
+        }
+        improvements.push((label, (by_cfg[1] - by_cfg[2]) / by_cfg[2] * 100.0));
+        t.row(cells);
+    }
+    println!("{}(all values in MTPS)\n", t.render());
+    for (label, imp) in improvements {
+        println!("hot-slice skewed improvement at {label}: {:+.1}%", imp);
+    }
+    println!(
+        "\nPaper Fig. 8 (2^24 values): skewed slice-aware 21.26/20.91/18.42 vs normal \
+         18.95/18.76/17.21 MTPS (+12.2%/+11.4%/+7.0%); uniform ~6.8 both (DRAM-bound).\n\
+         Under an LRU LLC, placing *all* values in one slice trades away 7/8 of \
+         the cache's capacity and cancels the latency gain; placing the *hot set* \
+         (the §8 refinement) keeps the direction of the paper's result. See \
+         EXPERIMENTS.md."
+    );
+}

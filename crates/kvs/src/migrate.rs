@@ -1,0 +1,243 @@
+//! Hot-set monitoring and migration (paper §8).
+//!
+//! "Applications which only use slice-aware memory management for the
+//! 'hot' data due to their very large working set should employ
+//! monitoring/migration techniques to deal with variability of hot
+//! data." This module implements that loop for the KVS: count key
+//! accesses per epoch, and at each epoch boundary swap newly-hot keys
+//! into the store's slice-local hot slots (evicting keys that cooled
+//! off). A swap exchanges both the index entries and the 64 B values,
+//! all through timed machine operations, so migration cost is visible to
+//! the experiment that decides whether it pays off.
+
+use crate::store::KvStore;
+use llc_sim::hierarchy::Cycles;
+use llc_sim::machine::Machine;
+use std::collections::HashMap;
+
+/// What one epoch's migration did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Keys moved into the hot area (same number moved out).
+    pub migrated: usize,
+    /// Cycles spent copying values and rewriting index entries.
+    pub cycles: Cycles,
+}
+
+/// Epoch-based hot-set tracker driving [`KvStore::swap_keys`].
+#[derive(Debug)]
+pub struct HotMigrator {
+    /// Access counts within the current epoch.
+    counts: HashMap<u32, u32>,
+    /// Accesses per epoch.
+    epoch_len: usize,
+    /// Accesses seen in the current epoch.
+    seen: usize,
+    /// Number of hot (slice-local) slots in the store.
+    hot_count: usize,
+    /// The key currently stored in each hot slot.
+    resident: Vec<u32>,
+}
+
+impl HotMigrator {
+    /// A tracker for a store built with `hot_count` hot slots (initially
+    /// occupied by keys `0..hot_count`, the identity layout of
+    /// [`crate::store::Placement::HotSliceAware`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epoch_len == 0` or `hot_count == 0`.
+    pub fn new(hot_count: usize, epoch_len: usize) -> Self {
+        assert!(epoch_len > 0, "epoch must be positive");
+        assert!(hot_count > 0, "need a hot area");
+        Self {
+            counts: HashMap::new(),
+            epoch_len,
+            seen: 0,
+            hot_count,
+            resident: (0..hot_count as u32).collect(),
+        }
+    }
+
+    /// Keys currently occupying the hot area.
+    pub fn resident(&self) -> &[u32] {
+        &self.resident
+    }
+
+    /// True when `key`'s value currently lives in a hot slot.
+    pub fn is_hot(&self, key: u32) -> bool {
+        self.resident.contains(&key)
+    }
+
+    /// Records one access; at epoch boundaries performs migration and
+    /// returns the report.
+    pub fn record(
+        &mut self,
+        m: &mut Machine,
+        core: usize,
+        store: &mut KvStore,
+        key: u32,
+    ) -> Option<MigrationReport> {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.seen += 1;
+        if self.seen < self.epoch_len {
+            return None;
+        }
+        let report = self.migrate(m, core, store);
+        self.counts.clear();
+        self.seen = 0;
+        Some(report)
+    }
+
+    /// Swaps this epoch's hottest keys into the hot area.
+    fn migrate(&mut self, m: &mut Machine, core: usize, store: &mut KvStore) -> MigrationReport {
+        // This epoch's top keys, hottest first.
+        let mut by_count: Vec<(u32, u32)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        by_count.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let want: Vec<u32> = by_count
+            .iter()
+            .take(self.hot_count)
+            .map(|&(k, _)| k)
+            .collect();
+        let want_set: std::collections::HashSet<u32> = want.iter().copied().collect();
+        // Hot-slot occupants that cooled off, coldest first (missing from
+        // the counts map = coldest of all).
+        let mut evictable: Vec<(usize, u32)> = self
+            .resident
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| !want_set.contains(k))
+            .map(|(i, &k)| (i, k))
+            .collect();
+        evictable.sort_unstable_by_key(|&(_, k)| self.counts.get(&k).copied().unwrap_or(0));
+        let mut migrated = 0;
+        let mut cycles = 0;
+        let mut evict_iter = evictable.into_iter();
+        for key in want {
+            if self.is_hot(key) {
+                continue;
+            }
+            let Some((slot_idx, out_key)) = evict_iter.next() else {
+                break;
+            };
+            cycles += store.swap_keys(m, core, key, out_key);
+            self.resident[slot_idx] = key;
+            migrated += 1;
+        }
+        MigrationReport { migrated, cycles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Placement;
+    use llc_sim::hash::{SliceHash, XorSliceHash};
+    use llc_sim::machine::MachineConfig;
+    use slice_aware::alloc::SliceAllocator;
+
+    fn setup(n: usize, hot: usize) -> (Machine, KvStore) {
+        let mut m =
+            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+        let region = m.mem_mut().alloc(64 << 20, 1 << 20).unwrap();
+        let h = XorSliceHash::haswell_8slice();
+        let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
+        let store = KvStore::build(
+            &mut m,
+            &mut alloc,
+            n,
+            Placement::HotSliceAware {
+                slice: 0,
+                hot_count: hot,
+            },
+        )
+        .unwrap();
+        (m, store)
+    }
+
+    #[test]
+    fn migration_moves_hot_keys_into_the_slice() {
+        let (mut m, mut store) = setup(4096, 16);
+        let mut mig = HotMigrator::new(16, 1000);
+        // Hammer keys 2000..2016 (initially in the cold, contiguous area).
+        for i in 0..1000u32 {
+            let key = 2000 + (i % 16);
+            mig.record(&mut m, 0, &mut store, key);
+        }
+        for key in 2000..2016 {
+            assert!(mig.is_hot(key), "key {key} should have migrated");
+            let pa = store.value_pa(&mut m, key);
+            assert_eq!(m.slice_of(pa), 0, "migrated value must live in slice 0");
+        }
+    }
+
+    #[test]
+    fn migration_preserves_values() {
+        let (mut m, mut store) = setup(1024, 8);
+        // Give distinctive contents to a future-hot key and a current
+        // occupant.
+        store.set(&mut m, 0, 500, &[0xaa; 64]);
+        store.set(&mut m, 0, 3, &[0xbb; 64]);
+        let mut mig = HotMigrator::new(8, 100);
+        for _ in 0..100 {
+            mig.record(&mut m, 0, &mut store, 500);
+        }
+        let mut out = [0u8; 64];
+        store.get(&mut m, 0, 500, &mut out);
+        assert_eq!(out, [0xaa; 64], "migrated value intact");
+        store.get(&mut m, 0, 3, &mut out);
+        assert_eq!(out, [0xbb; 64], "evicted value intact");
+    }
+
+    #[test]
+    fn stable_hot_set_stops_migrating() {
+        let (mut m, mut store) = setup(1024, 4);
+        let mut mig = HotMigrator::new(4, 200);
+        let mut reports = Vec::new();
+        for round in 0..3 {
+            for i in 0..200u32 {
+                let key = 700 + (i % 4);
+                if let Some(r) = mig.record(&mut m, 0, &mut store, key) {
+                    reports.push((round, r));
+                }
+            }
+        }
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].1.migrated, 4, "first epoch migrates the set");
+        assert_eq!(reports[1].1.migrated, 0, "steady state is free");
+        assert_eq!(reports[2].1.migrated, 0);
+        assert_eq!(reports[1].1.cycles, 0);
+    }
+
+    #[test]
+    fn migration_adapts_when_the_hot_set_shifts() {
+        // §8's motivating case: "variability of hot data".
+        let (mut m, mut store) = setup(4096, 8);
+        let mut mig = HotMigrator::new(8, 400);
+        for i in 0..400u32 {
+            mig.record(&mut m, 0, &mut store, 1000 + (i % 8));
+        }
+        assert!(mig.is_hot(1000));
+        for i in 0..400u32 {
+            mig.record(&mut m, 0, &mut store, 3000 + (i % 8));
+        }
+        assert!(mig.is_hot(3000), "new hot set migrated in");
+        assert!(!mig.is_hot(1000), "old hot set migrated out");
+        let pa = store.value_pa(&mut m, 3000);
+        assert_eq!(m.slice_of(pa), 0);
+    }
+
+    #[test]
+    fn migration_cost_is_accounted() {
+        let (mut m, mut store) = setup(1024, 4);
+        let mut mig = HotMigrator::new(4, 50);
+        let mut report = None;
+        for i in 0..50u32 {
+            report = mig.record(&mut m, 0, &mut store, 900 + (i % 4)).or(report);
+        }
+        let r = report.expect("epoch boundary reached");
+        assert_eq!(r.migrated, 4);
+        // Each swap copies two 64 B values and rewrites two index entries.
+        assert!(r.cycles > 0);
+    }
+}

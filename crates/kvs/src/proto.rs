@@ -1,0 +1,157 @@
+//! The KVS wire protocol: GET/SET requests in 128 B TCP packets (§3.1).
+//!
+//! Layout after the 54 B L2-L4 header: `op (1 B)`, `pad (1 B)`,
+//! `key (4 B)`, then for SET the 64 B value (which still fits: 54 + 6 +
+//! 64 = 124 ≤ 128).
+
+use trafficgen::{FlowTuple, ZipfGen};
+
+/// Request opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read the value of a key.
+    Get,
+    /// Write the value of a key.
+    Set,
+}
+
+/// One request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvRequest {
+    /// Opcode.
+    pub op: KvOp,
+    /// Key in `[0, n)`.
+    pub key: u32,
+}
+
+/// Request size on the wire (paper: "encapsulated in 128 B TCP packets").
+pub const REQUEST_SIZE: usize = 128;
+/// Offset of the opcode byte within the frame.
+pub const OP_OFF: usize = crate::server::PAYLOAD_OFF;
+/// Offset of the key.
+pub const KEY_OFF: usize = OP_OFF + 2;
+/// Offset of the (SET) value.
+pub const VALUE_OFF: usize = KEY_OFF + 4;
+
+/// Serialises a request into an already-encoded frame payload.
+pub fn write_request(frame: &mut [u8], req: &KvRequest) {
+    frame[OP_OFF] = match req.op {
+        KvOp::Get => 0,
+        KvOp::Set => 1,
+    };
+    frame[KEY_OFF..KEY_OFF + 4].copy_from_slice(&req.key.to_le_bytes());
+}
+
+/// Parses a request from raw frame bytes.
+///
+/// Returns `None` for an unknown opcode.
+pub fn read_request(frame: &[u8]) -> Option<KvRequest> {
+    let op = match frame[OP_OFF] {
+        0 => KvOp::Get,
+        1 => KvOp::Set,
+        _ => return None,
+    };
+    let key = u32::from_le_bytes(frame[KEY_OFF..KEY_OFF + 4].try_into().expect("4 bytes"));
+    Some(KvRequest { op, key })
+}
+
+/// A GET/SET workload generator over `n` keys.
+///
+/// `get_permille` of requests are GETs (Fig. 8 uses 100 %, 95 % and
+/// 50 %). Keys are drawn from `keygen` — Zipf(0.99) or uniform.
+#[derive(Debug)]
+pub struct RequestGen {
+    keygen: ZipfGen,
+    get_permille: u32,
+    mix: rand::rngs::SmallRng,
+    client_flow: FlowTuple,
+}
+
+impl RequestGen {
+    /// A generator issuing `get_permille`/1000 GETs over `keygen`'s keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `get_permille > 1000`.
+    pub fn new(keygen: ZipfGen, get_permille: u32, seed: u64) -> Self {
+        use rand::SeedableRng;
+        assert!(get_permille <= 1000, "ratio out of range");
+        Self {
+            keygen,
+            get_permille,
+            mix: rand::rngs::SmallRng::seed_from_u64(seed),
+            client_flow: FlowTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 11211),
+        }
+    }
+
+    /// The client's 5-tuple.
+    pub fn flow(&self) -> FlowTuple {
+        self.client_flow
+    }
+
+    /// Draws the next request.
+    pub fn next_request(&mut self) -> KvRequest {
+        use rand::Rng;
+        let op = if self.mix.gen_range(0..1000) < self.get_permille {
+            KvOp::Get
+        } else {
+            KvOp::Set
+        };
+        KvRequest {
+            op,
+            key: self.keygen.next_rank() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut frame = vec![0u8; REQUEST_SIZE];
+        write_request(
+            &mut frame,
+            &KvRequest {
+                op: KvOp::Set,
+                key: 0xdead,
+            },
+        );
+        let r = read_request(&frame).unwrap();
+        assert_eq!(r.op, KvOp::Set);
+        assert_eq!(r.key, 0xdead);
+    }
+
+    #[test]
+    fn unknown_opcode_is_none() {
+        let mut frame = vec![0u8; REQUEST_SIZE];
+        frame[OP_OFF] = 9;
+        assert!(read_request(&frame).is_none());
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // A protocol invariant, kept visible.
+    fn set_value_fits_128b_frame() {
+        assert!(VALUE_OFF + 64 <= REQUEST_SIZE);
+    }
+
+    #[test]
+    fn get_ratio_is_respected() {
+        let mut g = RequestGen::new(ZipfGen::new(1 << 16, 0.99, 1), 950, 2);
+        let n = 20_000;
+        let gets = (0..n)
+            .filter(|_| g.next_request().op == KvOp::Get)
+            .count();
+        let frac = gets as f64 / n as f64;
+        assert!((frac - 0.95).abs() < 0.01, "GET fraction {frac}");
+    }
+
+    #[test]
+    fn keys_in_range() {
+        let mut g = RequestGen::new(ZipfGen::new(1000, 0.0, 3), 500, 4);
+        for _ in 0..5000 {
+            assert!(g.next_request().key < 1000);
+        }
+    }
+}

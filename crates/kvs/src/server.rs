@@ -1,0 +1,290 @@
+//! The single-core KVS server loop and its throughput measurement.
+//!
+//! Fig. 8 measures server-side transactions per second with the client
+//! saturating the server ("a client sends requests ... at high rate to
+//! stress the server. We measured the performance ... on the server side
+//! so that we could ignore the networking bottlenecks"). The server here
+//! runs closed-loop: the NIC queue is kept stocked with requests and TPS
+//! is requests served over the serving core's busy time.
+
+use crate::proto::{read_request, write_request, KvOp, RequestGen, REQUEST_SIZE};
+use crate::store::KvStore;
+use llc_sim::machine::Machine;
+use rte::mempool::MbufPool;
+use rte::nic::{HeadroomPolicy, Port, TxDesc};
+
+/// Frame offset where the KVS payload begins (after Ethernet/IPv4/TCP).
+pub const PAYLOAD_OFF: usize = 54;
+
+/// Per-request server work besides store access: RX bookkeeping, request
+/// parse, response assembly. Calibrated so the all-cached request path
+/// lands near the paper's ~160-cycle figure (§3.1).
+pub const SERVE_WORK: u64 = 15;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Serving core.
+    pub core: usize,
+    /// Requests to serve.
+    pub requests: usize,
+    /// PMD burst size.
+    pub burst: usize,
+    /// RX descriptor ring depth.
+    pub queue_depth: usize,
+    /// GET ratio in permille (1000 = 100 % GET).
+    pub get_permille: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ServerConfig {
+    /// Fig. 8 defaults: core 0, bursts of 32.
+    pub fn fig8(requests: usize, get_permille: u32, seed: u64) -> Self {
+        Self {
+            core: 0,
+            requests,
+            burst: 32,
+            queue_depth: 256,
+            get_permille,
+            seed,
+        }
+    }
+}
+
+/// What a server run reports.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerReport {
+    /// Requests served.
+    pub served: u64,
+    /// GETs among them.
+    pub gets: u64,
+    /// Busy cycles on the serving core.
+    pub busy_cycles: u64,
+    /// Transactions per second at the machine's frequency.
+    pub tps: f64,
+    /// Mean cycles per request.
+    pub cycles_per_request: f64,
+}
+
+/// Runs the closed-loop server benchmark.
+///
+/// `keygen` supplies the key distribution; requests are DMA-ed into mbufs
+/// through the normal NIC path (DDIO), served from `store`, and responses
+/// transmitted back.
+pub fn run_server(
+    m: &mut Machine,
+    store: &mut KvStore,
+    pool: &mut MbufPool,
+    port: &mut Port,
+    policy: &mut dyn HeadroomPolicy,
+    gen: &mut RequestGen,
+    cfg: &ServerConfig,
+) -> ServerReport {
+    let core = cfg.core;
+    let mut frame = vec![0u8; REQUEST_SIZE];
+    let mut value = [0u8; 64];
+    let mut served = 0u64;
+    let mut gets = 0u64;
+    // The RX ring's slots are shared by posted descriptors and any
+    // completions left over from a previous run.
+    let initial = cfg.queue_depth - port.ready_count(0);
+    port.refill(m, pool, 0, core, policy, initial);
+    let start = m.now(core);
+    while (served as usize) < cfg.requests {
+        // The client keeps the queue saturated (closed loop): top the
+        // queue up with fresh requests before each poll.
+        while port.posted_count(0) > 0 {
+            let req = gen.next_request();
+            nfv::packet::encode_frame(&mut frame, &gen.flow(), REQUEST_SIZE, 0.0, served);
+            write_request(&mut frame, &req);
+            if port.deliver(m, &frame, &gen.flow(), 0.0).is_err() {
+                break;
+            }
+        }
+        let (batch, _c) = port.rx_burst(m, pool, 0, core, cfg.burst);
+        if batch.is_empty() {
+            break;
+        }
+        let mut tx = Vec::with_capacity(batch.len());
+        for comp in &batch {
+            // Parse the request: opcode + key live in the frame's first
+            // 64 B line, the one CacheDirector places.
+            let mut req_bytes = [0u8; 64];
+            m.read_bytes(core, comp.data_pa, &mut req_bytes);
+            let Some(req) = read_request(&req_bytes) else {
+                pool.put(comp.mbuf);
+                continue;
+            };
+            m.advance(core, SERVE_WORK);
+            match req.op {
+                KvOp::Get => {
+                    store.get(m, core, req.key, &mut value);
+                    // Write the value into the response payload.
+                    m.write_bytes(core, comp.data_pa.add(PAYLOAD_OFF as u64 + 6), &value);
+                    gets += 1;
+                }
+                KvOp::Set => {
+                    let mut data = [0u8; 64];
+                    m.read_bytes(
+                        core,
+                        comp.data_pa.add(crate::proto::VALUE_OFF as u64),
+                        &mut data,
+                    );
+                    store.set(m, core, req.key, &data);
+                }
+            }
+            served += 1;
+            tx.push(TxDesc {
+                mbuf: comp.mbuf,
+                data_pa: comp.data_pa,
+                len: comp.len,
+            });
+        }
+        port.tx_burst(m, pool, core, &tx);
+        let free = cfg.queue_depth - port.ready_count(0);
+        port.refill(m, pool, 0, core, policy, free);
+    }
+    let busy_cycles = m.now(core) - start;
+    let tps = if busy_cycles == 0 {
+        0.0
+    } else {
+        served as f64 / (busy_cycles as f64 / (m.config().freq_ghz * 1e9))
+    };
+    ServerReport {
+        served,
+        gets,
+        busy_cycles,
+        tps,
+        cycles_per_request: if served == 0 {
+            0.0
+        } else {
+            busy_cycles as f64 / served as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Placement;
+    use llc_sim::hash::{SliceHash, XorSliceHash};
+    use llc_sim::machine::MachineConfig;
+    use rte::nic::FixedHeadroom;
+    use rte::steering::{Rss, Steering};
+    use slice_aware::alloc::SliceAllocator;
+    use trafficgen::ZipfGen;
+
+    struct Bench {
+        m: Machine,
+        store: KvStore,
+        pool: MbufPool,
+        port: Port,
+    }
+
+    fn build(n: usize, placement: Placement, region_mb: usize) -> Bench {
+        let mut m = Machine::new(
+            MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20),
+        );
+        let region = m.mem_mut().alloc(region_mb << 20, 1 << 20).unwrap();
+        let h = XorSliceHash::haswell_8slice();
+        let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
+        let store = KvStore::build(&mut m, &mut alloc, n, placement).unwrap();
+        let pool = MbufPool::create(&mut m, 1024, 128, 2048).unwrap();
+        let port = Port::new(0, Steering::Rss(Rss::new(1)), 256);
+        Bench { m, store, pool, port }
+    }
+
+    fn run(bench: &mut Bench, get_permille: u32, theta: f64, requests: usize) -> ServerReport {
+        let n = bench.store.len() as u64;
+        let keygen = ZipfGen::new(n, theta, 99);
+        let mut gen = RequestGen::new(keygen, get_permille, 7);
+        let mut policy = FixedHeadroom(128);
+        let cfg = ServerConfig::fig8(requests, get_permille, 1);
+        run_server(
+            &mut bench.m,
+            &mut bench.store,
+            &mut bench.pool,
+            &mut bench.port,
+            &mut policy,
+            &mut gen,
+            &cfg,
+        )
+    }
+
+    #[test]
+    fn serves_all_requests() {
+        let mut b = build(4096, Placement::Normal, 16);
+        let rep = run(&mut b, 1000, 0.99, 2000);
+        assert!(rep.served >= 2000);
+        assert_eq!(rep.gets, rep.served, "100% GET workload");
+        assert!(rep.tps > 0.0);
+        assert!(rep.cycles_per_request > 0.0);
+    }
+
+    #[test]
+    fn get_set_mix_hits_both_paths() {
+        let mut b = build(4096, Placement::Normal, 16);
+        let rep = run(&mut b, 500, 0.0, 2000);
+        let frac = rep.gets as f64 / rep.served as f64;
+        assert!((frac - 0.5).abs() < 0.06, "GET fraction {frac}");
+    }
+
+    #[test]
+    fn set_then_get_roundtrips_through_packets() {
+        // Functional check outside the closed loop: a SET followed by a
+        // GET returns the stored bytes in the response payload.
+        let mut b = build(256, Placement::Normal, 16);
+        let core = 0;
+        let mut policy = FixedHeadroom(128);
+        b.port.refill(&mut b.m, &mut b.pool, 0, core, &mut policy, 8);
+        let flow = trafficgen::FlowTuple::tcp(1, 2, 3, 4);
+        let mut frame = vec![0u8; REQUEST_SIZE];
+        // SET key 5 = 0x77s.
+        nfv::packet::encode_frame(&mut frame, &flow, REQUEST_SIZE, 0.0, 0);
+        write_request(&mut frame, &crate::proto::KvRequest { op: KvOp::Set, key: 5 });
+        frame[crate::proto::VALUE_OFF..crate::proto::VALUE_OFF + 64].fill(0x77);
+        b.port.deliver(&mut b.m, &frame, &flow, 0.0).unwrap();
+        let (batch, _) = b.port.rx_burst(&mut b.m, &b.pool, 0, core, 4);
+        let comp = batch[0];
+        let mut data = [0u8; 64];
+        b.m.read_bytes(core, comp.data_pa.add(crate::proto::VALUE_OFF as u64), &mut data);
+        b.store.set(&mut b.m, core, 5, &data);
+        b.pool.put(comp.mbuf);
+        let mut out = [0u8; 64];
+        b.store.get(&mut b.m, core, 5, &mut out);
+        assert_eq!(out, [0x77u8; 64]);
+    }
+
+    #[test]
+    fn skewed_slice_aware_beats_normal() {
+        // The Fig. 8 headline at small scale: value store larger than the
+        // LLC, Zipf keys, 100% GET.
+        let n = 1 << 19; // 512k values = 32 MB > 20 MB LLC.
+        let mut aware = build(n, Placement::SliceAware { slice: 0 }, 384);
+        let mut normal = build(n, Placement::Normal, 384);
+        let warm = 40_000;
+        let measured = 60_000;
+        let _ = run(&mut aware, 1000, 0.99, warm);
+        let _ = run(&mut normal, 1000, 0.99, warm);
+        let ra = run(&mut aware, 1000, 0.99, measured);
+        let rn = run(&mut normal, 1000, 0.99, measured);
+        assert!(
+            ra.tps > rn.tps,
+            "slice-aware TPS {} must beat normal {}",
+            ra.tps,
+            rn.tps
+        );
+    }
+
+    #[test]
+    fn uniform_keys_show_no_meaningful_gap() {
+        let n = 1 << 19;
+        let mut aware = build(n, Placement::SliceAware { slice: 0 }, 384);
+        let mut normal = build(n, Placement::Normal, 384);
+        let ra = run(&mut aware, 1000, 0.0, 30_000);
+        let rn = run(&mut normal, 1000, 0.0, 30_000);
+        let gap = (ra.tps - rn.tps).abs() / rn.tps;
+        assert!(gap < 0.05, "uniform gap {gap} should be small");
+    }
+}

@@ -1,0 +1,307 @@
+//! The value store: index array + 64 B value slots.
+
+use llc_sim::addr::PhysAddr;
+use llc_sim::hierarchy::Cycles;
+use llc_sim::machine::Machine;
+use llc_sim::mem::Region;
+use llc_sim::CACHE_LINE;
+use slice_aware::alloc::{AllocError, SliceAllocator, SliceBuffer};
+
+/// Where value slots are placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Contiguous allocation: values spread over all slices (baseline).
+    Normal,
+    /// Every value slot maps to `slice` (the serving core's closest).
+    SliceAware {
+        /// Target slice.
+        slice: usize,
+    },
+    /// Only the hottest `hot_count` slots (the lowest key ranks) map to
+    /// `slice`; the rest are contiguous. This is the §8 refinement for
+    /// stores larger than a slice ("applications which only use
+    /// slice-aware memory management for the 'hot' data"): it keeps the
+    /// latency advantage for the popular keys without forfeiting the
+    /// other slices' capacity for the long tail.
+    HotSliceAware {
+        /// Target slice for the hot set.
+        slice: usize,
+        /// Number of hot slots (≈ half a slice's lines is a good fit).
+        hot_count: usize,
+    },
+}
+
+/// The emulated store.
+#[derive(Debug)]
+pub struct KvStore {
+    /// One 64 B line per value.
+    slots: SliceBuffer,
+    /// Direct-mapped index: `n` little-endian u32 slot numbers in
+    /// simulated memory (contiguous in both modes).
+    index: Region,
+    placement: Placement,
+}
+
+/// Per-operation fixed work: request dispatch, bounds checks, response
+/// bookkeeping.
+pub const OP_WORK: Cycles = 20;
+
+impl KvStore {
+    /// Builds a store of `n` values placed per `placement`.
+    ///
+    /// The index is initialised to the identity permutation (slot *k*
+    /// holds key *k*'s value), which mirrors the paper's key range
+    /// `[0, 2^24)`.
+    pub fn build<F: FnMut(PhysAddr) -> usize>(
+        m: &mut Machine,
+        alloc: &mut SliceAllocator<F>,
+        n: usize,
+        placement: Placement,
+    ) -> Result<Self, BuildError> {
+        let slots = match placement {
+            Placement::Normal => alloc.alloc_contiguous_lines(n)?,
+            Placement::SliceAware { slice } => alloc.alloc_lines_exclusive(slice, n)?,
+            Placement::HotSliceAware { slice, hot_count } => {
+                let hot = hot_count.min(n);
+                let mut lines = alloc.alloc_lines(slice, hot)?.lines().to_vec();
+                lines.extend_from_slice(alloc.alloc_contiguous_lines(n - hot)?.lines());
+                SliceBuffer::from_lines(lines)
+            }
+        };
+        let index = m
+            .mem_mut()
+            .alloc(n * 4, CACHE_LINE)
+            .map_err(BuildError::Mem)?;
+        for k in 0..n {
+            m.mem_mut()
+                .write(index.pa(k * 4), &(k as u32).to_le_bytes());
+        }
+        Ok(Self {
+            slots,
+            index,
+            placement,
+        })
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True for an empty store.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The configured placement.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Timed index lookup: one memory access into the index array.
+    fn slot_of(&self, m: &mut Machine, core: usize, key: u32) -> (usize, Cycles) {
+        let mut b = [0u8; 4];
+        let c = m.read_bytes(core, self.index.pa(key as usize * 4), &mut b);
+        (u32::from_le_bytes(b) as usize, c)
+    }
+
+    /// GET: index lookup + 64 B value read into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `key` is out of range or `out` is shorter than 64 B.
+    pub fn get(&self, m: &mut Machine, core: usize, key: u32, out: &mut [u8]) -> Cycles {
+        assert!((key as usize) < self.len(), "key out of range");
+        let (slot, mut cycles) = self.slot_of(m, core, key);
+        cycles += m.read_bytes(core, self.slots.line(slot), &mut out[..CACHE_LINE]);
+        m.advance(core, OP_WORK);
+        cycles + OP_WORK
+    }
+
+    /// SET: index lookup + 64 B value write.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `key` is out of range or `data` is shorter than 64 B.
+    pub fn set(&mut self, m: &mut Machine, core: usize, key: u32, data: &[u8]) -> Cycles {
+        assert!((key as usize) < self.len(), "key out of range");
+        let (slot, mut cycles) = self.slot_of(m, core, key);
+        cycles += m.write_bytes(core, self.slots.line(slot), &data[..CACHE_LINE]);
+        m.advance(core, OP_WORK);
+        cycles + OP_WORK
+    }
+
+    /// The physical address of `key`'s value (inspection).
+    pub fn value_pa(&self, m: &mut Machine, key: u32) -> PhysAddr {
+        let mut b = [0u8; 4];
+        m.mem().read(self.index.pa(key as usize * 4), &mut b);
+        self.slots.line(u32::from_le_bytes(b) as usize)
+    }
+
+    /// Exchanges the storage homes of two keys: swaps their 64 B values
+    /// and their index entries, all timed on `core`. The migration
+    /// primitive of [`crate::migrate`] (paper §8): swapping a hot key
+    /// with a hot-slot occupant moves the hot value into the slice-local
+    /// area.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either key is out of range.
+    pub fn swap_keys(&mut self, m: &mut Machine, core: usize, a: u32, b: u32) -> Cycles {
+        assert!((a as usize) < self.len() && (b as usize) < self.len(), "key out of range");
+        if a == b {
+            return 0;
+        }
+        let (slot_a, mut cycles) = self.slot_of(m, core, a);
+        let (slot_b, c) = self.slot_of(m, core, b);
+        cycles += c;
+        // Swap the values.
+        let mut va = [0u8; CACHE_LINE];
+        let mut vb = [0u8; CACHE_LINE];
+        cycles += m.read_bytes(core, self.slots.line(slot_a), &mut va);
+        cycles += m.read_bytes(core, self.slots.line(slot_b), &mut vb);
+        cycles += m.write_bytes(core, self.slots.line(slot_a), &vb);
+        cycles += m.write_bytes(core, self.slots.line(slot_b), &va);
+        // Swap the index entries.
+        cycles += m.write_bytes(core, self.index.pa(a as usize * 4), &(slot_b as u32).to_le_bytes());
+        cycles += m.write_bytes(core, self.index.pa(b as usize * 4), &(slot_a as u32).to_le_bytes());
+        cycles
+    }
+}
+
+/// Store construction failures.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Slice-aware carving failed.
+    Alloc(AllocError),
+    /// Index reservation failed.
+    Mem(llc_sim::mem::MemError),
+}
+
+impl From<AllocError> for BuildError {
+    fn from(e: AllocError) -> Self {
+        BuildError::Alloc(e)
+    }
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Alloc(e) => write!(f, "value allocation failed: {e}"),
+            BuildError::Mem(e) => write!(f, "index allocation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_sim::hash::{SliceHash, XorSliceHash};
+    use llc_sim::machine::MachineConfig;
+
+    fn setup(region_mb: usize) -> (Machine, SliceAllocator<impl FnMut(PhysAddr) -> usize>) {
+        let mut m = Machine::new(
+            MachineConfig::haswell_e5_2667_v3().with_dram_capacity((region_mb * 3) << 20),
+        );
+        let r = m
+            .mem_mut()
+            .alloc(region_mb << 20, 1 << 20)
+            .unwrap();
+        let h = XorSliceHash::haswell_8slice();
+        (m, SliceAllocator::new(r, move |pa| h.slice_of(pa)))
+    }
+
+    #[test]
+    fn get_returns_what_set_stored() {
+        let (mut m, mut a) = setup(16);
+        let mut kv = KvStore::build(&mut m, &mut a, 1024, Placement::Normal).unwrap();
+        let value = [0xabu8; 64];
+        kv.set(&mut m, 0, 42, &value);
+        let mut out = [0u8; 64];
+        kv.get(&mut m, 0, 42, &mut out);
+        assert_eq!(out, value);
+    }
+
+    #[test]
+    fn slice_aware_values_all_in_target_slice() {
+        let (mut m, mut a) = setup(16);
+        let kv = KvStore::build(
+            &mut m,
+            &mut a,
+            2048,
+            Placement::SliceAware { slice: 0 },
+        )
+        .unwrap();
+        for key in [0u32, 1, 100, 2047] {
+            let pa = kv.value_pa(&mut m, key);
+            assert_eq!(m.slice_of(pa), 0, "key {key}");
+        }
+    }
+
+    #[test]
+    fn normal_values_spread_over_slices() {
+        let (mut m, mut a) = setup(16);
+        let kv = KvStore::build(&mut m, &mut a, 2048, Placement::Normal).unwrap();
+        let slices: std::collections::HashSet<usize> = (0..2048u32)
+            .map(|k| {
+                let pa = kv.value_pa(&mut m, k);
+                m.slice_of(pa)
+            })
+            .collect();
+        assert_eq!(slices.len(), 8, "contiguous memory covers every slice");
+    }
+
+    #[test]
+    fn hot_get_is_cheaper_slice_aware() {
+        let (mut m, mut a) = setup(32);
+        let mut out = [0u8; 64];
+        let closest = m.closest_slice(0);
+        let kv_aware = KvStore::build(
+            &mut m,
+            &mut a,
+            4096,
+            Placement::SliceAware { slice: closest },
+        )
+        .unwrap();
+        let kv_norm = KvStore::build(&mut m, &mut a, 4096, Placement::Normal).unwrap();
+        // Find keys whose value is in a far slice under normal placement.
+        let far = *m.slices_by_distance(0).last().unwrap();
+        let far_key = (0..4096u32)
+            .find(|&k| {
+                let pa = kv_norm.value_pa(&mut m, k);
+                m.slice_of(pa) == far
+            })
+            .unwrap();
+        // Warm both values into the LLC only (via DMA placement).
+        let pa_aware = kv_aware.value_pa(&mut m, 7);
+        let pa_norm = kv_norm.value_pa(&mut m, far_key);
+        m.dma_place(pa_aware, 64);
+        m.dma_place(pa_norm, 64);
+        // Also warm the index lines so both GETs differ only in the value.
+        kv_aware.get(&mut m, 0, 7, &mut out);
+        kv_norm.get(&mut m, 0, far_key, &mut out);
+        m.dma_place(pa_aware, 64);
+        m.dma_place(pa_norm, 64);
+        m.clflush(0, pa_aware); // Force back out of L1/L2...
+        m.clflush(0, pa_norm);
+        m.dma_place(pa_aware, 64); // ...and back into LLC only.
+        m.dma_place(pa_norm, 64);
+        let c_aware = kv_aware.get(&mut m, 0, 7, &mut out);
+        let c_norm = kv_norm.get(&mut m, 0, far_key, &mut out);
+        assert!(
+            c_aware < c_norm,
+            "near-slice GET {c_aware} must beat far-slice GET {c_norm}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "key out of range")]
+    fn get_rejects_out_of_range() {
+        let (mut m, mut a) = setup(16);
+        let kv = KvStore::build(&mut m, &mut a, 64, Placement::Normal).unwrap();
+        let mut out = [0u8; 64];
+        kv.get(&mut m, 0, 64, &mut out);
+    }
+}

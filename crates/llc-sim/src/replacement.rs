@@ -1,0 +1,263 @@
+//! Cache replacement policies.
+//!
+//! The paper notes that CPUs use "different variations of LRU" (§2) and our
+//! DESIGN.md calls out replacement as an ablation axis, so the policy is
+//! pluggable per cache: true LRU (default, matches the set-filling
+//! methodology of §2.2), tree-PLRU (closer to real silicon) and seeded
+//! random (worst-case baseline).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which replacement policy a cache uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementKind {
+    /// True least-recently-used.
+    Lru,
+    /// Tree pseudo-LRU over a power-of-two way count.
+    TreePlru,
+    /// Uniform random victim (seeded, deterministic).
+    Random,
+}
+
+/// Per-set replacement state.
+///
+/// One instance tracks a single cache set of `ways` lines; the cache calls
+/// [`ReplacementState::touch`] on every hit/fill and
+/// [`ReplacementState::victim`] when it needs to evict.
+#[derive(Debug, Clone)]
+pub enum ReplacementState {
+    /// LRU: per-way last-use stamps (monotone counter).
+    Lru { stamps: Vec<u64>, clock: u64 },
+    /// Tree-PLRU: one bit per internal node of a complete binary tree.
+    TreePlru { bits: u64, ways: usize },
+    /// Random: shared per-cache RNG lives in the cache; here only the way
+    /// count is needed.
+    Random { ways: usize },
+}
+
+impl ReplacementState {
+    /// Fresh state for a set with `ways` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0`, or for [`ReplacementKind::TreePlru`] when
+    /// `ways` is not a power of two (the tree needs a complete shape).
+    pub fn new(kind: ReplacementKind, ways: usize) -> Self {
+        assert!(ways > 0, "need at least one way");
+        match kind {
+            ReplacementKind::Lru => ReplacementState::Lru {
+                stamps: vec![0; ways],
+                clock: 0,
+            },
+            ReplacementKind::TreePlru => {
+                assert!(ways.is_power_of_two(), "tree-PLRU needs 2^k ways");
+                ReplacementState::TreePlru { bits: 0, ways }
+            }
+            ReplacementKind::Random => ReplacementState::Random { ways },
+        }
+    }
+
+    /// Records a use of `way` (hit or fill).
+    pub fn touch(&mut self, way: usize) {
+        match self {
+            ReplacementState::Lru { stamps, clock } => {
+                *clock += 1;
+                stamps[way] = *clock;
+            }
+            ReplacementState::TreePlru { bits, ways } => {
+                // Walk root→leaf; at each node point the bit *away* from the
+                // taken direction so the victim walk avoids this way.
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = *ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let right = way >= mid;
+                    if right {
+                        *bits &= !(1u64 << node);
+                        lo = mid;
+                        node = 2 * node + 2;
+                    } else {
+                        *bits |= 1u64 << node;
+                        hi = mid;
+                        node = 2 * node + 1;
+                    }
+                }
+            }
+            ReplacementState::Random { .. } => {}
+        }
+    }
+
+    /// Chooses the way to evict. `rng` is used only by the random policy.
+    pub fn victim(&self, rng: &mut SmallRng) -> usize {
+        match self {
+            ReplacementState::Lru { stamps, .. } => {
+                let mut best = 0;
+                for (i, &s) in stamps.iter().enumerate() {
+                    if s < stamps[best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+            ReplacementState::TreePlru { bits, ways } => {
+                // Follow the pointed-to (least recently favoured) direction.
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = *ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let right = (*bits >> node) & 1 == 1;
+                    if right {
+                        lo = mid;
+                        node = 2 * node + 2;
+                    } else {
+                        hi = mid;
+                        node = 2 * node + 1;
+                    }
+                }
+                lo
+            }
+            ReplacementState::Random { ways } => rng.gen_range(0..*ways),
+        }
+    }
+
+    /// Chooses the victim among the ways allowed by `mask` (bit `i` set ⇒
+    /// way `i` allowed). Used for CAT way partitioning and DDIO's limited
+    /// I/O ways (paper §7, §8).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mask` allows no way.
+    pub fn victim_masked(&self, rng: &mut SmallRng, mask: u64) -> usize {
+        assert!(mask != 0, "way mask allows no victim");
+        match self {
+            ReplacementState::Lru { stamps, .. } => {
+                let mut best: Option<usize> = None;
+                for (i, &s) in stamps.iter().enumerate() {
+                    if mask & (1u64 << i) == 0 {
+                        continue;
+                    }
+                    if best.is_none_or(|b| s < stamps[b]) {
+                        best = Some(i);
+                    }
+                }
+                best.expect("mask selects at least one existing way")
+            }
+            ReplacementState::TreePlru { ways, .. } | ReplacementState::Random { ways } => {
+                // Among allowed ways pick pseudo-randomly / via RNG: the
+                // tree path cannot be restricted cheaply, and silicon PLRU
+                // with way masks behaves similarly.
+                let allowed: Vec<usize> = (0..*ways).filter(|i| mask & (1u64 << i) != 0).collect();
+                assert!(
+                    !allowed.is_empty(),
+                    "mask selects at least one existing way"
+                );
+                allowed[rng.gen_range(0..allowed.len())]
+            }
+        }
+    }
+
+    /// Deterministic RNG used by caches for the random policy.
+    pub fn make_rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SmallRng {
+        ReplacementState::make_rng(7)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s = ReplacementState::new(ReplacementKind::Lru, 4);
+        for w in 0..4 {
+            s.touch(w);
+        }
+        s.touch(0);
+        s.touch(2);
+        assert_eq!(s.victim(&mut rng()), 1);
+    }
+
+    #[test]
+    fn lru_untouched_way_is_first_victim() {
+        let mut s = ReplacementState::new(ReplacementKind::Lru, 4);
+        s.touch(1);
+        s.touch(2);
+        s.touch(3);
+        assert_eq!(s.victim(&mut rng()), 0);
+    }
+
+    #[test]
+    fn lru_masked_respects_mask() {
+        let mut s = ReplacementState::new(ReplacementKind::Lru, 4);
+        for w in 0..4 {
+            s.touch(w);
+        }
+        // Way 0 is the true LRU but the mask excludes it.
+        assert_eq!(s.victim_masked(&mut rng(), 0b1110), 1);
+        assert_eq!(s.victim_masked(&mut rng(), 0b1000), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "allows no victim")]
+    fn masked_rejects_empty_mask() {
+        let s = ReplacementState::new(ReplacementKind::Lru, 4);
+        s.victim_masked(&mut rng(), 0);
+    }
+
+    #[test]
+    fn plru_victim_avoids_recent_touch() {
+        let mut s = ReplacementState::new(ReplacementKind::TreePlru, 8);
+        let v1 = s.victim(&mut rng());
+        s.touch(v1);
+        let v2 = s.victim(&mut rng());
+        assert_ne!(v1, v2, "just-touched way must not be the next victim");
+    }
+
+    #[test]
+    fn plru_cycles_through_all_ways() {
+        let mut s = ReplacementState::new(ReplacementKind::TreePlru, 4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let v = s.victim(&mut rng());
+            seen.insert(v);
+            s.touch(v);
+        }
+        assert_eq!(seen.len(), 4, "PLRU visits every way under pressure");
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k ways")]
+    fn plru_rejects_non_pow2() {
+        ReplacementState::new(ReplacementKind::TreePlru, 20);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let s = ReplacementState::new(ReplacementKind::Random, 16);
+        let a: Vec<usize> = {
+            let mut r = ReplacementState::make_rng(42);
+            (0..8).map(|_| s.victim(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = ReplacementState::make_rng(42);
+            (0..8).map(|_| s.victim(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_within_bounds() {
+        let s = ReplacementState::new(ReplacementKind::Random, 3);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(s.victim(&mut r) < 3);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Uncore performance monitoring: per-slice CBo/CHA event counters.
+//!
+//! Each LLC slice has a monitoring block — a *C-Box* (CBo) on Haswell, a
+//! *Caching and Home Agent* (CHA) on Skylake — that can be programmed to
+//! count events such as "all LLC lookups" (paper §2). The paper's
+//! polling technique (§2.1) programs every CBo to count lookups, hammers
+//! one physical address, and reads back which slice's counter moved.
+//!
+//! [`Uncore`] reproduces that interface: select an event per counter, read
+//! and reset counters, with the [`crate::machine::Machine`] feeding events
+//! as the simulated hierarchy runs.
+
+/// Countable uncore events, a small subset of Intel's event list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UncoreEvent {
+    /// Every lookup that reached this slice (`LLC_LOOKUP.ANY`).
+    LlcLookupAny,
+    /// Lookups that missed in this slice (`LLC_LOOKUP.MISS`-style).
+    LlcMiss,
+    /// Lines written back / filled into this slice.
+    LlcFill,
+    /// Lines evicted from this slice (`LLC_VICTIMS.ANY`-style).
+    LlcVictims,
+}
+
+/// Raw per-slice tallies; the machine bumps these unconditionally and the
+/// programmed [`UncoreEvent`] selects which one a counter read returns.
+#[derive(Debug, Clone, Copy, Default)]
+struct SliceTally {
+    lookups: u64,
+    misses: u64,
+    fills: u64,
+    victims: u64,
+}
+
+/// The uncore monitoring unit: one programmable counter per slice.
+#[derive(Debug)]
+pub struct Uncore {
+    tallies: Vec<SliceTally>,
+    baseline: Vec<SliceTally>,
+    event: UncoreEvent,
+}
+
+impl Uncore {
+    /// Monitoring for `slices` slices, programmed to count LLC lookups
+    /// (the event the paper's polling uses).
+    pub fn new(slices: usize) -> Self {
+        Self {
+            tallies: vec![SliceTally::default(); slices],
+            baseline: vec![SliceTally::default(); slices],
+            event: UncoreEvent::LlcLookupAny,
+        }
+    }
+
+    /// Number of monitored slices.
+    pub fn slices(&self) -> usize {
+        self.tallies.len()
+    }
+
+    /// Programs every per-slice counter to `event` (like writing the CBo
+    /// event-select MSR) and resets the counters.
+    pub fn select(&mut self, event: UncoreEvent) {
+        self.event = event;
+        self.reset();
+    }
+
+    /// The currently selected event.
+    pub fn event(&self) -> UncoreEvent {
+        self.event
+    }
+
+    /// Resets all counters to zero (snapshot of the running tallies).
+    pub fn reset(&mut self) {
+        self.baseline.copy_from_slice(&self.tallies);
+    }
+
+    /// Reads slice `s`'s counter for the selected event.
+    pub fn read(&self, s: usize) -> u64 {
+        let t = &self.tallies[s];
+        let b = &self.baseline[s];
+        match self.event {
+            UncoreEvent::LlcLookupAny => t.lookups - b.lookups,
+            UncoreEvent::LlcMiss => t.misses - b.misses,
+            UncoreEvent::LlcFill => t.fills - b.fills,
+            UncoreEvent::LlcVictims => t.victims - b.victims,
+        }
+    }
+
+    /// Reads all counters at once.
+    pub fn read_all(&self) -> Vec<u64> {
+        (0..self.tallies.len()).map(|s| self.read(s)).collect()
+    }
+
+    /// The slice whose counter grew the most — the polling decision rule
+    /// of §2.1 ("a C-Box counter showing a larger number of lookups will
+    /// identify that the slice is mapped to that particular address").
+    pub fn busiest_slice(&self) -> usize {
+        (0..self.tallies.len())
+            .max_by_key(|&s| self.read(s))
+            .expect("at least one slice")
+    }
+
+    // Event feeds, called by the machine.
+
+    pub(crate) fn on_lookup(&mut self, slice: usize) {
+        self.tallies[slice].lookups += 1;
+    }
+
+    pub(crate) fn on_miss(&mut self, slice: usize) {
+        self.tallies[slice].misses += 1;
+    }
+
+    pub(crate) fn on_fill(&mut self, slice: usize) {
+        self.tallies[slice].fills += 1;
+    }
+
+    pub(crate) fn on_victim(&mut self, slice: usize) {
+        self.tallies[slice].victims += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_selected_event_only() {
+        let mut u = Uncore::new(4);
+        u.on_lookup(2);
+        u.on_lookup(2);
+        u.on_miss(2);
+        assert_eq!(u.read(2), 2, "lookup event selected by default");
+        u.select(UncoreEvent::LlcMiss);
+        assert_eq!(u.read(2), 0, "select resets");
+        u.on_miss(2);
+        assert_eq!(u.read(2), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_without_losing_feed() {
+        let mut u = Uncore::new(2);
+        u.on_lookup(0);
+        u.reset();
+        assert_eq!(u.read(0), 0);
+        u.on_lookup(0);
+        assert_eq!(u.read(0), 1);
+    }
+
+    #[test]
+    fn busiest_slice_wins_polling() {
+        let mut u = Uncore::new(8);
+        for s in 0..8 {
+            u.on_lookup(s);
+        }
+        for _ in 0..100 {
+            u.on_lookup(5);
+        }
+        assert_eq!(u.busiest_slice(), 5);
+    }
+
+    #[test]
+    fn read_all_matches_individual_reads() {
+        let mut u = Uncore::new(3);
+        u.on_fill(1);
+        u.select(UncoreEvent::LlcFill);
+        u.on_fill(1);
+        u.on_fill(2);
+        assert_eq!(u.read_all(), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn victims_event() {
+        let mut u = Uncore::new(2);
+        u.select(UncoreEvent::LlcVictims);
+        u.on_victim(0);
+        u.on_victim(0);
+        assert_eq!(u.read(0), 2);
+        assert_eq!(u.read(1), 0);
+    }
+}

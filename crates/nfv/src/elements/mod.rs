@@ -1,0 +1,16 @@
+//! The network functions the paper evaluates (§5): simple forwarding and
+//! the stateful Router → NAPT → LB chain.
+
+mod dpi;
+mod lb;
+mod mac_swap;
+mod napt;
+mod router;
+mod vxlan;
+
+pub use dpi::{Dpi, MatchAction};
+pub use lb::LoadBalancer;
+pub use mac_swap::MacSwap;
+pub use napt::Napt;
+pub use router::Router;
+pub use vxlan::{encapsulate, VxlanDecap, VXLAN_OVERHEAD};

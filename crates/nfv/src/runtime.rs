@@ -1,0 +1,611 @@
+//! The testbed runtime: LoadGen → DuT → LoadGen (paper §5, Fig. 11).
+//!
+//! An event-driven simulation of the paper's measurement setup. The
+//! LoadGen emits frames on a constant-rate schedule (Table 2); the DuT
+//! runs one run-to-completion polling loop per core over its NIC queue;
+//! end-to-end latency is `completion − arrival` per packet, with the
+//! constant loopback component kept separate exactly like the paper
+//! ("we removed the minimum value of the loopback latency from the
+//! end-to-end latency").
+//!
+//! Time model: each DuT core has a *free-at* timestamp. Cores never run
+//! ahead of the LoadGen clock, so queueing emerges naturally — a core
+//! that is busy when frames arrive leaves them in the descriptor ring,
+//! and once the ring's posted descriptors are exhausted the NIC drops
+//! (`rx_nodesc`), which is the throughput ceiling of Table 3. All
+//! per-packet work (driver metadata writes, header parses, table
+//! lookups, TX doorbells) executes against the simulated machine, so
+//! cycles — and therefore latency — respond to where packet headers sit
+//! in the LLC, which is the effect CacheDirector exists to exploit.
+
+use crate::element::{Action, Ctx, Pkt, ServiceChain};
+use crate::elements::{LoadBalancer, MacSwap, Napt, Router};
+use crate::lpm::{synth_routes, Lpm};
+use crate::packet::encode_frame;
+use cache_director::{CacheDirector, CACHEDIRECTOR_HEADROOM};
+use llc_sim::machine::{Machine, MachineConfig};
+use rte::mempool::MbufPool;
+use rte::nic::{FixedHeadroom, HeadroomPolicy, Port, TxDesc};
+use rte::steering::{FdirAction, FlowDirector, Rss, Steering};
+use std::collections::HashSet;
+use std::rc::Rc;
+use trafficgen::{ArrivalSchedule, CampusTrace, FlowTuple};
+
+/// Which headroom policy the DuT's driver uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadroomMode {
+    /// Stock DPDK: fixed 128 B headroom.
+    Stock,
+    /// DPDK + CacheDirector.
+    CacheDirector {
+        /// How many closest slices count as acceptable per core (1 on
+        /// Haswell; 2-3 pays off on Skylake, Table 4).
+        preferred_slices: usize,
+    },
+}
+
+/// Which application the DuT runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainSpec {
+    /// §5.1 simple forwarding (MacSwap).
+    MacSwap,
+    /// §5.2 stateful chain: Router → NAPT → LB.
+    RouterNaptLb {
+        /// Routing-table size (the paper uses 3120).
+        routes: usize,
+        /// Offload routing to the NIC via FlowDirector marks (Metron).
+        offload: bool,
+    },
+}
+
+/// RX steering mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteeringKind {
+    /// Receive Side Scaling (Fig. 13).
+    Rss,
+    /// FlowDirector with round-robin flow placement (Fig. 14).
+    FlowDirector,
+}
+
+/// Full experiment configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// DuT cores (and RX queues), 1..=8.
+    pub cores: usize,
+    /// RX steering.
+    pub steering: SteeringKind,
+    /// Application chain.
+    pub chain: ChainSpec,
+    /// Headroom policy.
+    pub headroom: HeadroomMode,
+    /// RX descriptors per queue.
+    pub queue_depth: usize,
+    /// PMD burst size.
+    pub burst: usize,
+    /// Mbuf pool size (0 = auto: `2 × cores × queue_depth`).
+    pub mbufs: u32,
+    /// Fixed per-packet framework cycles (FastClick/Metron bookkeeping;
+    /// calibrated so the 8-core DuT saturates near the paper's ~76 Gbps,
+    /// see EXPERIMENTS.md).
+    pub framework_cycles: u64,
+    /// Minimum loopback latency of the testbed in ns (the paper measures
+    /// 9 µs at low rate and 495 µs at 100 Gbps; reported separately).
+    pub loopback_ns: f64,
+    /// NIC RX packet-rate ceiling in Mpps (None = unlimited). The paper's
+    /// testbed tops out near 76 Gbps of campus mix ≈ 13.9 Mpps due to
+    /// NIC/PCIe/DDIO limits (§5.1.2, Table 3).
+    pub nic_rate_mpps: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// The §5 defaults: 8 cores, 1024-descriptor queues, 32-burst.
+    pub fn paper_defaults(chain: ChainSpec, steering: SteeringKind, headroom: HeadroomMode) -> Self {
+        Self {
+            cores: 8,
+            steering,
+            chain,
+            headroom,
+            queue_depth: 1024,
+            burst: 32,
+            mbufs: 0,
+            framework_cycles: 1210,
+            loopback_ns: 0.0,
+            nic_rate_mpps: Some(14.2),
+            seed: 0x0dfe_11ce,
+        }
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-delivered-packet DuT latency in ns (completion − arrival),
+    /// without the loopback component.
+    pub latencies_ns: Vec<f64>,
+    /// Frames the LoadGen offered.
+    pub offered: u64,
+    /// Frames the DuT transmitted back.
+    pub delivered: u64,
+    /// Frames dropped (NIC descriptor exhaustion + chain drops).
+    pub dropped: u64,
+    /// Offered wire rate in Gbps.
+    pub offered_gbps: f64,
+    /// Achieved (TX) wire rate in Gbps.
+    pub achieved_gbps: f64,
+    /// Simulated duration in ns.
+    pub duration_ns: f64,
+    /// Loopback component to add for end-to-end numbers.
+    pub loopback_ns: f64,
+}
+
+impl RunResult {
+    /// Latency summary (percentiles + mean) without loopback.
+    pub fn summary(&self) -> Option<xstats::Summary> {
+        xstats::Summary::from_samples(self.latencies_ns.iter().copied())
+    }
+
+    /// Latency summary including the loopback component (Fig. 15 plots
+    /// tail latency *with* loopback).
+    pub fn summary_with_loopback(&self) -> Option<xstats::Summary> {
+        xstats::Summary::from_samples(self.latencies_ns.iter().map(|l| l + self.loopback_ns))
+    }
+}
+
+enum Policy {
+    Fixed(FixedHeadroom),
+    Director(CacheDirector),
+}
+
+impl Policy {
+    fn as_dyn(&mut self) -> &mut dyn HeadroomPolicy {
+        match self {
+            Policy::Fixed(f) => f,
+            Policy::Director(cd) => cd,
+        }
+    }
+}
+
+/// The assembled DuT + LoadGen.
+pub struct Testbed {
+    cfg: RunConfig,
+    m: Machine,
+    pool: MbufPool,
+    port: Port,
+    chains: Vec<ServiceChain>,
+    policy: Policy,
+    lpm: Option<Rc<Lpm>>,
+    installed_flows: HashSet<FlowTuple>,
+    fdir_rr: usize,
+    core_free_ns: Vec<f64>,
+    ns_per_cycle: f64,
+    latencies: Vec<f64>,
+    chain_drops: u64,
+    tx_wire_bits: u64,
+    offered_wire_bits: u64,
+    offered: u64,
+    last_arrival_ns: f64,
+    seq: u64,
+    scratch: Vec<u8>,
+}
+
+impl Testbed {
+    /// Builds the DuT on a fresh Haswell machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cores` is 0 or exceeds the machine, or when the pool
+    /// cannot be reserved.
+    pub fn new(cfg: RunConfig) -> Self {
+        let mcfg = MachineConfig::haswell_e5_2667_v3().with_seed(cfg.seed);
+        Self::on_machine(cfg, Machine::new(mcfg))
+    }
+
+    /// Builds the DuT on a provided machine (e.g. Skylake).
+    pub fn on_machine(cfg: RunConfig, mut m: Machine) -> Self {
+        assert!(cfg.cores > 0 && cfg.cores <= m.config().cores, "bad core count");
+        assert!(cfg.burst > 0 && cfg.queue_depth > 0, "bad queue geometry");
+        let ns_per_cycle = 1.0 / m.config().freq_ghz;
+        let mbufs = if cfg.mbufs == 0 {
+            (2 * cfg.cores * cfg.queue_depth) as u32
+        } else {
+            cfg.mbufs
+        };
+        let headroom_cap = match cfg.headroom {
+            HeadroomMode::Stock => rte::mbuf::DEFAULT_HEADROOM,
+            HeadroomMode::CacheDirector { .. } => CACHEDIRECTOR_HEADROOM,
+        };
+        let pool = MbufPool::create(&mut m, mbufs, headroom_cap, rte::mbuf::DEFAULT_DATAROOM)
+            .expect("mbuf pool fits simulated DRAM");
+        let policy = match cfg.headroom {
+            HeadroomMode::Stock => Policy::Fixed(FixedHeadroom(rte::mbuf::DEFAULT_HEADROOM)),
+            HeadroomMode::CacheDirector { preferred_slices } => {
+                Policy::Director(CacheDirector::install(&mut m, &pool, preferred_slices, 0))
+            }
+        };
+        let steering = match cfg.steering {
+            SteeringKind::Rss => Steering::Rss(Rss::new(cfg.cores)),
+            SteeringKind::FlowDirector => Steering::FlowDirector(FlowDirector::new(cfg.cores)),
+        };
+        let mut port = Port::new(0, steering, cfg.queue_depth);
+        port.set_rx_rate_limit(cfg.nic_rate_mpps);
+        // Build the chains.
+        let (chains, lpm) = match cfg.chain {
+            ChainSpec::MacSwap => {
+                let chains = (0..cfg.cores)
+                    .map(|_| ServiceChain::new().push(Box::new(MacSwap::new())))
+                    .collect();
+                (chains, None)
+            }
+            ChainSpec::RouterNaptLb { routes, .. } => {
+                let lpm = Rc::new(
+                    Lpm::build(&mut m, &synth_routes(routes, cfg.seed ^ 0x1007))
+                        .expect("LPM table fits simulated DRAM"),
+                );
+                let mut chains = Vec::with_capacity(cfg.cores);
+                for _ in 0..cfg.cores {
+                    // Per-core tables sized for the flow population; 8 K
+                    // one-line buckets (512 KB) keep the hot buckets
+                    // LLC-resident like a tuned NF would.
+                    let napt = Napt::new(&mut m, 1 << 13).expect("NAPT table fits");
+                    let lb = LoadBalancer::new(
+                        &mut m,
+                        1 << 13,
+                        vec![0x0a64_0001, 0x0a64_0002, 0x0a64_0003, 0x0a64_0004],
+                    )
+                    .expect("LB table fits");
+                    chains.push(
+                        ServiceChain::new()
+                            .push(Box::new(Router::new(Rc::clone(&lpm))))
+                            .push(Box::new(napt))
+                            .push(Box::new(lb)),
+                    );
+                }
+                (chains, Some(lpm))
+            }
+        };
+        let mut tb = Self {
+            core_free_ns: vec![0.0; cfg.cores],
+            ns_per_cycle,
+            latencies: Vec::new(),
+            chain_drops: 0,
+            tx_wire_bits: 0,
+            offered_wire_bits: 0,
+            offered: 0,
+            last_arrival_ns: 0.0,
+            seq: 0,
+            scratch: vec![0u8; 2048],
+            installed_flows: HashSet::new(),
+            fdir_rr: 0,
+            cfg,
+            pool,
+            chains,
+            policy,
+            lpm,
+            m,
+            port,
+        };
+        // Initial descriptor posting.
+        for q in 0..tb.cfg.cores {
+            let depth = tb.cfg.queue_depth;
+            tb.port
+                .refill(&mut tb.m, &mut tb.pool, q, q, tb.policy.as_dyn(), depth);
+        }
+        tb
+    }
+
+    /// The simulated machine (inspection).
+    pub fn machine(&self) -> &Machine {
+        &self.m
+    }
+
+    /// Offers one frame at `t_ns`; drops count toward the result.
+    pub fn offer(&mut self, flow: &FlowTuple, size: u16, t_ns: f64) {
+        // Let the DuT catch up to the present before the frame arrives.
+        self.run_cores_until(t_ns);
+        // Metron's controller: install the FlowDirector rule with the
+        // routing decision as mark (control plane, untimed).
+        if let ChainSpec::RouterNaptLb { offload: true, .. } = self.cfg.chain {
+            if matches!(self.cfg.steering, SteeringKind::FlowDirector)
+                && !self.installed_flows.contains(flow)
+            {
+                let mark = self
+                    .lpm
+                    .as_ref()
+                    .and_then(|l| l.lookup_untimed(&self.m, flow.dst_ip))
+                    .map(u32::from);
+                if let Steering::FlowDirector(fd) = self.port.steering_mut() {
+                    fd.set_rule(
+                        *flow,
+                        FdirAction {
+                            queue: self.fdir_rr,
+                            mark,
+                        },
+                    );
+                }
+                self.fdir_rr = (self.fdir_rr + 1) % self.cfg.cores;
+                self.installed_flows.insert(*flow);
+            }
+        }
+        let len = encode_frame(&mut self.scratch, flow, size as usize, t_ns, self.seq);
+        self.seq += 1;
+        self.offered += 1;
+        self.offered_wire_bits += trafficgen::arrival::wire_bits(size);
+        self.last_arrival_ns = self.last_arrival_ns.max(t_ns);
+        // NIC delivery; descriptor exhaustion drops are counted in the
+        // port stats.
+        let _ = self
+            .port
+            .deliver(&mut self.m, &self.scratch[..len], flow, t_ns);
+    }
+
+    /// Runs every core's polling loop until simulated time `until_ns`.
+    fn run_cores_until(&mut self, until_ns: f64) {
+        for c in 0..self.cfg.cores {
+            self.run_core_until(c, until_ns);
+        }
+    }
+
+    fn run_core_until(&mut self, core: usize, until_ns: f64) {
+        loop {
+            if self.core_free_ns[core] >= until_ns {
+                return;
+            }
+            if self.port.ready_count(core) == 0 {
+                // Idle-poll forward to the horizon.
+                self.core_free_ns[core] = until_ns;
+                return;
+            }
+            self.poll_once(core);
+        }
+    }
+
+    /// One PMD iteration: rx_burst → chain → tx → refill.
+    fn poll_once(&mut self, core: usize) {
+        let start_cycles = self.m.now(core);
+        let start_ns = self.core_free_ns[core];
+        let (batch, _c) = self
+            .port
+            .rx_burst(&mut self.m, &self.pool, core, core, self.cfg.burst);
+        if batch.is_empty() {
+            return;
+        }
+        let mut tx = Vec::with_capacity(batch.len());
+        for comp in &batch {
+            let mut pkt = Pkt::from_completion(comp);
+            let action = {
+                let mut ctx = Ctx {
+                    m: &mut self.m,
+                    core,
+                };
+                let (action, _c) = self.chains[core].process(&mut ctx, &mut pkt);
+                action
+            };
+            self.m.advance(core, self.cfg.framework_cycles);
+            match action {
+                Action::Forward => {
+                    tx.push(TxDesc {
+                        mbuf: comp.mbuf,
+                        data_pa: comp.data_pa,
+                        len: comp.len,
+                    });
+                    self.tx_wire_bits += trafficgen::arrival::wire_bits(comp.len);
+                }
+                Action::Drop => {
+                    self.chain_drops += 1;
+                    self.pool.put(comp.mbuf);
+                }
+            }
+            // Per-packet completion time, attributed as processing ends.
+            let done_ns =
+                start_ns + (self.m.now(core) - start_cycles) as f64 * self.ns_per_cycle;
+            if action == Action::Forward {
+                self.latencies.push(done_ns - comp.arrival_ns);
+            }
+        }
+        self.port.tx_burst(&mut self.m, &mut self.pool, core, &tx);
+        // A real RX ring has `depth` slots shared by posted descriptors
+        // and not-yet-harvested completions; refill only the slots this
+        // burst freed.
+        let target = self.cfg.queue_depth - self.port.ready_count(core);
+        self.port
+            .refill(&mut self.m, &mut self.pool, core, core, self.policy.as_dyn(), target);
+        let busy = (self.m.now(core) - start_cycles) as f64 * self.ns_per_cycle;
+        self.core_free_ns[core] = start_ns + busy;
+    }
+
+    /// Drains all queues to completion and produces the result.
+    pub fn finish(mut self) -> RunResult {
+        // Process everything still queued.
+        loop {
+            let mut any = false;
+            for c in 0..self.cfg.cores {
+                if self.port.ready_count(c) > 0 {
+                    self.poll_once(c);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        let duration_ns = self
+            .core_free_ns
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        // Offered rate is measured over the LoadGen's sending window;
+        // achieved over the full run (including the drain tail).
+        let offered_window = self.last_arrival_ns.max(1.0);
+        let stats = self.port.stats();
+        let delivered = stats.tx_pkts;
+        let dropped = stats.rx_nodesc + stats.rx_overrun + self.chain_drops;
+        RunResult {
+            offered: self.offered,
+            delivered,
+            dropped,
+            offered_gbps: self.offered_wire_bits as f64 / offered_window,
+            achieved_gbps: self.tx_wire_bits as f64 / duration_ns,
+            duration_ns,
+            loopback_ns: self.cfg.loopback_ns,
+            latencies_ns: self.latencies,
+        }
+    }
+}
+
+/// Runs a full experiment: `n` packets from `trace` paced by `schedule`.
+pub fn run_experiment(
+    cfg: RunConfig,
+    trace: &mut CampusTrace,
+    schedule: &mut ArrivalSchedule,
+    n: usize,
+) -> RunResult {
+    let mut tb = Testbed::new(cfg);
+    for _ in 0..n {
+        let t = schedule.next_arrival_ns();
+        let spec = trace.next_packet();
+        tb.offer(&spec.flow, spec.size, t);
+    }
+    tb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(chain: ChainSpec, headroom: HeadroomMode, steering: SteeringKind) -> RunConfig {
+        RunConfig {
+            cores: 2,
+            steering,
+            chain,
+            headroom,
+            queue_depth: 128,
+            burst: 32,
+            mbufs: 1024,
+            framework_cycles: 500,
+            loopback_ns: 9_000.0,
+            nic_rate_mpps: None,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn macswap_low_rate_delivers_everything() {
+        let cfg = small_cfg(ChainSpec::MacSwap, HeadroomMode::Stock, SteeringKind::Rss);
+        let mut trace = CampusTrace::fixed_size(64, 64, 1);
+        let mut sched = ArrivalSchedule::constant_pps(1000.0);
+        let res = run_experiment(cfg, &mut trace, &mut sched, 500);
+        assert_eq!(res.offered, 500);
+        assert_eq!(res.delivered, 500);
+        assert_eq!(res.dropped, 0);
+        assert_eq!(res.latencies_ns.len(), 500);
+        // At 1000 pps each packet is processed alone: latency is pure
+        // service time, well under a microsecond.
+        let s = res.summary().unwrap();
+        assert!(s.max() < 2_000.0, "low-rate latency {} ns", s.max());
+    }
+
+    #[test]
+    fn overload_drops_and_queues() {
+        let cfg = small_cfg(ChainSpec::MacSwap, HeadroomMode::Stock, SteeringKind::Rss);
+        let mut trace = CampusTrace::fixed_size(64, 64, 1);
+        // 2 cores at ~300 ns/packet service sustain ~6.6 Mpps; offer 40.
+        let mut sched = ArrivalSchedule::constant_pps(40_000_000.0);
+        let res = run_experiment(cfg, &mut trace, &mut sched, 4_000);
+        assert!(res.dropped > 0, "overload must drop");
+        let s = res.summary().unwrap();
+        assert!(
+            s.percentile(99.0) > s.percentile(50.0),
+            "queueing must stretch the tail"
+        );
+        assert!(res.achieved_gbps < res.offered_gbps);
+    }
+
+    #[test]
+    fn stateful_chain_processes_and_rewrites() {
+        let cfg = small_cfg(
+            ChainSpec::RouterNaptLb {
+                routes: 64,
+                offload: false,
+            },
+            HeadroomMode::Stock,
+            SteeringKind::Rss,
+        );
+        let mut trace = CampusTrace::new(trafficgen::SizeMix::campus(), 128, 3);
+        let mut sched = ArrivalSchedule::constant_pps(10_000.0);
+        let res = run_experiment(cfg, &mut trace, &mut sched, 300);
+        // Synthetic routes cover only part of the space: some packets
+        // forward, some drop on no-route; the run must complete and
+        // account for every frame.
+        assert_eq!(res.offered, 300);
+        assert_eq!(res.delivered + res.dropped, 300);
+    }
+
+    #[test]
+    fn offloaded_chain_forwards_more_cheaply() {
+        let mk = |offload| {
+            small_cfg(
+                ChainSpec::RouterNaptLb { routes: 64, offload },
+                HeadroomMode::Stock,
+                SteeringKind::FlowDirector,
+            )
+        };
+        let run = |cfg| {
+            let mut trace = CampusTrace::fixed_size(128, 32, 5);
+            let mut sched = ArrivalSchedule::constant_pps(10_000.0);
+            run_experiment(cfg, &mut trace, &mut sched, 400)
+        };
+        let soft = run(mk(false));
+        let hard = run(mk(true));
+        // Offload must not reduce functionality...
+        assert_eq!(soft.offered, hard.offered);
+        // ...and makes the mean latency cheaper (skips parse + LPM).
+        let (ls, lh) = (soft.summary().unwrap(), hard.summary().unwrap());
+        assert!(
+            lh.mean() < ls.mean(),
+            "offload {} vs software {}",
+            lh.mean(),
+            ls.mean()
+        );
+    }
+
+    #[test]
+    fn cachedirector_beats_stock_under_load() {
+        // The headline effect (Figs. 13/14): with queues deep and the DuT
+        // loaded, placing headers in the right slice cuts tail latency.
+        let run = |headroom| {
+            let mut cfg = small_cfg(ChainSpec::MacSwap, headroom, SteeringKind::Rss);
+            cfg.cores = 2;
+            let mut trace = CampusTrace::fixed_size(64, 256, 9);
+            let mut sched = ArrivalSchedule::constant_pps(9_000_000.0);
+            run_experiment(cfg, &mut trace, &mut sched, 6_000)
+        };
+        let stock = run(HeadroomMode::Stock);
+        let cd = run(HeadroomMode::CacheDirector {
+            preferred_slices: 1,
+        });
+        let (s, c) = (stock.summary().unwrap(), cd.summary().unwrap());
+        assert!(
+            c.percentile(99.0) <= s.percentile(99.0),
+            "CacheDirector p99 {} must not exceed stock {}",
+            c.percentile(99.0),
+            s.percentile(99.0)
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let mk = || {
+            let cfg = small_cfg(ChainSpec::MacSwap, HeadroomMode::Stock, SteeringKind::Rss);
+            let mut trace = CampusTrace::fixed_size(64, 16, 2);
+            let mut sched = ArrivalSchedule::constant_pps(100_000.0);
+            run_experiment(cfg, &mut trace, &mut sched, 200)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.latencies_ns, b.latencies_ns);
+        assert_eq!(a.delivered, b.delivered);
+    }
+}

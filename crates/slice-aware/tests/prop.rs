@@ -1,0 +1,100 @@
+//! Property-based tests for the slice-aware allocator and mapping.
+
+use llc_sim::addr::PhysAddr;
+use llc_sim::hash::{FoldedSliceHash, SliceHash, XorSliceHash};
+use llc_sim::mem::PhysMem;
+use proptest::prelude::*;
+use slice_aware::alloc::SliceAllocator;
+
+/// Random interleavings of slice-local and contiguous requests never
+/// hand out the same line twice, always honour the slice constraint, and
+/// contiguous buffers are truly contiguous.
+fn check_alloc_sequence(requests: Vec<(u8, u16)>, slices: usize) {
+    let mut mem = PhysMem::new(4 << 20);
+    let region = mem.alloc(2 << 20, 1 << 20).unwrap();
+    let mk = |slices: usize| -> Box<dyn FnMut(PhysAddr) -> usize> {
+        if slices == 8 {
+            let h = XorSliceHash::haswell_8slice();
+            Box::new(move |pa| h.slice_of(pa))
+        } else {
+            let h = FoldedSliceHash::new(slices);
+            Box::new(move |pa| h.slice_of(pa))
+        }
+    };
+    let mut check = mk(slices);
+    let mut alloc = SliceAllocator::new(region, mk(slices));
+    let mut seen = std::collections::HashSet::new();
+    for (kind, count) in requests {
+        let count = count as usize + 1;
+        if kind as usize % (slices + 1) == slices {
+            if let Ok(buf) = alloc.alloc_contiguous_lines(count) {
+                for w in buf.lines().windows(2) {
+                    assert_eq!(w[1].raw(), w[0].raw() + 64, "contiguity");
+                }
+                for &pa in buf.lines() {
+                    assert!(seen.insert(pa), "double allocation {pa}");
+                }
+            }
+        } else {
+            let target = kind as usize % (slices + 1);
+            if let Ok(buf) = alloc.alloc_lines(target, count) {
+                assert_eq!(buf.len(), count);
+                for &pa in buf.lines() {
+                    assert_eq!(check(pa), target, "slice constraint");
+                    assert!(seen.insert(pa), "double allocation {pa}");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn allocator_invariants_haswell(
+        requests in proptest::collection::vec((0u8..9, 0u16..400), 1..40),
+    ) {
+        check_alloc_sequence(requests, 8);
+    }
+
+    #[test]
+    fn allocator_invariants_skylake(
+        requests in proptest::collection::vec((0u8..19, 0u16..200), 1..30),
+    ) {
+        check_alloc_sequence(requests, 18);
+    }
+
+    /// Exclusive allocation never overlaps earlier stash-based buffers.
+    #[test]
+    fn exclusive_never_overlaps(
+        first in 1usize..500,
+        second in 1usize..500,
+        s1 in 0usize..8,
+        s2 in 0usize..8,
+    ) {
+        let mut mem = PhysMem::new(4 << 20);
+        let region = mem.alloc(2 << 20, 1 << 20).unwrap();
+        let h = XorSliceHash::haswell_8slice();
+        let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
+        let a = alloc.alloc_lines(s1, first).unwrap();
+        let b = alloc.alloc_lines_exclusive(s2, second).unwrap();
+        let set: std::collections::HashSet<_> = a.lines().iter().collect();
+        for pa in b.lines() {
+            prop_assert!(!set.contains(pa), "overlap at {pa}");
+        }
+    }
+
+    /// Polled slice maps agree with ground truth for arbitrary offsets.
+    #[test]
+    fn polling_agrees_with_hash(offsets in proptest::collection::vec(0usize..16_384, 1..8)) {
+        use llc_sim::machine::{Machine, MachineConfig};
+        use slice_aware::mapping::poll_slice_of;
+        let mut m = Machine::new(
+            MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20),
+        );
+        let r = m.mem_mut().alloc(1 << 20, 1 << 20).unwrap();
+        for off in offsets {
+            let pa = r.pa(off * 64);
+            prop_assert_eq!(poll_slice_of(&mut m, 0, pa, 8), m.slice_of(pa));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Packet arrival schedules for the load generator.
+//!
+//! The paper's LoadGen sends either at a fixed packet rate (Table 2:
+//! 1000 pps "L", ~4 Mpps "H") or at a target wire rate in Gbps (the
+//! 5–100 Gbps sweep of Fig. 15). Wire occupancy of an Ethernet frame is
+//! the frame (FCS included) plus 20 B of preamble + inter-frame gap,
+//! which is what makes "100 Gbps of 64 B packets" come out at 148.8 Mpps.
+
+/// Preamble + start-of-frame delimiter + inter-frame gap on the wire.
+/// Frame sizes are quoted FCS-inclusive (the usual convention behind the
+/// "148.8 Mpps of 64 B frames at 100 Gbps" figure).
+pub const WIRE_OVERHEAD_BYTES: u32 = 20;
+
+/// Bits one frame of `size` bytes occupies on the wire.
+pub fn wire_bits(size: u16) -> u64 {
+    u64::from(u32::from(size) + WIRE_OVERHEAD_BYTES) * 8
+}
+
+/// Packets per second needed to fill `gbps` with frames of `mean_size` B.
+pub fn gbps_to_pps(gbps: f64, mean_size: f64) -> f64 {
+    assert!(gbps >= 0.0 && mean_size >= 64.0, "invalid rate/size");
+    gbps * 1e9 / ((mean_size + f64::from(WIRE_OVERHEAD_BYTES)) * 8.0)
+}
+
+/// A constant-rate arrival schedule in simulated nanoseconds.
+#[derive(Debug, Clone)]
+pub struct ArrivalSchedule {
+    period_ns: f64,
+    next: f64,
+}
+
+impl ArrivalSchedule {
+    /// Arrivals at `pps` packets per second, first packet at t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a non-positive rate.
+    pub fn constant_pps(pps: f64) -> Self {
+        assert!(pps > 0.0, "rate must be positive");
+        Self {
+            period_ns: 1e9 / pps,
+            next: 0.0,
+        }
+    }
+
+    /// Arrivals filling `gbps` of wire with `mean_size`-byte frames.
+    pub fn constant_gbps(gbps: f64, mean_size: f64) -> Self {
+        Self::constant_pps(gbps_to_pps(gbps, mean_size))
+    }
+
+    /// Inter-arrival period in nanoseconds.
+    pub fn period_ns(&self) -> f64 {
+        self.period_ns
+    }
+
+    /// Next arrival timestamp in nanoseconds.
+    pub fn next_arrival_ns(&mut self) -> f64 {
+        let t = self.next;
+        self.next += self.period_ns;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bits_of_min_frame() {
+        // 64 + 20 = 84 B = 672 bits.
+        assert_eq!(wire_bits(64), 672);
+    }
+
+    #[test]
+    fn hundred_gig_of_64b_is_148_8_mpps() {
+        let pps = gbps_to_pps(100.0, 64.0);
+        assert!((pps / 1e6 - 148.8).abs() < 0.1, "got {} Mpps", pps / 1e6);
+    }
+
+    #[test]
+    fn paper_budget_5_12ns_per_64b_at_100g() {
+        // §1: "a server receiving 64 B packets at a link rate of 100 Gbps
+        // has only 5.12 ns to process the packet". The paper quotes the
+        // frame-only serialisation time (64 B × 8 / 100 Gbps).
+        let ns: f64 = 64.0 * 8.0 / 100.0;
+        assert!((ns - 5.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_spacing() {
+        let mut s = ArrivalSchedule::constant_pps(1000.0);
+        assert_eq!(s.next_arrival_ns(), 0.0);
+        assert!((s.next_arrival_ns() - 1e6).abs() < 1e-6, "1000 pps = 1 ms");
+    }
+
+    #[test]
+    fn gbps_schedule_matches_pps() {
+        let mut a = ArrivalSchedule::constant_gbps(10.0, 64.0);
+        let period = a.period_ns();
+        a.next_arrival_ns();
+        assert!((a.next_arrival_ns() - period).abs() < 1e-9);
+        // 10 Gbps of 64 B frames = 14.88 Mpps => ~67.2 ns period.
+        assert!((period - 67.2).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        ArrivalSchedule::constant_pps(0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generation: skewed key distributions, a synthetic campus
+//! trace, and packet arrival schedules.
+//!
+//! The paper's evaluation drives its systems with three workload sources,
+//! all reproduced here:
+//!
+//! * **Zipf-distributed keys** ([`zipf`]): the KVS experiment (Fig. 8)
+//!   "used MICA's library to generate skewed (0.99) keys" — MICA in turn
+//!   uses the Gray et al. SIGMOD '94 method, implemented in
+//!   [`zipf::ZipfGen`].
+//! * **A campus packet trace** ([`trace`]): the NFV experiments replay a
+//!   real campus trace whose published shape is "26.9 % of frames smaller
+//!   than 100 B; 11.8 % between 100 & 500 B; the remaining more than
+//!   500 B" (§5). [`trace::CampusTrace`] synthesises a deterministic
+//!   trace with that size mix over a realistic flow population, since the
+//!   original capture is not redistributable (see DESIGN.md §2).
+//! * **Arrival schedules** ([`arrival`]): constant-rate packet pacing at a
+//!   given pps or Gbps on the wire, used by the load generator (§5,
+//!   Table 2).
+
+pub mod arrival;
+pub mod flow;
+pub mod trace;
+pub mod tracefile;
+pub mod zipf;
+
+pub use arrival::{gbps_to_pps, ArrivalSchedule};
+pub use flow::FlowTuple;
+pub use trace::{CampusTrace, PacketSpec, SizeMix};
+pub use zipf::ZipfGen;

@@ -1,0 +1,197 @@
+//! Zipf-distributed key generation (Gray et al., SIGMOD '94).
+//!
+//! The paper's KVS workload uses "MICA's library to generate skewed (0.99)
+//! keys in the range of [0, 2^24)" (Fig. 8 caption). MICA's generator is
+//! the classic Gray et al. *"Quickly Generating Billion-Record Synthetic
+//! Databases"* construction: draw `u ∈ [0,1)`, then map through the
+//! incomplete zeta function with two precomputed constants (`eta`,
+//! `alpha`), giving amortised O(1) draws for any `n` and skew `theta`.
+//!
+//! `theta = 0` degenerates to uniform; `theta → 1` concentrates the
+//! probability mass on the lowest ranks. Rank 0 is the hottest key; real
+//! stores hash ranks to keys, which the KVS crate does separately so the
+//! hot set is spread over the key space.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded Zipf(θ) generator over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    rng: SmallRng,
+}
+
+impl ZipfGen {
+    /// A generator over `[0, n)` with skew `theta` (0 ⇒ uniform), seeded
+    /// deterministically.
+    ///
+    /// `zeta(n, theta)` is computed once in O(n); for the paper's
+    /// `n = 2^24` this is a few milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`, `theta < 0` or `theta >= 1` (the Gray et al.
+    /// closed form needs θ < 1; the paper uses 0.99).
+    pub fn new(n: u64, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "need a non-empty key space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The paper's KVS workload: `2^24` keys, skew 0.99.
+    pub fn paper_kvs(seed: u64) -> Self {
+        Self::new(1 << 24, 0.99, seed)
+    }
+
+    /// Key-space size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Configured skew.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws the next rank in `[0, n)`; rank 0 is the most popular.
+    pub fn next_rank(&mut self) -> u64 {
+        if self.theta == 0.0 {
+            return self.rng.gen_range(0..self.n);
+        }
+        let u: f64 = self.rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Theoretical probability of rank `k` (for tests/analysis).
+    pub fn prob(&self, k: u64) -> f64 {
+        assert!(k < self.n);
+        if self.theta == 0.0 {
+            1.0 / self.n as f64
+        } else {
+            1.0 / ((k + 1) as f64).powf(self.theta) / self.zetan
+        }
+    }
+}
+
+/// Incomplete zeta: `sum_{i=1..=n} 1 / i^theta`.
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mode_covers_space() {
+        let mut g = ZipfGen::new(100, 0.0, 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            let r = g.next_rank();
+            assert!(r < 100);
+            seen.insert(r);
+        }
+        assert!(seen.len() > 95, "uniform draws should cover the space");
+    }
+
+    #[test]
+    fn skewed_mass_concentrates_on_low_ranks() {
+        let mut g = ZipfGen::new(1 << 16, 0.99, 7);
+        let draws = 100_000;
+        let low = (0..draws).filter(|_| g.next_rank() < 100).count();
+        // With theta = 0.99 over 2^16 keys, the top-100 ranks carry roughly
+        // 40-50 % of the mass.
+        let frac = low as f64 / draws as f64;
+        assert!(frac > 0.30, "top-100 mass too small: {frac}");
+    }
+
+    #[test]
+    fn empirical_top1_matches_theory() {
+        let mut g = ZipfGen::new(1 << 16, 0.99, 11);
+        let draws = 200_000;
+        let hits = (0..draws).filter(|_| g.next_rank() == 0).count();
+        let expect = g.prob(0);
+        let got = hits as f64 / draws as f64;
+        assert!(
+            (got - expect).abs() / expect < 0.15,
+            "rank-0 frequency {got} vs theoretical {expect}"
+        );
+    }
+
+    #[test]
+    fn ranks_always_in_range() {
+        let mut g = ZipfGen::new(10, 0.9, 3);
+        for _ in 0..10_000 {
+            assert!(g.next_rank() < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut g = ZipfGen::new(1000, 0.99, 42);
+            (0..100).map(|_| g.next_rank()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = ZipfGen::new(1000, 0.99, 42);
+            (0..100).map(|_| g.next_rank()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut g = ZipfGen::new(1000, 0.99, 43);
+            (0..100).map(|_| g.next_rank()).collect()
+        };
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn probs_sum_to_one() {
+        let g = ZipfGen::new(1000, 0.99, 1);
+        let total: f64 = (0..1000).map(|k| g.prob(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prob_is_monotone_decreasing() {
+        let g = ZipfGen::new(100, 0.5, 1);
+        for k in 1..100 {
+            assert!(g.prob(k) < g.prob(k - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn rejects_theta_one() {
+        ZipfGen::new(10, 1.0, 0);
+    }
+
+    #[test]
+    fn single_key_space() {
+        let mut g = ZipfGen::new(1, 0.5, 0);
+        assert_eq!(g.next_rank(), 0);
+    }
+}

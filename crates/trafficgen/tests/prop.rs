@@ -1,0 +1,68 @@
+//! Property-based tests for workload generation.
+
+use proptest::prelude::*;
+use trafficgen::{gbps_to_pps, ArrivalSchedule, CampusTrace, SizeMix, ZipfGen};
+
+proptest! {
+    /// Zipf ranks are always in range for any valid (n, theta, seed).
+    #[test]
+    fn zipf_ranks_in_range(n in 1u64..100_000, theta in 0.0f64..0.999, seed in any::<u64>()) {
+        let mut g = ZipfGen::new(n, theta, seed);
+        for _ in 0..200 {
+            prop_assert!(g.next_rank() < n);
+        }
+    }
+
+    /// Rank probabilities are a proper distribution (sum to 1, monotone).
+    #[test]
+    fn zipf_probs_valid(n in 2u64..2_000, theta in 0.0f64..0.999) {
+        let g = ZipfGen::new(n, theta, 0);
+        let total: f64 = (0..n).map(|k| g.prob(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for k in 1..n.min(100) {
+            prop_assert!(g.prob(k) <= g.prob(k - 1) + 1e-15);
+        }
+    }
+
+    /// Campus traces always emit valid Ethernet sizes and known flows.
+    #[test]
+    fn trace_emits_valid_packets(flows in 1usize..500, seed in any::<u64>()) {
+        let mut t = CampusTrace::new(SizeMix::campus(), flows, seed);
+        for _ in 0..200 {
+            let p = t.next_packet();
+            prop_assert!((64..=1500).contains(&p.size));
+            prop_assert_eq!(p.flow.proto, 6);
+        }
+    }
+
+    /// Fixed-size traces emit exactly the requested size.
+    #[test]
+    fn fixed_trace_is_fixed(size in 64u16..=1500, flows in 1usize..100, seed in any::<u64>()) {
+        let mut t = CampusTrace::fixed_size(size, flows, seed);
+        for _ in 0..50 {
+            prop_assert_eq!(t.next_packet().size, size);
+        }
+    }
+
+    /// Arrival schedules are strictly increasing with the exact period.
+    #[test]
+    fn schedule_monotone(pps in 1.0f64..1e8) {
+        let mut s = ArrivalSchedule::constant_pps(pps);
+        let period = s.period_ns();
+        prop_assert!((period - 1e9 / pps).abs() < 1e-6 * period);
+        let mut last = -1.0;
+        for _ in 0..100 {
+            let t = s.next_arrival_ns();
+            prop_assert!(t > last);
+            last = t;
+        }
+    }
+
+    /// Gbps→pps conversion round-trips through wire occupancy.
+    #[test]
+    fn gbps_pps_roundtrip(gbps in 0.1f64..400.0, size in 64.0f64..1500.0) {
+        let pps = gbps_to_pps(gbps, size);
+        let back = pps * (size + 20.0) * 8.0 / 1e9;
+        prop_assert!((back - gbps).abs() < 1e-9 * gbps.max(1.0));
+    }
+}

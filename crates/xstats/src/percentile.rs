@@ -1,0 +1,233 @@
+//! Percentile summaries over latency samples.
+//!
+//! The paper reports the 75th/90th/95th/99th percentiles and the mean of
+//! end-to-end latency distributions (Figs. 1, 12, 13, 14). Percentiles use
+//! the linear-interpolation definition (type 7 in the R taxonomy), which is
+//! what gnuplot/numpy produce and therefore what the paper's plots show.
+
+/// A sorted sample set with cached moments.
+///
+/// Build one with [`Summary::from_samples`]; all queries are then `O(1)` or
+/// `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    variance: f64,
+    skewness: f64,
+}
+
+impl Summary {
+    /// Builds a summary from raw samples.
+    ///
+    /// Non-finite samples are rejected because they would poison every
+    /// moment; an empty (or all-non-finite) input yields `None`.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Option<Self> {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let m2 = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let m3 = sorted.iter().map(|v| (v - mean).powi(3)).sum::<f64>() / n;
+        // Fisher-Pearson moment coefficient of skewness (§3.1 footnote: the
+        // paper cites the standard formula for workload skewness).
+        let skewness = if m2 > 0.0 { m3 / m2.powf(1.5) } else { 0.0 };
+        Some(Self {
+            sorted,
+            mean,
+            variance: m2,
+            skewness,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the summary holds no samples (never constructable; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Fisher-Pearson moment coefficient of skewness.
+    pub fn skewness(&self) -> f64 {
+        self.skewness
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Median (the 50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Linear-interpolation percentile, `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or not finite.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(p.is_finite() && (0.0..=100.0).contains(&p), "p out of range");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac
+    }
+
+    /// The paper's standard report row: 75th, 90th, 95th, 99th percentiles
+    /// and the mean, in that order.
+    pub fn paper_row(&self) -> [f64; 5] {
+        [
+            self.percentile(75.0),
+            self.percentile(90.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+            self.mean(),
+        ]
+    }
+
+    /// Borrow the sorted samples.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Relative speedup `(base - new) / base`, in percent — how the paper
+/// presents "Speedup for Latency (%)" in Fig. 1.
+pub fn speedup_percent(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (base - new) / base * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(v: &[f64]) -> Summary {
+        Summary::from_samples(v.iter().copied()).expect("non-empty")
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(Summary::from_samples(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn non_finite_filtered() {
+        let s = Summary::from_samples(vec![1.0, f64::NAN, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    fn all_non_finite_is_none() {
+        assert!(Summary::from_samples(vec![f64::NAN, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summary(&[42.0]);
+        assert_eq!(s.percentile(0.0), 42.0);
+        assert_eq!(s.percentile(99.0), 42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn median_of_even_count_interpolates() {
+        let s = summary(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median(), 2.5);
+    }
+
+    #[test]
+    fn percentile_matches_linear_interpolation() {
+        // numpy.percentile([10,20,30,40,50], 75) == 40.0.
+        let s = summary(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(s.percentile(75.0), 40.0);
+        assert_eq!(s.percentile(90.0), 46.0);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 50.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let s = summary(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.sorted(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn moments() {
+        let s = summary(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_distribution_has_zero_skew() {
+        let s = summary(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(s.skewness().abs() < 1e-12);
+    }
+
+    #[test]
+    fn right_tailed_distribution_has_positive_skew() {
+        let s = summary(&[1.0, 1.0, 1.0, 1.0, 10.0]);
+        assert!(s.skewness() > 1.0);
+    }
+
+    #[test]
+    fn paper_row_ordering() {
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let row = summary(&samples).paper_row();
+        assert!(row[0] < row[1] && row[1] < row[2] && row[2] < row[3]);
+        assert!((row[4] - 499.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "p out of range")]
+    fn percentile_rejects_out_of_range() {
+        summary(&[1.0]).percentile(101.0);
+    }
+
+    #[test]
+    fn speedup_percent_basics() {
+        assert_eq!(speedup_percent(100.0, 80.0), 20.0);
+        assert_eq!(speedup_percent(0.0, 80.0), 0.0);
+        assert!(speedup_percent(80.0, 100.0) < 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Cache explorer: walk the machine's NUCA structure interactively-ish.
+//!
+//! Prints, for both CPU generations the paper studies: the core→slice
+//! latency matrix, each core's preferred slices, the slice-occupancy of a
+//! hugepage, and a demonstration of DDIO placement plus CAT way masking.
+//!
+//! Run with: `cargo run --release --example cache_explorer`
+
+use llc_sim::machine::{Machine, MachineConfig};
+use slice_aware::mapping::SliceMap;
+use slice_aware::placement::PlacementPolicy;
+
+fn explore(cfg: MachineConfig) {
+    let mut m = Machine::new(cfg);
+    println!("=== {} ===", m.config().name);
+    let cores = m.config().cores;
+    let slices = m.config().slices;
+
+    // Latency matrix.
+    print!("core\\slice");
+    for s in 0..slices {
+        print!("{s:>4}");
+    }
+    println!();
+    for c in 0..cores {
+        print!("  core {c:>2} ");
+        for s in 0..slices {
+            print!("{:>4}", m.llc_latency(c, s));
+        }
+        println!();
+    }
+
+    // Preferred slices.
+    let policy = PlacementPolicy::from_topology(&m);
+    for c in 0..cores {
+        println!(
+            "core {c}: primary S{}, secondary {:?}",
+            policy.primary(c),
+            policy.secondary(c)
+        );
+    }
+
+    // Slice occupancy of 1 MB of physical memory.
+    let region = m.mem_mut().alloc(1 << 20, 1 << 20).unwrap();
+    let map = SliceMap::from_hash(&m, region);
+    println!("1 MB region line counts per slice: {:?}", map.histogram(slices));
+
+    // DDIO: DMA a frame, see where it landed.
+    let pa = region.pa(0);
+    m.dma_write(pa, &[0u8; 64]);
+    let s = m.slice_of(pa);
+    println!(
+        "DMA'd frame at {pa}: slice {s}, resident in LLC: {} (DDIO uses {} of {} ways)",
+        m.llc_probe(s, pa),
+        m.config().ddio_ways,
+        m.config().llc_slice.ways
+    );
+
+    // CAT: restrict core 0 to 2 ways and show the effect on evictions.
+    m.set_cat_mask(0, 0b11);
+    println!("core 0 now CAT-restricted to 2 LLC ways (like `pqos -e llc:1=0x3`)\n");
+}
+
+fn main() {
+    explore(MachineConfig::haswell_e5_2667_v3());
+    explore(MachineConfig::skylake_gold_6134());
+}

@@ -1,0 +1,54 @@
+//! An NFV service chain with and without CacheDirector.
+//!
+//! Builds the paper's Router → NAPT → LB chain on 8 simulated cores,
+//! replays a campus-mix trace at 100 Gbps through the NIC (FlowDirector
+//! steering with hardware-offloaded routing), and prints the latency
+//! percentiles for stock DPDK vs. DPDK + CacheDirector.
+//!
+//! Run with: `cargo run --release --example nfv_service_chain [packets]`
+
+use nfv::runtime::{run_experiment, ChainSpec, HeadroomMode, RunConfig, SteeringKind};
+use trafficgen::{ArrivalSchedule, CampusTrace, SizeMix};
+
+fn main() {
+    let packets: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80_000);
+    println!("replaying {packets} campus-mix packets at 100 Gbps through Router->NAPT->LB\n");
+    let chain = ChainSpec::RouterNaptLb {
+        routes: 3120,
+        offload: true,
+    };
+    for (name, headroom) in [
+        ("stock DPDK", HeadroomMode::Stock),
+        (
+            "DPDK + CacheDirector",
+            HeadroomMode::CacheDirector {
+                preferred_slices: 1,
+            },
+        ),
+    ] {
+        let cfg = RunConfig::paper_defaults(chain, SteeringKind::FlowDirector, headroom);
+        let mut trace = CampusTrace::new(SizeMix::campus(), 10_000, 7);
+        let mut sched = ArrivalSchedule::constant_gbps(100.0, 670.0);
+        let res = run_experiment(cfg, &mut trace, &mut sched, packets);
+        let s = res.summary().expect("latencies");
+        let [p75, p90, p95, p99, mean] = s.paper_row();
+        println!(
+            "{name:<22} tput={:6.2} Gbps  p75={:8.1}us p90={:8.1}us p95={:8.1}us \
+             p99={:8.1}us mean={:7.1}us  drops={:.1}%",
+            res.achieved_gbps,
+            p75 / 1e3,
+            p90 / 1e3,
+            p95 / 1e3,
+            p99 / 1e3,
+            mean / 1e3,
+            res.dropped as f64 / res.offered as f64 * 100.0
+        );
+    }
+    println!(
+        "\nCacheDirector places each packet's header in the slice closest to its \
+         processing core; the saved cycles compound in the queues and cut the tail."
+    );
+}

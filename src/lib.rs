@@ -1,0 +1,1 @@
+//! Meta crate re-exporting the workspace (see README).

@@ -1,0 +1,114 @@
+//! Integration tests asserting the paper's concrete numbers across
+//! crates — the claims EXPERIMENTS.md records as exact matches.
+
+use llc_sim::hash::{mask_of_bits, O0_BITS, O1_BITS, O2_BITS};
+use llc_sim::machine::{Machine, MachineConfig};
+use slice_aware::latency::profile_access_times;
+use slice_aware::placement::PlacementPolicy;
+use slice_aware::reverse::{reconstruct_hash, verify_hash};
+
+#[test]
+fn table1_cache_specification() {
+    let c = MachineConfig::haswell_e5_2667_v3();
+    assert_eq!(c.llc_slice.capacity_bytes(), 2_621_440, "LLC slice 2.5 MB");
+    assert_eq!((c.llc_slice.ways, c.llc_slice.sets), (20, 2048));
+    assert_eq!(c.l2.capacity_bytes(), 262_144, "L2 256 kB");
+    assert_eq!((c.l2.ways, c.l2.sets), (8, 512));
+    assert_eq!(c.l1.capacity_bytes(), 32_768, "L1 32 kB");
+    assert_eq!((c.l1.ways, c.l1.sets), (8, 64));
+}
+
+#[test]
+fn fig4_hash_reconstruction_matches_published_function() {
+    let mut m =
+        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+    let region = m.mem_mut().alloc(64 << 20, 64 << 20).unwrap();
+    let rec = reconstruct_hash(&mut m, 0, region, 8);
+    let window = (1u64 << (rec.max_bit + 1)) - 1;
+    assert_eq!(rec.masks[0], mask_of_bits(O0_BITS) & window);
+    assert_eq!(rec.masks[1], mask_of_bits(O1_BITS) & window);
+    assert_eq!(rec.masks[2], mask_of_bits(O2_BITS) & window);
+    assert_eq!(verify_hash(&mut m, 0, region, &rec, 32, 8, 1), 1.0);
+}
+
+#[test]
+fn fig5_haswell_latency_shape() {
+    let mut m =
+        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+    let region = m.mem_mut().alloc(128 << 20, 1 << 20).unwrap();
+    let prof = profile_access_times(&mut m, 0, region, 5);
+    // Closest slice ≈ 34 cycles, max saving ≈ 20 cycles (6.25 ns).
+    assert_eq!(prof.closest(), 0);
+    assert!((prof.entries[0].read_cycles - 34.0).abs() < 1.0);
+    let saving = prof.max_read_saving();
+    assert!((18.0..=24.0).contains(&saving), "saving {saving}");
+    // Bimodality: every even slice is cheaper than every odd slice.
+    let worst_even = (0..8)
+        .step_by(2)
+        .map(|s| prof.entries[s].read_cycles)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let best_odd = (1..8)
+        .step_by(2)
+        .map(|s| prof.entries[s].read_cycles)
+        .fold(f64::INFINITY, f64::min);
+    assert!(worst_even < best_odd);
+    // Writes flat (Fig. 5b).
+    let writes: Vec<f64> = prof.entries.iter().map(|e| e.write_cycles).collect();
+    assert!(writes.iter().all(|&w| (w - writes[0]).abs() < 0.5));
+}
+
+#[test]
+fn table4_skylake_placement() {
+    let m = Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(64 << 20));
+    let p = PlacementPolicy::from_topology(&m);
+    let primaries = [0, 4, 8, 12, 10, 14, 3, 15];
+    let secondaries: [&[usize]; 8] = [
+        &[2, 6],
+        &[1],
+        &[11],
+        &[13],
+        &[7, 9],
+        &[16],
+        &[5],
+        &[17],
+    ];
+    for c in 0..8 {
+        assert_eq!(p.primary(c), primaries[c], "core {c}");
+        assert_eq!(p.secondary(c), secondaries[c], "core {c}");
+    }
+}
+
+#[test]
+fn section42_headroom_distribution() {
+    use cache_director::{headroom_distribution, CacheDirector, CACHEDIRECTOR_HEADROOM};
+    use rte::mempool::MbufPool;
+    let mut m =
+        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+    let pool = MbufPool::create(&mut m, 2048, CACHEDIRECTOR_HEADROOM, 2048).unwrap();
+    let cd = CacheDirector::install(&mut m, &pool, 1, 0);
+    assert_eq!(cd.stats().fallback, 0, "Haswell placement never falls back");
+    let mut dist = headroom_distribution(&m, &pool, &cd);
+    dist.sort_unstable();
+    let median = dist[dist.len() / 2];
+    let p95 = dist[dist.len() * 95 / 100];
+    let max = *dist.last().unwrap();
+    // Paper §4.2: median 256 B, 95% < 512 B, max 832 B.
+    assert!(median <= 256, "median {median}");
+    assert!(p95 <= 512, "p95 {p95}");
+    assert!(max <= 832, "max {max}");
+}
+
+#[test]
+fn ddio_uses_ten_percent_of_llc() {
+    // §5.1.2 footnote: 2 of 20 ways = 10 %.
+    let c = MachineConfig::haswell_e5_2667_v3();
+    assert_eq!(c.ddio_ways as f64 / c.llc_slice.ways as f64, 0.10);
+}
+
+#[test]
+fn mica_zipf_parameters() {
+    // Fig. 8 caption: skewed (0.99) keys in the range [0, 2^24).
+    let g = trafficgen::ZipfGen::paper_kvs(1);
+    assert_eq!(g.n(), 1 << 24);
+    assert!((g.theta() - 0.99).abs() < 1e-12);
+}
