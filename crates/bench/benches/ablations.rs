@@ -2,13 +2,15 @@
 //! replacement policy, DDIO way budget, hardware prefetchers, steering
 //! mode and headroom strategy.
 //!
-//! Each ablation reports the *simulated* quantity of interest via
-//! criterion's measurement of a fixed workload; the absolute simulated
-//! numbers are printed once per configuration so the effect direction is
-//! visible in the bench log.
+//! Each ablation prints the *simulated* quantity of interest once per
+//! configuration (so the effect direction is visible in the log) and
+//! then times host-side execution of the same fixed workload with the
+//! in-tree harness. Run with
+//! `cargo bench -p bench --features bench-harness`.
 
 use std::time::Duration;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bench::harness::{black_box, Group};
 use llc_sim::machine::{Machine, MachineConfig};
 use llc_sim::prefetch::PrefetchConfig;
 use llc_sim::replacement::ReplacementKind;
@@ -25,31 +27,29 @@ fn slice_loop_cycles(repl: ReplacementKind) -> u64 {
             .with_replacement(repl)
             .with_dram_capacity(256 << 20),
     );
-    let region = m.mem_mut().alloc(128 << 20, 1 << 20).unwrap();
+    let region = m.mem_mut().alloc(128 << 20, 1 << 20).expect("bench region");
     let h = llc_sim::hash::XorSliceHash::haswell_8slice();
     let mut alloc = SliceAllocator::new(region, move |pa| {
         use llc_sim::hash::SliceHash;
         h.slice_of(pa)
     });
-    let buf = alloc.alloc_lines(0, 1_441_792 / 64).unwrap();
+    let buf = alloc.alloc_lines(0, 1_441_792 / 64).expect("buffer fits");
     warm_buffer(&mut m, 0, &buf);
     random_access(&mut m, 0, &buf, 5_000, AccessKind::Read, 1)
 }
 
-fn ablate_replacement(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_replacement");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
+fn ablate_replacement() {
+    let g = Group::new("ablation_replacement").measurement_time(Duration::from_secs(4));
     for (name, repl) in [
         ("lru", ReplacementKind::Lru),
         ("random", ReplacementKind::Random),
     ] {
         let cycles = slice_loop_cycles(repl);
         println!("[ablation] replacement={name}: {cycles} simulated cycles for the §3 loop");
-        g.bench_function(name, |b| b.iter(|| black_box(slice_loop_cycles(repl))));
+        g.bench(name, || {
+            black_box(slice_loop_cycles(repl));
+        });
     }
-    g.finish();
 }
 
 /// Simulated p99 of the stateful chain at the paper's loaded operating
@@ -71,7 +71,7 @@ fn forwarding_p99(ddio_ways: usize, prefetch: PrefetchConfig) -> f64 {
             .with_ddio_ways(ddio_ways)
             .with_prefetch(prefetch),
     );
-    let mut tb = nfv::runtime::Testbed::on_machine(cfg, m);
+    let mut tb = nfv::runtime::Testbed::on_machine(cfg, m).expect("bench testbed fits");
     let mut trace = CampusTrace::new(SizeMix::campus(), 4096, 3);
     let mut sched = ArrivalSchedule::constant_gbps(100.0, 670.0);
     for _ in 0..40_000 {
@@ -79,38 +79,35 @@ fn forwarding_p99(ddio_ways: usize, prefetch: PrefetchConfig) -> f64 {
         let s = trace.next_packet();
         tb.offer(&s.flow, s.size, t);
     }
-    tb.finish().summary().unwrap().percentile(99.0)
+    tb.finish()
+        .summary()
+        .expect("delivered packets")
+        .percentile(99.0)
 }
 
-fn ablate_ddio(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_ddio_ways");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
+fn ablate_ddio() {
+    let g = Group::new("ablation_ddio_ways").measurement_time(Duration::from_secs(4));
     for ways in [2usize, 4, 8] {
         let p99 = forwarding_p99(ways, PrefetchConfig::disabled());
         println!("[ablation] ddio_ways={ways}: simulated p99 = {p99:.0} ns");
-        g.bench_function(format!("ways_{ways}"), |b| {
-            b.iter(|| black_box(forwarding_p99(ways, PrefetchConfig::disabled())))
+        g.bench(&format!("ways_{ways}"), || {
+            black_box(forwarding_p99(ways, PrefetchConfig::disabled()));
         });
     }
-    g.finish();
 }
 
-fn ablate_prefetch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_prefetch");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
+fn ablate_prefetch() {
+    let g = Group::new("ablation_prefetch").measurement_time(Duration::from_secs(4));
     for (name, p) in [
         ("off", PrefetchConfig::disabled()),
         ("bios_default", PrefetchConfig::bios_default()),
     ] {
         let p99 = forwarding_p99(2, p);
         println!("[ablation] prefetch={name}: simulated p99 = {p99:.0} ns");
-        g.bench_function(name, |b| b.iter(|| black_box(forwarding_p99(2, p))));
+        g.bench(name, || {
+            black_box(forwarding_p99(2, p));
+        });
     }
-    g.finish();
 }
 
 /// Queue imbalance (max/mean packets per queue) for a steering mode.
@@ -121,36 +118,26 @@ fn steering_imbalance(steering: SteeringKind) -> f64 {
     cfg.mbufs = 8192;
     let mut trace = CampusTrace::new(SizeMix::campus(), 4096, 5);
     let mut sched = ArrivalSchedule::constant_pps(1_000_000.0);
-    let res = run_experiment(cfg, &mut trace, &mut sched, 30_000);
+    let res = run_experiment(cfg, &mut trace, &mut sched, 30_000).expect("bench config fits");
     // Imbalance proxy: achieved p99 relative to mean (hot queues stretch
     // the tail).
-    let s = res.summary().unwrap();
+    let s = res.summary().expect("delivered packets");
     s.percentile(99.0) / s.mean()
 }
 
-fn ablate_steering(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_steering");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
+fn ablate_steering() {
+    let g = Group::new("ablation_steering").measurement_time(Duration::from_secs(4));
     for (name, s) in [
         ("rss", SteeringKind::Rss),
         ("flow_director", SteeringKind::FlowDirector),
     ] {
         let ratio = steering_imbalance(s);
         println!("[ablation] steering={name}: p99/mean = {ratio:.2}");
-        g.bench_function(name, |b| b.iter(|| black_box(steering_imbalance(s))));
+        g.bench(name, || {
+            black_box(steering_imbalance(s));
+        });
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    ablate_replacement,
-    ablate_ddio,
-    ablate_prefetch,
-    ablate_steering
-);
 
 mod headroom_ablation {
     use super::*;
@@ -162,11 +149,9 @@ mod headroom_ablation {
     /// Simulated cycles for a 256-descriptor refill under a headroom
     /// strategy, plus how many posted buffers end up slice-placed.
     pub fn refill_cost(strategy: &str) -> (u64, usize) {
-        let mut m = Machine::new(
-            MachineConfig::haswell_e5_2667_v3().with_dram_capacity(128 << 20),
-        );
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(128 << 20));
         let mut pool =
-            MbufPool::create(&mut m, 512, CACHEDIRECTOR_HEADROOM, 2048).unwrap();
+            MbufPool::create(&mut m, 512, CACHEDIRECTOR_HEADROOM, 2048).expect("pool fits");
         let mut port = Port::new(0, Steering::Rss(Rss::new(1)), 256);
         let core = 0;
         let t0 = m.now(core);
@@ -174,15 +159,12 @@ mod headroom_ablation {
             "fixed" => {
                 let mut p = FixedHeadroom(128);
                 port.refill(&mut m, &mut pool, 0, core, &mut p, 256);
-                count_placed(&m, &pool, &port, 128)
+                0
             }
             "cachedirector" => {
                 let mut p = CacheDirector::install(&mut m, &pool, 1, 0);
-                let t0 = m.now(core);
                 port.refill(&mut m, &mut pool, 0, core, &mut p, 256);
-                let _ = t0;
-                // Count via the policy's own placement (all succeed on
-                // Haswell).
+                // All placements succeed on Haswell.
                 256
             }
             "sorted" => {
@@ -207,33 +189,26 @@ mod headroom_ablation {
         };
         (m.now(core) - t0, placed)
     }
-
-    fn count_placed(m: &Machine, _pool: &MbufPool, _port: &Port, _off: u16) -> usize {
-        // Fixed headroom places by accident only: count nothing precise
-        // here; the binary output reports the interesting strategies.
-        let _ = m;
-        0
-    }
 }
 
-fn ablate_headroom_strategy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_headroom_strategy");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
+fn ablate_headroom_strategy() {
+    let g = Group::new("ablation_headroom_strategy").measurement_time(Duration::from_secs(4));
     for name in ["fixed", "cachedirector", "sorted"] {
         let (cycles, placed) = headroom_ablation::refill_cost(name);
         println!(
             "[ablation] headroom={name}: refill of 256 descriptors = {cycles} simulated \
              cycles, {placed} slice-placed"
         );
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(headroom_ablation::refill_cost(name)))
+        g.bench(name, || {
+            black_box(headroom_ablation::refill_cost(name));
         });
     }
-    g.finish();
 }
 
-criterion_group!(headroom, ablate_headroom_strategy);
-
-criterion_main!(benches, headroom);
+fn main() {
+    ablate_replacement();
+    ablate_ddio();
+    ablate_prefetch();
+    ablate_steering();
+    ablate_headroom_strategy();
+}

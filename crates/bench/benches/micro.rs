@@ -1,154 +1,131 @@
 //! Microbenchmarks of the hot primitives behind every experiment: the
 //! Complex Addressing hash, cache walks at each level, steering hashes,
 //! slice allocation, and the dataplane tables.
+//!
+//! Uses the in-tree harness (`bench::harness`); run with
+//! `cargo bench -p bench --features bench-harness`.
 
-use std::time::Duration;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::harness::{black_box, Group};
 use llc_sim::addr::PhysAddr;
 use llc_sim::hash::{FoldedSliceHash, SliceHash, XorSliceHash};
 use llc_sim::machine::{Machine, MachineConfig};
 use rte::steering::{toeplitz_hash, TOEPLITZ_KEY};
 use trafficgen::{FlowTuple, ZipfGen};
 
-fn bench_hashes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hash");
-    g.measurement_time(Duration::from_secs(3));
-    g.warm_up_time(Duration::from_secs(1));
+fn bench_hashes() {
+    let g = Group::new("hash");
     let xor = XorSliceHash::haswell_8slice();
-    g.bench_function("xor_slice_of", |b| {
-        let mut pa = 0u64;
-        b.iter(|| {
-            pa = pa.wrapping_add(4096);
-            black_box(xor.slice_of(PhysAddr(pa)))
-        })
+    let mut pa = 0u64;
+    g.bench("xor_slice_of", || {
+        pa = pa.wrapping_add(4096);
+        black_box(xor.slice_of(PhysAddr(pa)));
     });
     let folded = FoldedSliceHash::skylake_18slice();
-    g.bench_function("folded_slice_of", |b| {
-        let mut pa = 0u64;
-        b.iter(|| {
-            pa = pa.wrapping_add(4096);
-            black_box(folded.slice_of(PhysAddr(pa)))
-        })
+    let mut pa2 = 0u64;
+    g.bench("folded_slice_of", || {
+        pa2 = pa2.wrapping_add(4096);
+        black_box(folded.slice_of(PhysAddr(pa2)));
     });
-    g.bench_function("toeplitz_12B", |b| {
-        let data = [0x5au8; 12];
-        b.iter(|| black_box(toeplitz_hash(&TOEPLITZ_KEY, &data)))
+    let data = [0x5au8; 12];
+    g.bench("toeplitz_12B", || {
+        black_box(toeplitz_hash(&TOEPLITZ_KEY, &data));
     });
-    g.finish();
 }
 
-fn bench_hierarchy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hierarchy");
-    let mut m =
-        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
-    let r = m.mem_mut().alloc(64 << 20, 1 << 20).unwrap();
-    g.bench_function("touch_read_l1_hit", |b| {
-        let pa = r.pa(0);
-        m.touch_read(0, pa);
-        b.iter(|| black_box(m.touch_read(0, pa)))
+fn bench_hierarchy() {
+    let g = Group::new("hierarchy");
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+    let r = m.mem_mut().alloc(64 << 20, 1 << 20).expect("bench region");
+    let pa = r.pa(0);
+    m.touch_read(0, pa);
+    g.bench("touch_read_l1_hit", || {
+        black_box(m.touch_read(0, pa));
     });
-    g.bench_function("touch_read_llc_hit", |b| {
-        // Alternate two conflicting-in-L1 lines that stay in LLC.
-        let pa1 = r.pa(0);
-        let pa2 = r.pa(128 << 10);
-        let mut flip = false;
-        // Prime.
-        for i in 0..32 {
-            m.touch_read(0, r.pa(i * (128 << 10) % (32 << 20)));
-        }
-        b.iter(|| {
-            flip = !flip;
-            black_box(m.touch_read(0, if flip { pa1 } else { pa2 }))
-        })
+    // Alternate two conflicting-in-L1 lines that stay in LLC.
+    let pa1 = r.pa(0);
+    let pa2 = r.pa(128 << 10);
+    let mut flip = false;
+    for i in 0..32 {
+        m.touch_read(0, r.pa(i * (128 << 10) % (32 << 20)));
+    }
+    g.bench("touch_read_llc_hit", || {
+        flip = !flip;
+        black_box(m.touch_read(0, if flip { pa1 } else { pa2 }));
     });
-    g.bench_function("touch_read_streaming_miss", |b| {
-        let mut off = 0usize;
-        b.iter(|| {
-            off = (off + 64) % (48 << 20);
-            black_box(m.touch_read(0, r.pa(off)))
-        })
+    let mut off = 0usize;
+    g.bench("touch_read_streaming_miss", || {
+        off = (off + 64) % (48 << 20);
+        black_box(m.touch_read(0, r.pa(off)));
     });
-    g.bench_function("clflush", |b| {
-        let pa = r.pa(4096);
-        b.iter(|| black_box(m.clflush(0, pa)))
+    let pa3 = r.pa(4096);
+    g.bench("clflush", || {
+        black_box(m.clflush(0, pa3));
     });
-    g.bench_function("dma_write_64B", |b| {
-        let frame = [0u8; 64];
-        let mut off = 0usize;
-        b.iter(|| {
-            off = (off + 2048) % (32 << 20);
-            m.dma_write(r.pa(off), &frame);
-        })
+    let frame = [0u8; 64];
+    let mut off2 = 0usize;
+    g.bench("dma_write_64B", || {
+        off2 = (off2 + 2048) % (32 << 20);
+        m.dma_write(r.pa(off2), &frame);
     });
-    g.finish();
 }
 
-fn bench_alloc(c: &mut Criterion) {
+fn bench_alloc() {
     use slice_aware::alloc::SliceAllocator;
-    let mut g = c.benchmark_group("slice_alloc");
-    g.bench_function("alloc_64_lines", |b| {
-        b.iter_with_setup(
-            || {
-                let mut mem = llc_sim::mem::PhysMem::new(64 << 20);
-                let region = mem.alloc(32 << 20, 1 << 20).unwrap();
-                let h = XorSliceHash::haswell_8slice();
-                (mem, SliceAllocator::new(region, move |pa| h.slice_of(pa)))
-            },
-            |(_mem, mut alloc)| black_box(alloc.alloc_lines(3, 64).unwrap()),
-        )
-    });
-    g.finish();
+    let g = Group::new("slice_alloc");
+    g.bench_with_setup(
+        "alloc_64_lines",
+        || {
+            let mut mem = llc_sim::mem::PhysMem::new(64 << 20);
+            let region = mem.alloc(32 << 20, 1 << 20).expect("bench region");
+            let h = XorSliceHash::haswell_8slice();
+            (mem, SliceAllocator::new(region, move |pa| h.slice_of(pa)))
+        },
+        |(_mem, mut alloc)| {
+            black_box(alloc.alloc_lines(3, 64).expect("alloc"));
+        },
+    );
 }
 
-fn bench_tables(c: &mut Criterion) {
+fn bench_tables() {
     use nfv::lpm::{synth_routes, Lpm};
     use nfv::table::FlowTable;
-    let mut g = c.benchmark_group("dataplane_tables");
-    let mut m =
-        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20));
-    let lpm = Lpm::build(&mut m, &synth_routes(3120, 1)).unwrap();
-    g.bench_function("lpm_lookup_timed", |b| {
-        let mut dst = 0u32;
-        b.iter(|| {
-            dst = dst.wrapping_add(0x0101_0101);
-            black_box(lpm.lookup(&mut m, 0, dst))
-        })
+    let g = Group::new("dataplane_tables");
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20));
+    let lpm = Lpm::build(&mut m, &synth_routes(3120, 1)).expect("routes fit");
+    let mut dst = 0u32;
+    g.bench("lpm_lookup_timed", || {
+        dst = dst.wrapping_add(0x0101_0101);
+        black_box(lpm.lookup(&mut m, 0, dst));
     });
-    let mut table = FlowTable::create(&mut m, 1 << 13).unwrap();
+    let mut table = FlowTable::create(&mut m, 1 << 13).expect("table fits");
     for i in 0..4000u32 {
         table
             .insert(&mut m, 0, &FlowTuple::tcp(i, 1, 2, 3), u64::from(i))
-            .unwrap();
+            .expect("under capacity");
     }
-    g.bench_function("flow_table_lookup_timed", |b| {
-        let mut i = 0u32;
-        b.iter(|| {
-            i = (i + 1) % 4000;
-            black_box(table.lookup(&mut m, 0, &FlowTuple::tcp(i, 1, 2, 3)))
-        })
+    let mut i = 0u32;
+    g.bench("flow_table_lookup_timed", || {
+        i = (i + 1) % 4000;
+        black_box(table.lookup(&mut m, 0, &FlowTuple::tcp(i, 1, 2, 3)));
     });
-    g.finish();
 }
 
-fn bench_workloads(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workloads");
-    g.bench_function("zipf_next_rank", |b| {
-        let mut z = ZipfGen::new(1 << 24, 0.99, 1);
-        b.iter(|| black_box(z.next_rank()))
+fn bench_workloads() {
+    let g = Group::new("workloads");
+    let mut z = ZipfGen::new(1 << 24, 0.99, 1);
+    g.bench("zipf_next_rank", || {
+        black_box(z.next_rank());
     });
-    g.bench_function("campus_trace_next", |b| {
-        let mut t = trafficgen::CampusTrace::new(trafficgen::SizeMix::campus(), 10_000, 1);
-        b.iter(|| black_box(t.next_packet()))
+    let mut t = trafficgen::CampusTrace::new(trafficgen::SizeMix::campus(), 10_000, 1);
+    g.bench("campus_trace_next", || {
+        black_box(t.next_packet());
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_hashes,
-    bench_hierarchy,
-    bench_alloc,
-    bench_tables,
-    bench_workloads
-);
-criterion_main!(benches);
+fn main() {
+    bench_hashes();
+    bench_hierarchy();
+    bench_alloc();
+    bench_tables();
+    bench_workloads();
+}

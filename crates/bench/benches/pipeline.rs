@@ -4,9 +4,13 @@
 //! These time *host* execution of the simulator's packet path; the
 //! simulated-cycle comparisons live in the `fig*` binaries. Useful for
 //! keeping the simulator itself fast enough to run the big sweeps.
+//!
+//! Uses the in-tree harness; run with
+//! `cargo bench -p bench --features bench-harness`.
 
 use std::time::Duration;
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use bench::harness::{black_box, Group};
 use nfv::runtime::{ChainSpec, HeadroomMode, RunConfig, SteeringKind, Testbed};
 use trafficgen::{ArrivalSchedule, CampusTrace, SizeMix};
 
@@ -15,7 +19,7 @@ fn run_packets(chain: ChainSpec, steering: SteeringKind, headroom: HeadroomMode,
     cfg.cores = 4;
     cfg.queue_depth = 256;
     cfg.mbufs = 2048;
-    let mut tb = Testbed::new(cfg);
+    let mut tb = Testbed::new(cfg).expect("bench testbed fits simulated DRAM");
     let mut trace = CampusTrace::new(SizeMix::campus(), 1024, 7);
     let mut sched = ArrivalSchedule::constant_pps(2_000_000.0);
     for _ in 0..n {
@@ -26,11 +30,8 @@ fn run_packets(chain: ChainSpec, steering: SteeringKind, headroom: HeadroomMode,
     black_box(tb.finish());
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline_1k_packets");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
+fn bench_pipeline() {
+    let g = Group::new("pipeline_1k_packets").measurement_time(Duration::from_secs(4));
     for (name, chain, steering) in [
         ("forwarding_rss", ChainSpec::MacSwap, SteeringKind::Rss),
         (
@@ -42,74 +43,63 @@ fn bench_pipeline(c: &mut Criterion) {
             SteeringKind::FlowDirector,
         ),
     ] {
-        g.bench_function(format!("{name}/stock"), |b| {
-            b.iter(|| run_packets(chain, steering, HeadroomMode::Stock, 1000))
+        g.bench(&format!("{name}/stock"), || {
+            run_packets(chain, steering, HeadroomMode::Stock, 1000)
         });
-        g.bench_function(format!("{name}/cachedirector"), |b| {
-            b.iter(|| {
-                run_packets(
-                    chain,
-                    steering,
-                    HeadroomMode::CacheDirector {
-                        preferred_slices: 1,
-                    },
-                    1000,
-                )
-            })
+        g.bench(&format!("{name}/cachedirector"), || {
+            run_packets(
+                chain,
+                steering,
+                HeadroomMode::CacheDirector {
+                    preferred_slices: 1,
+                },
+                1000,
+            )
         });
     }
-    g.finish();
 }
 
-fn bench_kvs(c: &mut Criterion) {
+fn bench_kvs() {
     use kvs::store::{KvStore, Placement};
     use llc_sim::hash::{SliceHash, XorSliceHash};
     use llc_sim::machine::{Machine, MachineConfig};
     use slice_aware::alloc::SliceAllocator;
-    let mut g = c.benchmark_group("kvs");
-    g.bench_function("get_warm", |b| {
-        let mut m = Machine::new(
-            MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20),
-        );
-        let region = m.mem_mut().alloc(64 << 20, 1 << 20).unwrap();
-        let h = XorSliceHash::haswell_8slice();
-        let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
-        let store =
-            KvStore::build(&mut m, &mut alloc, 1 << 14, Placement::Normal).unwrap();
-        let mut out = [0u8; 64];
-        let mut key = 0u32;
-        b.iter(|| {
-            key = (key + 1) % (1 << 14);
-            black_box(store.get(&mut m, 0, key, &mut out))
-        })
+    let g = Group::new("kvs");
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+    let region = m.mem_mut().alloc(64 << 20, 1 << 20).expect("bench region");
+    let h = XorSliceHash::haswell_8slice();
+    let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
+    let store = KvStore::build(&mut m, &mut alloc, 1 << 14, Placement::Normal).expect("store fits");
+    let mut out = [0u8; 64];
+    let mut key = 0u32;
+    g.bench("get_warm", || {
+        key = (key + 1) % (1 << 14);
+        black_box(store.get(&mut m, 0, key, &mut out));
     });
-    g.finish();
 }
 
-fn bench_cachedirector_install(c: &mut Criterion) {
+fn bench_cachedirector_install() {
     use cache_director::{CacheDirector, CACHEDIRECTOR_HEADROOM};
     use llc_sim::machine::{Machine, MachineConfig};
     use rte::mempool::MbufPool;
-    let mut g = c.benchmark_group("cachedirector");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
-    g.bench_function("install_1024_mbufs", |b| {
-        b.iter_batched(
-            || {
-                let mut m = Machine::new(
-                    MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20),
-                );
-                let pool =
-                    MbufPool::create(&mut m, 1024, CACHEDIRECTOR_HEADROOM, 2048).unwrap();
-                (m, pool)
-            },
-            |(mut m, pool)| black_box(CacheDirector::install(&mut m, &pool, 1, 0)),
-            BatchSize::LargeInput,
-        )
-    });
-    g.finish();
+    let g = Group::new("cachedirector").measurement_time(Duration::from_secs(4));
+    g.bench_with_setup(
+        "install_1024_mbufs",
+        || {
+            let mut m =
+                Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+            let pool =
+                MbufPool::create(&mut m, 1024, CACHEDIRECTOR_HEADROOM, 2048).expect("pool fits");
+            (m, pool)
+        },
+        |(mut m, pool)| {
+            black_box(CacheDirector::install(&mut m, &pool, 1, 0));
+        },
+    );
 }
 
-criterion_group!(benches, bench_pipeline, bench_kvs, bench_cachedirector_install);
-criterion_main!(benches);
+fn main() {
+    bench_pipeline();
+    bench_kvs();
+    bench_cachedirector_install();
+}

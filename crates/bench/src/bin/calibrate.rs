@@ -7,7 +7,7 @@
 use nfv::runtime::{run_experiment, ChainSpec, HeadroomMode, RunConfig, SteeringKind};
 use trafficgen::{ArrivalSchedule, CampusTrace, SizeMix};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let packets: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
     let fw: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(950);
@@ -15,11 +15,7 @@ fn main() {
     let cap: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(13.9);
     println!("packets={packets} framework_cycles={fw} flow_skew={skew} nic_cap={cap}Mpps");
     for (name, chain, steering) in [
-        (
-            "forwarding/RSS",
-            ChainSpec::MacSwap,
-            SteeringKind::Rss,
-        ),
+        ("forwarding/RSS", ChainSpec::MacSwap, SteeringKind::Rss),
         (
             "chain/FlowDirector",
             ChainSpec::RouterNaptLb {
@@ -45,8 +41,8 @@ fn main() {
                 CampusTrace::new(SizeMix::campus(), 10_000, 42).with_flow_skew(skew, 42);
             // Mean campus frame ≈ 670 B.
             let mut sched = ArrivalSchedule::constant_gbps(100.0, 670.0);
-            let res = run_experiment(cfg, &mut trace, &mut sched, packets);
-            let s = res.summary().expect("latencies");
+            let res = run_experiment(cfg, &mut trace, &mut sched, packets)?;
+            let s = res.summary().ok_or("no latencies recorded")?;
             let row = s.paper_row();
             println!(
                 "{name:<20} {hname:<14} achieved={:.2} Gbps offered={:.2} drop={:.1}% p75={:.1}us p90={:.1}us p95={:.1}us p99={:.1}us mean={:.1}us",
@@ -61,4 +57,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

@@ -10,7 +10,7 @@
 use nfv::pipeline::{run_pipeline, PipelineConfig, PipelineHeadroom};
 use xstats::report::{f, Table};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(1, 60_000);
     println!(
         "§8 extension — two-stage pipeline (cores 0 and 2), {} packets @ 2 Mpps\n",
@@ -29,7 +29,12 @@ fn main() {
         ("stage-1 slice only", PipelineHeadroom::Stage1Slice),
         ("compromise slice", PipelineHeadroom::Compromise),
     ] {
-        let r = run_pipeline(&PipelineConfig::new(headroom), 256, 2_000_000.0, scale.packets);
+        let r = run_pipeline(
+            &PipelineConfig::new(headroom),
+            256,
+            2_000_000.0,
+            scale.packets,
+        )?;
         let total = r.stage1_cycles + r.stage2_cycles;
         if base == 0 {
             base = total;
@@ -42,7 +47,10 @@ fn main() {
             f((base as f64 - total as f64) / base as f64 * 100.0, 2) + " %",
         ]);
         if headroom == PipelineHeadroom::Compromise {
-            println!("compromise slice chosen for cores (0, 2): slice {}", r.compromise_slice);
+            println!(
+                "compromise slice chosen for cores (0, 2): slice {}",
+                r.compromise_slice
+            );
         }
     }
     println!("{}", t.render());
@@ -51,4 +59,5 @@ fn main() {
          cores\" — placing the header for one stage helps that stage and hurts the \
          other; the compromise slice helps both."
     );
+    Ok(())
 }

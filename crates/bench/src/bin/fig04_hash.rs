@@ -10,14 +10,16 @@ use llc_sim::hash::{mask_of_bits, O0_BITS, O1_BITS, O2_BITS};
 use llc_sim::machine::{Machine, MachineConfig};
 use slice_aware::reverse::{reconstruct_hash, verify_hash};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(1, 512);
     // A naturally aligned 256 MB region covers physical bits 6..=27.
-    let mut m =
-        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(1 << 30));
-    let region = m.mem_mut().alloc(256 << 20, 256 << 20).unwrap();
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(1 << 30));
+    let region = m.mem_mut().alloc(256 << 20, 256 << 20)?;
     let rec = reconstruct_hash(&mut m, 0, region, 16);
-    println!("Reconstructed Complex Addressing (bits 6..={}):\n", rec.max_bit);
+    println!(
+        "Reconstructed Complex Addressing (bits 6..={}):\n",
+        rec.max_bit
+    );
     println!("{}", rec.render_fig4());
     // Compare against the published masks bit by bit.
     let published = [
@@ -52,4 +54,5 @@ fn main() {
             "DIVERGES (investigate!)"
         }
     );
+    Ok(())
 }

@@ -9,11 +9,10 @@ use llc_sim::machine::{Machine, MachineConfig};
 use slice_aware::latency::profile_access_times;
 use xstats::report::{f, Table};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(50, 0);
-    let mut m =
-        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20));
-    let region = m.mem_mut().alloc(256 << 20, 1 << 20).unwrap();
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20));
+    let region = m.mem_mut().alloc(256 << 20, 1 << 20)?;
     let prof = profile_access_times(&mut m, 0, region, scale.runs);
     let mut t = Table::new(["Slice", "Read (cycles)", "Write (cycles)"]);
     for e in &prof.entries {
@@ -23,7 +22,10 @@ fn main() {
             f(e.write_cycles, 1),
         ]);
     }
-    println!("Fig. 5 — access time from core 0, {} reps per slice\n", scale.runs);
+    println!(
+        "Fig. 5 — access time from core 0, {} reps per slice\n",
+        scale.runs
+    );
     println!("{}", t.render());
     let even: Vec<f64> = prof
         .entries
@@ -49,4 +51,5 @@ fn main() {
         "\nPaper Fig. 5a: bimodal reads ~34-56 cycles, closest slice saves up to ~20 \
          cycles (6.25 ns); Fig. 5b: writes flat (write-back confirms at L1)."
     );
+    Ok(())
 }

@@ -15,18 +15,17 @@ use xstats::report::{f, Table};
 /// The paper's buffer: half a slice plus (half) the L2 ≈ 1.375 MB.
 const BUF_BYTES: usize = 1_441_792;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(20, 10_000);
-    let mut m =
-        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(1 << 30));
-    let region = m.mem_mut().alloc(512 << 20, 1 << 20).unwrap();
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(1 << 30));
+    let region = m.mem_mut().alloc(512 << 20, 1 << 20)?;
     let hash = XorSliceHash::haswell_8slice();
     let mut alloc = SliceAllocator::new(region, move |pa| hash.slice_of(pa));
     let lines = BUF_BYTES / 64;
-    let normal = alloc.alloc_contiguous_lines(lines).unwrap();
-    let slice_bufs: Vec<_> = (0..8)
-        .map(|s| alloc.alloc_lines(s, lines).unwrap())
-        .collect();
+    let normal = alloc.alloc_contiguous_lines(lines)?;
+    let slice_bufs = (0..8)
+        .map(|s| alloc.alloc_lines(s, lines))
+        .collect::<Result<Vec<_>, _>>()?;
 
     let measure = |m: &mut Machine, buf: &slice_aware::SliceBuffer, kind| -> f64 {
         warm_buffer(m, 0, buf);
@@ -49,11 +48,7 @@ fn main() {
         let mut t = Table::new(["Slice", "Avg speedup (%)", "cycles/run"]);
         for (s, buf) in slice_bufs.iter().enumerate() {
             let cyc = measure(&mut m, buf, kind);
-            t.row([
-                s.to_string(),
-                f((base - cyc) / base * 100.0, 2),
-                f(cyc, 0),
-            ]);
+            t.row([s.to_string(), f((base - cyc) / base * 100.0, 2), f(cyc, 0)]);
         }
         println!(
             "{:?}: normal allocation baseline {:.0} cycles/run\n{}",
@@ -67,4 +62,5 @@ fn main() {
          slices negative; the effect appears for writes only under sustained load \
          (write-back accumulation)."
     );
+    Ok(())
 }

@@ -40,7 +40,7 @@ fn measure(m: &mut Machine, bufs: &[SliceBuffer], ops: usize, kind: AccessKind) 
     aggregate_ops_per_sec(&totals, ops, m.config().freq_ghz) / 1e6
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(1, 20_000);
     println!(
         "Fig. 7 — aggregate MOPS, 8 cores, {} random ops/core per point\n",
@@ -50,22 +50,21 @@ fn main() {
         let mut t = Table::new(["Array size", "Normal (MOPS)", "Slice-aware (MOPS)", "Ratio"]);
         for &size in SIZES {
             // A fresh machine per point keeps cache state comparable.
-            let mut m = Machine::new(
-                MachineConfig::haswell_e5_2667_v3().with_dram_capacity(7 << 30),
-            );
-            let region = m.mem_mut().alloc(6 << 30, 1 << 20).unwrap();
+            let mut m =
+                Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(7 << 30));
+            let region = m.mem_mut().alloc(6 << 30, 1 << 20)?;
             let hash = XorSliceHash::haswell_8slice();
             let mut alloc = SliceAllocator::new(region, move |pa| hash.slice_of(pa));
             let lines = size / 64;
-            let normal: Vec<SliceBuffer> = (0..8)
-                .map(|_| alloc.alloc_contiguous_lines(lines).unwrap())
-                .collect();
-            let aware: Vec<SliceBuffer> = (0..8)
+            let normal = (0..8)
+                .map(|_| alloc.alloc_contiguous_lines(lines))
+                .collect::<Result<Vec<SliceBuffer>, _>>()?;
+            let aware = (0..8)
                 .map(|c| {
                     let target = m.closest_slice(c);
-                    alloc.alloc_lines(target, lines).unwrap()
+                    alloc.alloc_lines(target, lines)
                 })
-                .collect();
+                .collect::<Result<Vec<SliceBuffer>, _>>()?;
             let n = measure(&mut m, &normal, scale.packets, kind);
             let a = measure(&mut m, &aware, scale.packets, kind);
             let label = if size >= 1 << 20 {
@@ -81,4 +80,5 @@ fn main() {
         "Paper Fig. 7: slice-aware above normal while the per-core set fits one slice \
          (2.5 MB); both drop to DRAM speed past the LLC and converge."
     );
+    Ok(())
 }

@@ -24,7 +24,7 @@ fn run_config(
     theta: f64,
     get_permille: u32,
     requests: usize,
-) -> f64 {
+) -> Result<f64, Box<dyn std::error::Error>> {
     // The slice-aware carving needs ~slices x the store's footprint.
     let store_bytes = n_values * 64;
     let region_bytes = (store_bytes * 9).max(64 << 20);
@@ -32,30 +32,46 @@ fn run_config(
         MachineConfig::haswell_e5_2667_v3()
             .with_dram_capacity(region_bytes + store_bytes + (256 << 20)),
     );
-    let region = m.mem_mut().alloc(region_bytes, 1 << 20).unwrap();
+    let region = m.mem_mut().alloc(region_bytes, 1 << 20)?;
     let hash = XorSliceHash::haswell_8slice();
     let mut alloc = SliceAllocator::new(region, move |pa| hash.slice_of(pa));
-    let mut store = KvStore::build(&mut m, &mut alloc, n_values, placement).unwrap();
-    let mut pool = MbufPool::create(&mut m, 1024, 128, 2048).unwrap();
+    let mut store = KvStore::build(&mut m, &mut alloc, n_values, placement)?;
+    let mut pool = MbufPool::create(&mut m, 1024, 128, 2048)?;
     let mut port = Port::new(0, Steering::Rss(Rss::new(1)), 256);
     let keygen = ZipfGen::new(n_values as u64, theta, 4242);
     let mut gen = RequestGen::new(keygen, get_permille, 77);
     let mut policy = FixedHeadroom(128);
     // Warm-up pass (the paper averages many runs on a hot server).
     let warm = ServerConfig::fig8(requests / 4, get_permille, 1);
-    run_server(&mut m, &mut store, &mut pool, &mut port, &mut policy, &mut gen, &warm);
+    run_server(
+        &mut m,
+        &mut store,
+        &mut pool,
+        &mut port,
+        &mut policy,
+        &mut gen,
+        &warm,
+    );
     let cfg = ServerConfig::fig8(requests, get_permille, 1);
-    let rep = run_server(&mut m, &mut store, &mut pool, &mut port, &mut policy, &mut gen, &cfg);
+    let rep = run_server(
+        &mut m,
+        &mut store,
+        &mut pool,
+        &mut port,
+        &mut policy,
+        &mut gen,
+        &cfg,
+    );
     if std::env::var("KVS_DEBUG").is_ok() {
         eprintln!(
             "  [{placement:?} theta={theta} get={get_permille}] cycles/request = {:.1}",
             rep.cycles_per_request
         );
     }
-    rep.tps / 1e6
+    Ok(rep.tps / 1e6)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(1, 150_000);
     let args: Vec<String> = std::env::args().collect();
     let log2_n: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(21);
@@ -88,7 +104,7 @@ fn main() {
             (hot, 0.0),
             (Placement::Normal, 0.0),
         ] {
-            let tps = run_config(n_values, placement, theta, permille, scale.packets);
+            let tps = run_config(n_values, placement, theta, permille, scale.packets)?;
             by_cfg.push(tps);
             cells.push(f(tps, 3));
         }
@@ -107,4 +123,5 @@ fn main() {
          (the §8 refinement) keeps the direction of the paper's result. See \
          EXPERIMENTS.md."
     );
+    Ok(())
 }

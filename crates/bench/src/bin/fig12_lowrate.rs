@@ -8,39 +8,43 @@ use nfv::runtime::{run_experiment, ChainSpec, HeadroomMode, RunConfig, SteeringK
 use trafficgen::{ArrivalSchedule, CampusTrace};
 use xstats::report::{f, Table};
 
-fn percentile_rows(headroom: HeadroomMode, runs: usize, packets: usize) -> [f64; 5] {
-    let rows: Vec<[f64; 5]> = (0..runs)
-        .map(|run| {
-            let mut cfg = RunConfig::paper_defaults(
-                ChainSpec::MacSwap,
-                SteeringKind::Rss,
-                headroom,
-            );
-            cfg.seed ^= run as u64;
-            let mut trace = CampusTrace::fixed_size(64, 1024, 100 + run as u64);
-            let mut sched = ArrivalSchedule::constant_pps(1000.0);
-            let res = run_experiment(cfg, &mut trace, &mut sched, packets);
-            res.summary().expect("latencies").paper_row()
-        })
-        .collect();
-    bench::median_rows(&rows)
+fn percentile_rows(
+    headroom: HeadroomMode,
+    runs: usize,
+    packets: usize,
+) -> Result<[f64; 5], Box<dyn std::error::Error>> {
+    let mut rows = Vec::with_capacity(runs);
+    for run in 0..runs {
+        let mut cfg = RunConfig::paper_defaults(ChainSpec::MacSwap, SteeringKind::Rss, headroom);
+        cfg.seed ^= run as u64;
+        let mut trace = CampusTrace::fixed_size(64, 1024, 100 + run as u64);
+        let mut sched = ArrivalSchedule::constant_pps(1000.0);
+        let res = run_experiment(cfg, &mut trace, &mut sched, packets)?;
+        rows.push(res.summary().ok_or("no latencies recorded")?.paper_row());
+    }
+    Ok(bench::median_rows(&rows))
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(10, 5000);
     println!(
         "Fig. 12 — 64 B @ 1000 pps, {} packets, median of {} runs (DuT latency, ns)\n",
         scale.packets, scale.runs
     );
-    let stock = percentile_rows(HeadroomMode::Stock, scale.runs, scale.packets);
+    let stock = percentile_rows(HeadroomMode::Stock, scale.runs, scale.packets)?;
     let cd = percentile_rows(
         HeadroomMode::CacheDirector {
             preferred_slices: 1,
         },
         scale.runs,
         scale.packets,
-    );
-    let mut t = Table::new(["Percentile", "DPDK (ns)", "DPDK+CacheDirector (ns)", "Saving (ns)"]);
+    )?;
+    let mut t = Table::new([
+        "Percentile",
+        "DPDK (ns)",
+        "DPDK+CacheDirector (ns)",
+        "Saving (ns)",
+    ]);
     for (i, name) in ["75th", "90th", "95th", "99th", "Mean"].iter().enumerate() {
         t.row([
             name.to_string(),
@@ -57,4 +61,5 @@ fn main() {
          slice-distance cycles — same direction, smaller absolute value; see \
          EXPERIMENTS.md)."
     );
+    Ok(())
 }

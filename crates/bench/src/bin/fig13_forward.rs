@@ -2,20 +2,21 @@
 //! packets at 100 Gbps with RSS — latency percentiles, per-percentile
 //! improvement, and throughput.
 
-use nfv::runtime::{run_experiment, ChainSpec, HeadroomMode, RunConfig, RunResult, SteeringKind};
+use nfv::runtime::{
+    run_experiment, ChainSpec, HeadroomMode, RunConfig, RunResult, SetupError, SteeringKind,
+};
 use trafficgen::{ArrivalSchedule, CampusTrace, SizeMix};
 use xstats::report::{f, Table};
 
-fn one(headroom: HeadroomMode, run: u64, packets: usize) -> RunResult {
-    let mut cfg =
-        RunConfig::paper_defaults(ChainSpec::MacSwap, SteeringKind::Rss, headroom);
+fn one(headroom: HeadroomMode, run: u64, packets: usize) -> Result<RunResult, SetupError> {
+    let mut cfg = RunConfig::paper_defaults(ChainSpec::MacSwap, SteeringKind::Rss, headroom);
     cfg.seed ^= run;
     let mut trace = CampusTrace::new(SizeMix::campus(), 10_000, 42 + run);
     let mut sched = ArrivalSchedule::constant_gbps(100.0, 670.0);
     run_experiment(cfg, &mut trace, &mut sched, packets)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(10, 150_000);
     println!(
         "Fig. 13 — forwarding, campus mix @ 100 Gbps, RSS, 8 cores; median of {} runs x {} pkts\n",
@@ -26,8 +27,8 @@ fn main() {
     let mut tput_stock = Vec::new();
     let mut tput_cd = Vec::new();
     for run in 0..scale.runs as u64 {
-        let s = one(HeadroomMode::Stock, run, scale.packets);
-        rows_stock.push(s.summary().expect("latencies").paper_row());
+        let s = one(HeadroomMode::Stock, run, scale.packets)?;
+        rows_stock.push(s.summary().ok_or("no latencies recorded")?.paper_row());
         tput_stock.push(s.achieved_gbps);
         let c = one(
             HeadroomMode::CacheDirector {
@@ -35,8 +36,8 @@ fn main() {
             },
             run,
             scale.packets,
-        );
-        rows_cd.push(c.summary().expect("latencies").paper_row());
+        )?;
+        rows_cd.push(c.summary().ok_or("no latencies recorded")?.paper_row());
         tput_cd.push(c.achieved_gbps);
     }
     let stock = bench::median_rows(&rows_stock);
@@ -69,4 +70,5 @@ fn main() {
         "\nPaper: throughput 76.58 Gbps (+31 Mbps with CacheDirector); tail improvements \
          grow with the percentile under RSS."
     );
+    Ok(())
 }

@@ -3,12 +3,14 @@
 //! with hardware offloading — latency CDF, per-percentile improvement,
 //! the Fig. 1 speedup bars and the throughput row.
 
-use nfv::runtime::{run_experiment, ChainSpec, HeadroomMode, RunConfig, RunResult, SteeringKind};
+use nfv::runtime::{
+    run_experiment, ChainSpec, HeadroomMode, RunConfig, RunResult, SetupError, SteeringKind,
+};
 use trafficgen::{ArrivalSchedule, CampusTrace, SizeMix};
 use xstats::report::{f, Table};
 use xstats::Cdf;
 
-fn one(headroom: HeadroomMode, run: u64, packets: usize) -> RunResult {
+fn one(headroom: HeadroomMode, run: u64, packets: usize) -> Result<RunResult, SetupError> {
     let mut cfg = RunConfig::paper_defaults(
         ChainSpec::RouterNaptLb {
             routes: 3120,
@@ -23,7 +25,7 @@ fn one(headroom: HeadroomMode, run: u64, packets: usize) -> RunResult {
     run_experiment(cfg, &mut trace, &mut sched, packets)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(10, 150_000);
     println!(
         "Figs. 1 & 14 — Router-NAPT-LB, campus mix @ 100 Gbps, FlowDirector+offload, \
@@ -35,16 +37,16 @@ fn main() {
     let mut tput = (Vec::new(), Vec::new());
     let mut last: Option<(RunResult, RunResult)> = None;
     for run in 0..scale.runs as u64 {
-        let s = one(HeadroomMode::Stock, run, scale.packets);
+        let s = one(HeadroomMode::Stock, run, scale.packets)?;
         let c = one(
             HeadroomMode::CacheDirector {
                 preferred_slices: 1,
             },
             run,
             scale.packets,
-        );
-        rows_stock.push(s.summary().expect("latencies").paper_row());
-        rows_cd.push(c.summary().expect("latencies").paper_row());
+        )?;
+        rows_stock.push(s.summary().ok_or("no latencies recorded")?.paper_row());
+        rows_cd.push(c.summary().ok_or("no latencies recorded")?.paper_row());
         tput.0.push(s.achieved_gbps);
         tput.1.push(c.achieved_gbps);
         last = Some((s, c));
@@ -55,10 +57,12 @@ fn main() {
     let speedup = bench::speedup_percent(&stock, &cd);
 
     // Fig. 14a: the latency CDF of the last run.
-    let (s_last, c_last) = last.expect("at least one run");
+    let (s_last, c_last) = last.ok_or("at least one run required")?;
     println!("Fig. 14a — CDF of DuT latency (last run, 10 points/decade):");
-    let cdf_s = Cdf::from_samples(s_last.latencies_ns.iter().copied()).unwrap();
-    let cdf_c = Cdf::from_samples(c_last.latencies_ns.iter().copied()).unwrap();
+    let cdf_s =
+        Cdf::from_samples(s_last.latencies_ns.iter().copied()).ok_or("empty latency samples")?;
+    let cdf_c =
+        Cdf::from_samples(c_last.latencies_ns.iter().copied()).ok_or("empty latency samples")?;
     let mut t = Table::new(["Latency (us)", "DPDK CDF", "+CacheDirector CDF"]);
     for q in [1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 200.0, 300.0, 400.0, 500.0] {
         t.row([
@@ -99,4 +103,5 @@ fn main() {
         "\nPaper: tail (90-99th) reductions up to 119 us (~21.5%); mean ~6%; throughput \
          75.94 Gbps (+27 Mbps)."
     );
+    Ok(())
 }

@@ -11,8 +11,10 @@ use xstats::fit::piecewise_knee_fit;
 use xstats::report::{f, Table};
 
 /// Offered rates swept (Gbps). The paper sweeps 5-100.
-const RATES: &[f64] = &[5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0, 55.0, 60.0,
-    65.0, 70.0, 75.0, 80.0, 90.0, 100.0];
+const RATES: &[f64] = &[
+    5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0, 55.0, 60.0, 65.0, 70.0, 75.0, 80.0,
+    90.0, 100.0,
+];
 
 /// Loopback latency floor (the paper measures 495 us at 100 Gbps; at low
 /// rates it is 9 us — modelled as rate-proportional LoadGen queueing).
@@ -20,42 +22,47 @@ fn loopback_ns(offered_gbps: f64) -> f64 {
     9_000.0 + offered_gbps / 100.0 * 486_000.0
 }
 
+/// One `(offered_gbps, achieved_gbps, p99_us)` sample per swept rate.
+type KneePoint = (f64, f64, f64);
+
 /// Returns `(offered, achieved, p99_us)` per swept rate.
-fn sweep(headroom: HeadroomMode, packets: usize) -> Vec<(f64, f64, f64)> {
-    RATES
-        .iter()
-        .map(|&gbps| {
-            let mut cfg = RunConfig::paper_defaults(
-                ChainSpec::RouterNaptLb {
-                    routes: 3120,
-                    offload: true,
-                },
-                SteeringKind::FlowDirector,
-                headroom,
-            );
-            cfg.loopback_ns = loopback_ns(gbps);
-            let mut trace = CampusTrace::new(SizeMix::campus(), 10_000, 42);
-            let mut sched = ArrivalSchedule::constant_gbps(gbps, 670.0);
-            let res = run_experiment(cfg, &mut trace, &mut sched, packets);
-            let s = res.summary_with_loopback().expect("latencies");
-            (gbps, res.achieved_gbps, s.percentile(99.0) / 1e3)
-        })
-        .collect()
+fn sweep(
+    headroom: HeadroomMode,
+    packets: usize,
+) -> Result<Vec<KneePoint>, Box<dyn std::error::Error>> {
+    let mut out = Vec::with_capacity(RATES.len());
+    for &gbps in RATES {
+        let mut cfg = RunConfig::paper_defaults(
+            ChainSpec::RouterNaptLb {
+                routes: 3120,
+                offload: true,
+            },
+            SteeringKind::FlowDirector,
+            headroom,
+        );
+        cfg.loopback_ns = loopback_ns(gbps);
+        let mut trace = CampusTrace::new(SizeMix::campus(), 10_000, 42);
+        let mut sched = ArrivalSchedule::constant_gbps(gbps, 670.0);
+        let res = run_experiment(cfg, &mut trace, &mut sched, packets)?;
+        let s = res.summary_with_loopback().ok_or("no latencies recorded")?;
+        out.push((gbps, res.achieved_gbps, s.percentile(99.0) / 1e3));
+    }
+    Ok(out)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(1, 60_000);
     println!(
         "Fig. 15 — p99 latency (incl. loopback) vs achieved throughput, {} pkts/point\n",
         scale.packets
     );
-    let stock = sweep(HeadroomMode::Stock, scale.packets);
+    let stock = sweep(HeadroomMode::Stock, scale.packets)?;
     let cd = sweep(
         HeadroomMode::CacheDirector {
             preferred_slices: 1,
         },
         scale.packets,
-    );
+    )?;
     let mut t = Table::new([
         "Offered (Gbps)",
         "DPDK tput",
@@ -94,4 +101,5 @@ fn main() {
         "\nPaper: DPDK low 15.61+0.2379x, high 1977-95.18x+1.158x^2 (R^2 0.995/0.993); \
          CacheDirector's curve sits slightly right — the knee shifts toward higher load."
     );
+    Ok(())
 }

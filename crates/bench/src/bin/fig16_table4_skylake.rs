@@ -10,11 +10,10 @@ use slice_aware::latency::profile_access_times;
 use slice_aware::placement::PlacementPolicy;
 use xstats::report::{f, Table};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(10, 0);
-    let mut m =
-        Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(1 << 30));
-    let region = m.mem_mut().alloc(512 << 20, 1 << 20).unwrap();
+    let mut m = Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(1 << 30));
+    let region = m.mem_mut().alloc(512 << 20, 1 << 20)?;
 
     // Fig. 16: access times from core 0.
     let prof0 = profile_access_times(&mut m, 0, region, scale.runs);
@@ -36,7 +35,11 @@ fn main() {
     let policy = PlacementPolicy::from_profiles(&profiles, 0.5);
     let mut t4 = Table::new(["Core", "Primary slice", "Secondary slices"]);
     for c in 0..8 {
-        let secs: Vec<String> = policy.secondary(c).iter().map(|s| format!("S{s}")).collect();
+        let secs: Vec<String> = policy
+            .secondary(c)
+            .iter()
+            .map(|s| format!("S{s}"))
+            .collect();
         t4.row([
             format!("C{c}"),
             format!("S{}", policy.primary(c)),
@@ -51,5 +54,9 @@ fn main() {
     );
     let expect = [0usize, 4, 8, 12, 10, 14, 3, 15];
     let ok = (0..8).all(|c| policy.primary(c) == expect[c]);
-    println!("primary-slice agreement with the paper: {}", if ok { "exact" } else { "DIVERGES" });
+    println!(
+        "primary-slice agreement with the paper: {}",
+        if ok { "exact" } else { "DIVERGES" }
+    );
+    Ok(())
 }

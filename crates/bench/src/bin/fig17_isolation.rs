@@ -28,16 +28,12 @@ fn run_scenario(
     kind: AccessKind,
     ops: usize,
     main_bytes: usize,
-) -> f64 {
-    let mut m =
-        Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(2 << 30));
-    let region = m.mem_mut().alloc(1 << 30, 1 << 20).unwrap();
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let mut m = Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(2 << 30));
+    let region = m.mem_mut().alloc(1 << 30, 1 << 20)?;
     let hash = FoldedSliceHash::skylake_18slice();
     let mut alloc = slice_aware::alloc::SliceAllocator::new(region, move |pa| hash.slice_of(pa));
-    let setup = setup_isolation(
-        &mut m, &mut alloc, scenario, 0, 1, main_bytes, NOISE_BYTES,
-    )
-    .expect("region large enough");
+    let setup = setup_isolation(&mut m, &mut alloc, scenario, 0, 1, main_bytes, NOISE_BYTES)?;
     warm_buffer(&mut m, 0, &setup.main_buf);
     warm_buffer(&mut m, 1, &setup.noise_buf);
     // Interleave: the neighbour runs 4x hotter than the main app.
@@ -48,21 +44,31 @@ fn run_scenario(
     while done < ops {
         let n = quantum.min(ops - done);
         total += random_access(&mut m, 0, &setup.main_buf, n, kind, 300 + round);
-        random_access(&mut m, 1, &setup.noise_buf, 4 * quantum, AccessKind::Read, 700 + round);
+        random_access(
+            &mut m,
+            1,
+            &setup.noise_buf,
+            4 * quantum,
+            AccessKind::Read,
+            700 + round,
+        );
         done += n;
         round += 1;
     }
     // Execution time in seconds at 3.2 GHz, scaled per 10k ops like the
     // paper's absolute plot.
-    total as f64 / (3.2e9) * (10_000.0 / ops as f64)
+    Ok(total as f64 / (3.2e9) * (10_000.0 / ops as f64))
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(1, 40_000);
     let scenarios = [
         ("NoCAT", IsolationScenario::NoCat),
         ("2W Isolated", IsolationScenario::WayIsolated { ways: 2 }),
-        ("Slice-0 Isolated", IsolationScenario::SliceIsolated { slice: 0 }),
+        (
+            "Slice-0 Isolated",
+            IsolationScenario::SliceIsolated { slice: 0 },
+        ),
     ];
     for &(size_name, main_bytes) in MAIN_SIZES {
         println!(
@@ -72,8 +78,8 @@ fn main() {
         let mut results = Vec::new();
         let mut t = Table::new(["Scenario", "Read (ms/10k ops)", "Write (ms/10k ops)"]);
         for (name, sc) in scenarios {
-            let r = run_scenario(sc, AccessKind::Read, scale.packets, main_bytes);
-            let w = run_scenario(sc, AccessKind::Write, scale.packets, main_bytes);
+            let r = run_scenario(sc, AccessKind::Read, scale.packets, main_bytes)?;
+            let w = run_scenario(sc, AccessKind::Write, scale.packets, main_bytes)?;
             results.push((name, r, w));
             t.row([name.to_string(), f(r * 1e3, 3), f(w * 1e3, 3)]);
         }
@@ -93,4 +99,5 @@ fn main() {
          and LLC rather than splitting), which is why the fits-one-slice size is \
          where the paper's ordering appears; see EXPERIMENTS.md."
     );
+    Ok(())
 }

@@ -11,15 +11,14 @@ use llc_sim::machine::{Machine, MachineConfig};
 use rte::mempool::MbufPool;
 use xstats::{Histogram, Summary};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(1, 16_384);
-    let mut m =
-        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(1 << 30));
-    let pool = MbufPool::create(&mut m, scale.packets as u32, CACHEDIRECTOR_HEADROOM, 2048)
-        .unwrap();
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(1 << 30));
+    let pool = MbufPool::create(&mut m, scale.packets as u32, CACHEDIRECTOR_HEADROOM, 2048)?;
     let cd = CacheDirector::install(&mut m, &pool, 1, 0);
     let dist = headroom_distribution(&m, &pool, &cd);
-    let summary = Summary::from_samples(dist.iter().map(|&h| f64::from(h))).unwrap();
+    let summary = Summary::from_samples(dist.iter().map(|&h| f64::from(h)))
+        .ok_or("empty headroom distribution")?;
     let mut hist = Histogram::new(0.0, 896.0, 14);
     for &h in &dist {
         hist.record(f64::from(h));
@@ -46,7 +45,6 @@ fn main() {
         summary.max(),
         cd.stats().fallback
     );
-    println!(
-        "\nPaper §4.2: median 256 B, 95% of values < 512 B, max 832 B (13 lines)."
-    );
+    println!("\nPaper §4.2: median 256 B, 95% of values < 512 B, max 832 B (13 lines).");
+    Ok(())
 }

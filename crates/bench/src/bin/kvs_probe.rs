@@ -8,16 +8,20 @@ use llc_sim::machine::{Machine, MachineConfig};
 use slice_aware::alloc::SliceAllocator;
 use trafficgen::ZipfGen;
 
-fn run(n: usize, placement: Placement, theta: f64, gets: usize) -> f64 {
+fn run(
+    n: usize,
+    placement: Placement,
+    theta: f64,
+    gets: usize,
+) -> Result<f64, Box<dyn std::error::Error>> {
     let store_bytes = n * 64;
     let mut m = Machine::new(
-        MachineConfig::haswell_e5_2667_v3()
-            .with_dram_capacity(store_bytes * 9 + (256 << 20)),
+        MachineConfig::haswell_e5_2667_v3().with_dram_capacity(store_bytes * 9 + (256 << 20)),
     );
-    let region = m.mem_mut().alloc(store_bytes * 9, 1 << 20).unwrap();
+    let region = m.mem_mut().alloc(store_bytes * 9, 1 << 20)?;
     let hash = XorSliceHash::haswell_8slice();
     let mut alloc = SliceAllocator::new(region, move |pa| hash.slice_of(pa));
-    let store = KvStore::build(&mut m, &mut alloc, n, placement).unwrap();
+    let store = KvStore::build(&mut m, &mut alloc, n, placement)?;
     let mut keygen = ZipfGen::new(n as u64, theta, 4242);
     let mut out = [0u8; 64];
     // Warm-up.
@@ -28,17 +32,17 @@ fn run(n: usize, placement: Placement, theta: f64, gets: usize) -> f64 {
     for _ in 0..gets {
         total += store.get(&mut m, 0, keygen.next_rank() as u32, &mut out);
     }
-    total as f64 / gets as f64
+    Ok(total as f64 / gets as f64)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(1, 100_000);
     let args: Vec<String> = std::env::args().collect();
     let log2_n: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(21);
     let n = 1usize << log2_n;
     println!("store: 2^{log2_n} values = {} MB", (n * 64) >> 20);
     for theta in [0.99, 0.0] {
-        let aware = run(n, Placement::SliceAware { slice: 0 }, theta, scale.packets);
+        let aware = run(n, Placement::SliceAware { slice: 0 }, theta, scale.packets)?;
         let hot = run(
             n,
             Placement::HotSliceAware {
@@ -47,8 +51,8 @@ fn main() {
             },
             theta,
             scale.packets,
-        );
-        let normal = run(n, Placement::Normal, theta, scale.packets);
+        )?;
+        let normal = run(n, Placement::Normal, theta, scale.packets)?;
         println!(
             "theta={theta}: all-slice {aware:.1}, hot-slice {hot:.1}, normal {normal:.1} \
              cyc/GET; hot delta {:.1} ({:.1}%)",
@@ -56,4 +60,5 @@ fn main() {
             (normal - hot) / normal * 100.0
         );
     }
+    Ok(())
 }

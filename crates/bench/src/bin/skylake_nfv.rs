@@ -9,11 +9,13 @@
 //! CacheDirector targets (1 = primary only, 3 = primary + secondaries).
 
 use llc_sim::machine::{Machine, MachineConfig};
-use nfv::runtime::{ChainSpec, HeadroomMode, RunConfig, RunResult, SteeringKind, Testbed};
+use nfv::runtime::{
+    ChainSpec, HeadroomMode, RunConfig, RunResult, SetupError, SteeringKind, Testbed,
+};
 use trafficgen::{ArrivalSchedule, CampusTrace, SizeMix};
 use xstats::report::{f, Table};
 
-fn one(headroom: HeadroomMode, run: u64, packets: usize) -> RunResult {
+fn one(headroom: HeadroomMode, run: u64, packets: usize) -> Result<RunResult, SetupError> {
     let mut cfg = RunConfig::paper_defaults(
         ChainSpec::RouterNaptLb {
             routes: 3120,
@@ -24,7 +26,7 @@ fn one(headroom: HeadroomMode, run: u64, packets: usize) -> RunResult {
     );
     cfg.seed ^= run;
     let m = Machine::new(MachineConfig::skylake_gold_6134().with_seed(cfg.seed));
-    let mut tb = Testbed::on_machine(cfg, m);
+    let mut tb = Testbed::on_machine(cfg, m)?;
     let mut trace = CampusTrace::new(SizeMix::campus(), 10_000, 42 + run);
     let mut sched = ArrivalSchedule::constant_gbps(100.0, 670.0);
     for _ in 0..packets {
@@ -32,10 +34,10 @@ fn one(headroom: HeadroomMode, run: u64, packets: usize) -> RunResult {
         let spec = trace.next_packet();
         tb.offer(&spec.flow, spec.size, t);
     }
-    tb.finish()
+    Ok(tb.finish())
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(5, 120_000);
     println!(
         "§6 — Router-NAPT-LB @ 100 Gbps on Skylake (Xeon Gold 6134); median of {} runs x {} pkts\n",
@@ -56,12 +58,20 @@ fn main() {
             },
         ),
     ];
-    let mut t = Table::new(["Configuration", "p90 (us)", "p95 (us)", "p99 (us)", "Mean (us)"]);
+    let mut t = Table::new([
+        "Configuration",
+        "p90 (us)",
+        "p95 (us)",
+        "p99 (us)",
+        "Mean (us)",
+    ]);
     let mut rows = Vec::new();
     for (name, headroom) in configs {
-        let per_run: Vec<[f64; 5]> = (0..scale.runs as u64)
-            .map(|r| one(headroom, r, scale.packets).summary().unwrap().paper_row())
-            .collect();
+        let mut per_run = Vec::with_capacity(scale.runs);
+        for r in 0..scale.runs as u64 {
+            let res = one(headroom, r, scale.packets)?;
+            per_run.push(res.summary().ok_or("no latencies recorded")?.paper_row());
+        }
         let row = bench::median_rows(&per_run);
         t.row([
             name.to_string(),
@@ -86,4 +96,5 @@ fn main() {
          targeting the Table-4 preferred set raises the placement rate on an \
          18-slice part."
     );
+    Ok(())
 }

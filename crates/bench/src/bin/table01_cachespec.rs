@@ -22,7 +22,7 @@ fn row(t: &mut Table, name: &str, g: llc_sim::machine::CacheGeometry, index_hi: 
     ]);
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     for cfg in [
         MachineConfig::haswell_e5_2667_v3(),
         MachineConfig::skylake_gold_6134(),
@@ -47,4 +47,5 @@ fn main() {
         );
     }
     println!("Paper Table 1 (Haswell): LLC-Slice 2.5MB/20/2048/16-6, L2 256kB/8/512/14-6, L1 32kB/8/64/11-6.");
+    Ok(())
 }

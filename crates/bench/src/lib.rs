@@ -7,6 +7,8 @@
 
 use xstats::Summary;
 
+pub mod harness;
+
 /// Experiment scale, from the command line: `<binary> [runs] [packets]`.
 ///
 /// Every binary has defaults sized to finish in seconds; passing larger

@@ -155,8 +155,7 @@ impl CacheDirector {
             let packed = pack_headroom_table(&nibbles);
             // Init phase: written directly, not on any core's clock.
             let meta = pool.meta(mbuf);
-            m.mem_mut()
-                .write_u64(meta.base().add(8), packed);
+            m.mem_mut().write_u64(meta.base().add(8), packed);
         }
         cd
     }
@@ -174,7 +173,9 @@ impl CacheDirector {
         let meta = pool.meta(mbuf);
         for lines in 0..=max_lines {
             let data_off = (lines * CACHE_LINE) as u16;
-            let window_pa = meta.data_pa_for(data_off).add(u64::from(self.window_offset));
+            let window_pa = meta
+                .data_pa_for(data_off)
+                .add(u64::from(self.window_offset));
             if self.preferred[core].contains(&m.slice_of(window_pa)) {
                 return Some(lines as u8);
             }
@@ -298,8 +299,7 @@ mod tests {
 
     #[test]
     fn skylake_uses_preferred_sets() {
-        let mut m =
-            Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(128 << 20));
+        let mut m = Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(128 << 20));
         let pool = MbufPool::create(&mut m, 64, CACHEDIRECTOR_HEADROOM, 2048).unwrap();
         let mut cd = CacheDirector::install(&mut m, &pool, 3, 0);
         let mut hits = 0;
@@ -333,7 +333,10 @@ mod tests {
         let t0 = m.now(0);
         let _ = cd.data_off(&mut m, &pool, 3, 0);
         let cost = m.now(0) - t0;
-        assert!(cost <= 4, "runtime overhead must be a single L1 load: {cost}");
+        assert!(
+            cost <= 4,
+            "runtime overhead must be a single L1 load: {cost}"
+        );
     }
 
     #[test]

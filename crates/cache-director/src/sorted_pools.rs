@@ -37,12 +37,7 @@ impl SortedPools {
     ///
     /// Panics when `preferred_slices == 0` or `data_off` exceeds the
     /// pool's headroom capacity.
-    pub fn sort(
-        m: &mut Machine,
-        pool: &MbufPool,
-        data_off: u16,
-        preferred_slices: usize,
-    ) -> Self {
+    pub fn sort(m: &mut Machine, pool: &MbufPool, data_off: u16, preferred_slices: usize) -> Self {
         assert!(preferred_slices > 0, "need at least one target slice");
         assert!(data_off <= pool.headroom_cap(), "headroom beyond capacity");
         let policy = PlacementPolicy::from_topology(m);
@@ -149,8 +144,7 @@ mod tests {
     fn skylake_leaves_unclaimed_slices_over() {
         // 8 cores, 18 slices: buffers in slices outside every preferred
         // set are unplaced (the memory-waste trade-off the paper notes).
-        let mut m =
-            Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(128 << 20));
+        let mut m = Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(128 << 20));
         let pool = MbufPool::create(&mut m, 1024, 128, 2048).unwrap();
         let sorted = SortedPools::sort(&mut m, &pool, 128, 1);
         assert!(!sorted.unplaced().is_empty());

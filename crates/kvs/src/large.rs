@@ -122,8 +122,7 @@ mod tests {
         Machine,
         SliceAllocator<impl FnMut(llc_sim::PhysAddr) -> usize>,
     ) {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
         let r = m.mem_mut().alloc(128 << 20, 1 << 20).unwrap();
         let h = XorSliceHash::haswell_8slice();
         (m, SliceAllocator::new(r, move |pa| h.slice_of(pa)))
@@ -146,8 +145,7 @@ mod tests {
     #[test]
     fn every_segment_of_every_value_in_the_slice() {
         let (m, mut a) = setup();
-        let kv =
-            LargeKvStore::build(&mut a, 32, 512, &LargePlacement::SliceSet(vec![3])).unwrap();
+        let kv = LargeKvStore::build(&mut a, 32, 512, &LargePlacement::SliceSet(vec![3])).unwrap();
         for key in 0..32 {
             for seg in 0..8 {
                 let pa = kv.value(key).segments().line(seg);
@@ -166,13 +164,8 @@ mod tests {
         let near =
             LargeKvStore::build(&mut a, n, 1024, &LargePlacement::SliceSet(vec![0])).unwrap();
         let far_slice = *m.slices_by_distance(0).last().unwrap();
-        let far = LargeKvStore::build(
-            &mut a,
-            n,
-            1024,
-            &LargePlacement::SliceSet(vec![far_slice]),
-        )
-        .unwrap();
+        let far = LargeKvStore::build(&mut a, n, 1024, &LargePlacement::SliceSet(vec![far_slice]))
+            .unwrap();
         let mut out = vec![0u8; 1024];
         // Warm both into the LLC; reading one store pushes the other out
         // of the private caches.
@@ -203,13 +196,8 @@ mod tests {
     #[test]
     fn multi_slice_set_spreads_segments() {
         let (m, mut a) = setup();
-        let kv = LargeKvStore::build(
-            &mut a,
-            4,
-            4 * 64,
-            &LargePlacement::SliceSet(vec![0, 2]),
-        )
-        .unwrap();
+        let kv =
+            LargeKvStore::build(&mut a, 4, 4 * 64, &LargePlacement::SliceSet(vec![0, 2])).unwrap();
         let slices: Vec<usize> = (0..4)
             .map(|seg| m.slice_of(kv.value(0).segments().line(seg)))
             .collect();

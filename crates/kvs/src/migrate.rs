@@ -137,8 +137,7 @@ mod tests {
     use slice_aware::alloc::SliceAllocator;
 
     fn setup(n: usize, hot: usize) -> (Machine, KvStore) {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
         let region = m.mem_mut().alloc(64 << 20, 1 << 20).unwrap();
         let h = XorSliceHash::haswell_8slice();
         let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));

@@ -44,14 +44,19 @@ pub fn write_request(frame: &mut [u8], req: &KvRequest) {
 
 /// Parses a request from raw frame bytes.
 ///
-/// Returns `None` for an unknown opcode.
+/// Returns `None` for an unknown opcode or a frame too short to carry
+/// the opcode + key (e.g. a truncated request): no byte sequence of any
+/// length panics this parser.
 pub fn read_request(frame: &[u8]) -> Option<KvRequest> {
+    if frame.len() < KEY_OFF + 4 {
+        return None;
+    }
     let op = match frame[OP_OFF] {
         0 => KvOp::Get,
         1 => KvOp::Set,
         _ => return None,
     };
-    let key = u32::from_le_bytes(frame[KEY_OFF..KEY_OFF + 4].try_into().expect("4 bytes"));
+    let key = u32::from_le_bytes(frame[KEY_OFF..KEY_OFF + 4].try_into().ok()?);
     Some(KvRequest { op, key })
 }
 
@@ -63,7 +68,7 @@ pub fn read_request(frame: &[u8]) -> Option<KvRequest> {
 pub struct RequestGen {
     keygen: ZipfGen,
     get_permille: u32,
-    mix: rand::rngs::SmallRng,
+    mix: trafficgen::Rng64,
     client_flow: FlowTuple,
 }
 
@@ -74,12 +79,11 @@ impl RequestGen {
     ///
     /// Panics when `get_permille > 1000`.
     pub fn new(keygen: ZipfGen, get_permille: u32, seed: u64) -> Self {
-        use rand::SeedableRng;
         assert!(get_permille <= 1000, "ratio out of range");
         Self {
             keygen,
             get_permille,
-            mix: rand::rngs::SmallRng::seed_from_u64(seed),
+            mix: trafficgen::Rng64::seed_from_u64(seed),
             client_flow: FlowTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 11211),
         }
     }
@@ -91,8 +95,7 @@ impl RequestGen {
 
     /// Draws the next request.
     pub fn next_request(&mut self) -> KvRequest {
-        use rand::Rng;
-        let op = if self.mix.gen_range(0..1000) < self.get_permille {
+        let op = if self.mix.gen_range(0u32..1000) < self.get_permille {
             KvOp::Get
         } else {
             KvOp::Set
@@ -124,6 +127,22 @@ mod tests {
     }
 
     #[test]
+    fn truncated_request_is_none_not_panic() {
+        let mut frame = vec![0u8; REQUEST_SIZE];
+        write_request(
+            &mut frame,
+            &KvRequest {
+                op: KvOp::Get,
+                key: 7,
+            },
+        );
+        for cut in 0..KEY_OFF + 4 {
+            assert!(read_request(&frame[..cut]).is_none(), "cut at {cut}");
+        }
+        assert!(read_request(&frame[..KEY_OFF + 4]).is_some());
+    }
+
+    #[test]
     fn unknown_opcode_is_none() {
         let mut frame = vec![0u8; REQUEST_SIZE];
         frame[OP_OFF] = 9;
@@ -140,9 +159,7 @@ mod tests {
     fn get_ratio_is_respected() {
         let mut g = RequestGen::new(ZipfGen::new(1 << 16, 0.99, 1), 950, 2);
         let n = 20_000;
-        let gets = (0..n)
-            .filter(|_| g.next_request().op == KvOp::Get)
-            .count();
+        let gets = (0..n).filter(|_| g.next_request().op == KvOp::Get).count();
         let frac = gets as f64 / n as f64;
         assert!((frac - 0.95).abs() < 0.01, "GET fraction {frac}");
     }

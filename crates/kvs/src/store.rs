@@ -148,7 +148,10 @@ impl KvStore {
     ///
     /// Panics when either key is out of range.
     pub fn swap_keys(&mut self, m: &mut Machine, core: usize, a: u32, b: u32) -> Cycles {
-        assert!((a as usize) < self.len() && (b as usize) < self.len(), "key out of range");
+        assert!(
+            (a as usize) < self.len() && (b as usize) < self.len(),
+            "key out of range"
+        );
         if a == b {
             return 0;
         }
@@ -163,8 +166,16 @@ impl KvStore {
         cycles += m.write_bytes(core, self.slots.line(slot_a), &vb);
         cycles += m.write_bytes(core, self.slots.line(slot_b), &va);
         // Swap the index entries.
-        cycles += m.write_bytes(core, self.index.pa(a as usize * 4), &(slot_b as u32).to_le_bytes());
-        cycles += m.write_bytes(core, self.index.pa(b as usize * 4), &(slot_a as u32).to_le_bytes());
+        cycles += m.write_bytes(
+            core,
+            self.index.pa(a as usize * 4),
+            &(slot_b as u32).to_le_bytes(),
+        );
+        cycles += m.write_bytes(
+            core,
+            self.index.pa(b as usize * 4),
+            &(slot_a as u32).to_le_bytes(),
+        );
         cycles
     }
 }
@@ -205,10 +216,7 @@ mod tests {
         let mut m = Machine::new(
             MachineConfig::haswell_e5_2667_v3().with_dram_capacity((region_mb * 3) << 20),
         );
-        let r = m
-            .mem_mut()
-            .alloc(region_mb << 20, 1 << 20)
-            .unwrap();
+        let r = m.mem_mut().alloc(region_mb << 20, 1 << 20).unwrap();
         let h = XorSliceHash::haswell_8slice();
         (m, SliceAllocator::new(r, move |pa| h.slice_of(pa)))
     }
@@ -227,13 +235,7 @@ mod tests {
     #[test]
     fn slice_aware_values_all_in_target_slice() {
         let (mut m, mut a) = setup(16);
-        let kv = KvStore::build(
-            &mut m,
-            &mut a,
-            2048,
-            Placement::SliceAware { slice: 0 },
-        )
-        .unwrap();
+        let kv = KvStore::build(&mut m, &mut a, 2048, Placement::SliceAware { slice: 0 }).unwrap();
         for key in [0u32, 1, 100, 2047] {
             let pa = kv.value_pa(&mut m, key);
             assert_eq!(m.slice_of(pa), 0, "key {key}");

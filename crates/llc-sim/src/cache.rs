@@ -7,7 +7,7 @@
 //! behavioural model because a hit/miss decision never depends on data.
 
 use crate::replacement::{ReplacementKind, ReplacementState};
-use rand::rngs::SmallRng;
+use trafficgen::Rng64;
 
 /// One resident cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +46,7 @@ pub struct SetAssocCache {
     ways: usize,
     set_count: usize,
     set_mask: u64,
-    rng: SmallRng,
+    rng: Rng64,
     stats: CacheStats,
 }
 
@@ -126,10 +126,7 @@ impl SetAssocCache {
     /// (an observation, not a simulated access).
     pub fn probe(&self, line: u64) -> bool {
         let set = self.set_of(line);
-        self.sets[set]
-            .iter()
-            .flatten()
-            .any(|e| e.line == line)
+        self.sets[set].iter().flatten().any(|e| e.line == line)
     }
 
     /// Marks a resident line dirty; returns false when not resident.
@@ -331,8 +328,8 @@ mod tests {
     fn masked_insert_hits_outside_mask() {
         let mut c = cache(1, 4);
         c.insert(0, false); // Lands in way 0.
-        // Re-inserting line 0 with a mask excluding way 0 must still update
-        // in place (hit path ignores the mask, like hardware).
+                            // Re-inserting line 0 with a mask excluding way 0 must still update
+                            // in place (hit path ignores the mask, like hardware).
         assert!(c.insert_masked(0, true, 0b1000).is_none());
         let mut found_dirty = false;
         for (l, d) in c.resident_lines() {

@@ -244,7 +244,10 @@ impl Machine {
             return None;
         }
         for c in 0..self.cfg.cores {
-            for (line, _) in self.l1[c].resident_lines().chain(self.l2[c].resident_lines()) {
+            for (line, _) in self.l1[c]
+                .resident_lines()
+                .chain(self.l2[c].resident_lines())
+            {
                 let s = self.hash.slice_of(PhysAddr(line << 6));
                 if !self.llc[s].probe(line) {
                     return Some((c, line));
@@ -491,12 +494,11 @@ impl Machine {
     /// Fills a line into `core`'s L1, spilling the victim to L2.
     fn fill_l1(&mut self, core: usize, line: u64, dirty: bool) {
         if let Some(ev) = self.l1[core].insert(line, dirty) {
-            if ev.dirty
-                && !self.l2[core].mark_dirty(ev.line) {
-                    // Not in L2 (victim-mode L2 may have dropped it):
-                    // re-insert dirty.
-                    self.fill_l2(core, ev.line, true);
-                }
+            if ev.dirty && !self.l2[core].mark_dirty(ev.line) {
+                // Not in L2 (victim-mode L2 may have dropped it):
+                // re-insert dirty.
+                self.fill_l2(core, ev.line, true);
+            }
         }
     }
 
@@ -567,9 +569,7 @@ mod tests {
     use crate::prefetch::PrefetchConfig;
 
     fn haswell() -> Machine {
-        Machine::new(
-            MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 * 1024 * 1024),
-        )
+        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 * 1024 * 1024))
     }
 
     fn skylake() -> Machine {
@@ -730,10 +730,7 @@ mod tests {
         for i in 1..=17 {
             m.touch_read(0, r.pa(i * 64 * 1024));
         }
-        assert!(
-            m.llc_probe(s, pa),
-            "L2 victim must have moved into the LLC"
-        );
+        assert!(m.llc_probe(s, pa), "L2 victim must have moved into the LLC");
         // And it is still absent from L1/L2, so the next read is an LLC hit
         // at mesh latency.
         let c = m.touch_read(0, pa);
@@ -907,7 +904,7 @@ mod tests {
         let mut m = haswell();
         let r = m.mem_mut().alloc(16 << 20, 1 << 20).unwrap();
         m.touch_write(0, r.pa(0)); // Backlog: one DRAM RFO (192 cycles).
-        // Enough ALU work for the fill to retire in the background.
+                                   // Enough ALU work for the fill to retire in the background.
         m.advance(0, 500);
         let before = m.now(0);
         m.drain_write_backs(0);
@@ -958,7 +955,11 @@ mod tests {
         for i in 60..120 {
             m.touch_read(0, r.pa(i * 64 * 1024));
         }
-        assert_eq!(m.check_inclusion(), None, "victim mode has no invariant to break");
+        assert_eq!(
+            m.check_inclusion(),
+            None,
+            "victim mode has no invariant to break"
+        );
         // All data still readable.
         let (v, _) = m.read_u64(0, r.pa(0));
         assert_eq!(v, 0);

@@ -6,8 +6,7 @@
 //! methodology of §2.2), tree-PLRU (closer to real silicon) and seeded
 //! random (worst-case baseline).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use trafficgen::Rng64;
 
 /// Which replacement policy a cache uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +89,7 @@ impl ReplacementState {
     }
 
     /// Chooses the way to evict. `rng` is used only by the random policy.
-    pub fn victim(&self, rng: &mut SmallRng) -> usize {
+    pub fn victim(&self, rng: &mut Rng64) -> usize {
         match self {
             ReplacementState::Lru { stamps, .. } => {
                 let mut best = 0;
@@ -130,7 +129,7 @@ impl ReplacementState {
     /// # Panics
     ///
     /// Panics when `mask` allows no way.
-    pub fn victim_masked(&self, rng: &mut SmallRng, mask: u64) -> usize {
+    pub fn victim_masked(&self, rng: &mut Rng64, mask: u64) -> usize {
         assert!(mask != 0, "way mask allows no victim");
         match self {
             ReplacementState::Lru { stamps, .. } => {
@@ -160,8 +159,8 @@ impl ReplacementState {
     }
 
     /// Deterministic RNG used by caches for the random policy.
-    pub fn make_rng(seed: u64) -> SmallRng {
-        SmallRng::seed_from_u64(seed)
+    pub fn make_rng(seed: u64) -> Rng64 {
+        Rng64::seed_from_u64(seed)
     }
 }
 
@@ -169,7 +168,7 @@ impl ReplacementState {
 mod tests {
     use super::*;
 
-    fn rng() -> SmallRng {
+    fn rng() -> Rng64 {
         ReplacementState::make_rng(7)
     }
 

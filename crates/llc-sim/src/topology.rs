@@ -69,7 +69,10 @@ impl RingBus {
     ///
     /// Panics when `nodes == 0` or `nodes` is odd (pairs sit on two rings).
     pub fn new(nodes: usize, base: u32, hop: u32, cross: u32) -> Self {
-        assert!(nodes > 0 && nodes.is_multiple_of(2), "need an even node count");
+        assert!(
+            nodes > 0 && nodes.is_multiple_of(2),
+            "need an even node count"
+        );
         Self {
             nodes,
             base,
@@ -146,16 +149,7 @@ impl Mesh {
     /// {S2,S6} {S1} {S11} {S13} {S7,S9} {S16} {S5} {S17}.
     pub fn skylake_6134() -> Self {
         const PRIMARY: [usize; 8] = [0, 4, 8, 12, 10, 14, 3, 15];
-        const SECONDARY: [&[usize]; 8] = [
-            &[2, 6],
-            &[1],
-            &[11],
-            &[13],
-            &[7, 9],
-            &[16],
-            &[5],
-            &[17],
-        ];
+        const SECONDARY: [&[usize]; 8] = [&[2, 6], &[1], &[11], &[13], &[7, 9], &[16], &[5], &[17]];
         let slices = 18;
         let mut hops = vec![vec![0u8; slices]; 8];
         for core in 0..8 {
@@ -263,16 +257,7 @@ mod tests {
     #[test]
     fn mesh_matches_table4_secondaries() {
         let m = Mesh::skylake_6134();
-        let secondaries: [&[usize]; 8] = [
-            &[2, 6],
-            &[1],
-            &[11],
-            &[13],
-            &[7, 9],
-            &[16],
-            &[5],
-            &[17],
-        ];
+        let secondaries: [&[usize]; 8] = [&[2, 6], &[1], &[11], &[13], &[7, 9], &[16], &[5], &[17]];
         for (core, &secs) in secondaries.iter().enumerate() {
             let order = m.slices_by_distance(core);
             let second_lat = m.llc_latency(core, order[1]);
@@ -290,7 +275,10 @@ mod tests {
         let lo = *lats.iter().min().unwrap();
         let hi = *lats.iter().max().unwrap();
         assert_eq!(lo, 44);
-        assert!((70..=80).contains(&hi), "Fig. 16 tops out near ~75, got {hi}");
+        assert!(
+            (70..=80).contains(&hi),
+            "Fig. 16 tops out near ~75, got {hi}"
+        );
     }
 
     #[test]

@@ -1,4 +1,8 @@
-//! Property-based tests for the simulator's core structures.
+//! Property-style tests for the simulator's core structures.
+//!
+//! Formerly proptest-based; now seeded loops over the in-tree
+//! [`trafficgen::Rng64`] so the suite runs fully offline with the same
+//! coverage (every case is a deterministic function of the loop seed).
 
 use llc_sim::addr::{split_lines, PhysAddr};
 use llc_sim::cache::SetAssocCache;
@@ -6,200 +10,237 @@ use llc_sim::hash::{FoldedSliceHash, SliceHash, XorSliceHash};
 use llc_sim::machine::{Machine, MachineConfig};
 use llc_sim::replacement::ReplacementKind;
 use llc_sim::topology::{Interconnect, Mesh, RingBus};
-use proptest::prelude::*;
+use trafficgen::Rng64;
 
-proptest! {
-    /// The XOR hash is constant within a cache line and uses only bits
-    /// 6..=38.
-    #[test]
-    fn hash_line_granularity(base in 0u64..(1 << 38), off in 0u64..64) {
-        let h = XorSliceHash::haswell_8slice();
+/// The XOR hash is constant within a cache line and uses only bits 6..=38.
+#[test]
+fn hash_line_granularity() {
+    let h = XorSliceHash::haswell_8slice();
+    let mut rng = Rng64::seed_from_u64(0x11ac);
+    for _ in 0..256 {
+        let base = rng.gen_range(0u64..(1 << 38));
+        let off = rng.gen_range(0u64..64);
         let line_start = base & !63;
-        prop_assert_eq!(
+        assert_eq!(
             h.slice_of(PhysAddr(line_start)),
             h.slice_of(PhysAddr(line_start + off))
         );
-        prop_assert!(h.slice_of(PhysAddr(base)) < 8);
+        assert!(h.slice_of(PhysAddr(base)) < 8);
     }
+}
 
-    /// The hash is GF(2)-linear: slice(a ^ b ^ c) = s(a) ^ s(b) ^ s(c)
-    /// for line-aligned inputs (since each output bit is a parity).
-    #[test]
-    fn hash_is_linear(a in 0u64..(1 << 32), b in 0u64..(1 << 32)) {
-        let h = XorSliceHash::haswell_8slice();
+/// The hash is GF(2)-linear: slice(a ^ b) ^ slice(0) = s(a) ^ s(b).
+#[test]
+fn hash_is_linear() {
+    let h = XorSliceHash::haswell_8slice();
+    let mut rng = Rng64::seed_from_u64(0x11ad);
+    for _ in 0..256 {
+        let a = rng.gen_range(0u64..(1 << 32));
+        let b = rng.gen_range(0u64..(1 << 32));
         let sa = h.slice_of(PhysAddr(a));
         let sb = h.slice_of(PhysAddr(b));
         let sx = h.slice_of(PhysAddr(a ^ b));
         let s0 = h.slice_of(PhysAddr(0));
-        prop_assert_eq!(sx ^ s0, sa ^ sb);
+        assert_eq!(sx ^ s0, sa ^ sb);
     }
+}
 
-    /// The folded (Skylake) hash stays in range and is line-stable.
-    #[test]
-    fn folded_hash_in_range(base in 0u64..(1 << 40), slices in 1usize..64) {
+/// The folded (Skylake) hash stays in range and is line-stable.
+#[test]
+fn folded_hash_in_range() {
+    let mut rng = Rng64::seed_from_u64(0x11ae);
+    for _ in 0..256 {
+        let base = rng.gen_range(0u64..(1 << 40));
+        let slices = rng.gen_range(1usize..64);
         let h = FoldedSliceHash::new(slices);
         let s = h.slice_of(PhysAddr(base));
-        prop_assert!(s < slices);
-        prop_assert_eq!(s, h.slice_of(PhysAddr((base & !63) + 63)));
+        assert!(s < slices);
+        assert_eq!(s, h.slice_of(PhysAddr((base & !63) + 63)));
     }
+}
 
-    /// `split_lines` tiles a byte range exactly: pieces are contiguous,
-    /// line-aligned, and sum to the requested length.
-    #[test]
-    fn split_lines_tiles_exactly(addr in 0u64..100_000, len in 0usize..5_000) {
+/// `split_lines` tiles a byte range exactly: pieces are contiguous,
+/// line-aligned, and sum to the requested length.
+#[test]
+fn split_lines_tiles_exactly() {
+    let mut rng = Rng64::seed_from_u64(0x11af);
+    for _ in 0..256 {
+        let addr = rng.gen_range(0u64..100_000);
+        let len = rng.gen_range(0usize..5_000);
         let pieces: Vec<_> = split_lines(PhysAddr(addr), len).collect();
         let total: usize = pieces.iter().map(|p| p.2).sum();
-        prop_assert_eq!(total, len);
+        assert_eq!(total, len);
         let mut cursor = addr;
         for (base, off, n) in pieces {
-            prop_assert!(base.is_line_aligned());
-            prop_assert_eq!(base.raw() + off as u64, cursor);
-            prop_assert!(off + n <= 64);
+            assert!(base.is_line_aligned());
+            assert_eq!(base.raw() + off as u64, cursor);
+            assert!(off + n <= 64);
             cursor += n as u64;
         }
     }
+}
 
-    /// A set-associative cache never exceeds its capacity, never loses a
-    /// line silently (evictions are reported), and a lookup right after
-    /// insert always hits.
-    #[test]
-    fn cache_accounting(
-        ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..200),
-        ways in 1usize..8,
-    ) {
+/// A set-associative cache never exceeds its capacity, never loses a
+/// line silently (evictions are reported), and a lookup right after
+/// insert always hits.
+#[test]
+fn cache_accounting() {
+    let mut rng = Rng64::seed_from_u64(0x11b0);
+    for case in 0..64 {
+        let ways = rng.gen_range(1usize..8);
+        let n_ops = rng.gen_range(1usize..200);
         let mut c = SetAssocCache::new(16, ways, ReplacementKind::Lru, 1);
         let mut resident = std::collections::HashSet::new();
-        for (line, dirty) in ops {
+        for _ in 0..n_ops {
+            let line = rng.gen_range(0u64..512);
+            let dirty = rng.gen_bool(0.5);
             if let Some(ev) = c.insert(line, dirty) {
-                prop_assert!(resident.remove(&ev.line), "evicted a non-resident line");
+                assert!(
+                    resident.remove(&ev.line),
+                    "case {case}: evicted a non-resident line"
+                );
             }
             resident.insert(line);
-            prop_assert!(c.lookup(line).is_some(), "just-inserted line must hit");
-            prop_assert!(c.occupancy() <= 16 * ways);
-            prop_assert_eq!(c.occupancy(), resident.len());
+            assert!(c.lookup(line).is_some(), "just-inserted line must hit");
+            assert!(c.occupancy() <= 16 * ways);
+            assert_eq!(c.occupancy(), resident.len());
         }
         for &line in &resident {
-            prop_assert!(c.probe(line), "tracked line {} missing", line);
+            assert!(c.probe(line), "tracked line {line} missing");
         }
     }
+}
 
-    /// Dirtiness is sticky: once inserted dirty (or marked), a line
-    /// leaves the cache dirty.
-    #[test]
-    fn cache_dirty_sticky(lines in proptest::collection::vec(0u64..64, 1..50)) {
+/// Dirtiness is sticky: once inserted dirty, a line leaves the cache dirty.
+#[test]
+fn cache_dirty_sticky() {
+    let mut rng = Rng64::seed_from_u64(0x11b1);
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..50);
         let mut c = SetAssocCache::new(4, 2, ReplacementKind::Lru, 2);
         let mut dirty_set = std::collections::HashSet::new();
-        for line in lines {
+        for _ in 0..n {
+            let line = rng.gen_range(0u64..64);
             if let Some(ev) = c.insert(line, true) {
-                prop_assert!(dirty_set.remove(&ev.line));
-                prop_assert!(ev.dirty, "dirty line must be evicted dirty");
+                assert!(dirty_set.remove(&ev.line));
+                assert!(ev.dirty, "dirty line must be evicted dirty");
             }
             dirty_set.insert(line);
         }
     }
+}
 
-    /// Ring latency is symmetric in core-relative distance and bounded.
-    #[test]
-    fn ring_latency_bounds(core in 0usize..8, slice in 0usize..8) {
-        let r = RingBus::haswell_8();
-        let lat = r.llc_latency(core, slice);
-        prop_assert!((34..=54).contains(&lat));
-        prop_assert_eq!(r.llc_latency(core, core), 34);
-    }
-
-    /// Mesh latencies are bounded and every core's closest slice is
-    /// unique to it (Table 4 structure).
-    #[test]
-    fn mesh_latency_bounds(core in 0usize..8, slice in 0usize..18) {
-        let m = Mesh::skylake_6134();
-        let lat = m.llc_latency(core, slice);
-        prop_assert!((44..=74).contains(&lat));
+/// Ring latency is symmetric in core-relative distance and bounded.
+#[test]
+fn ring_latency_bounds() {
+    let r = RingBus::haswell_8();
+    for core in 0..8 {
+        for slice in 0..8 {
+            let lat = r.llc_latency(core, slice);
+            assert!((34..=54).contains(&lat));
+        }
+        assert_eq!(r.llc_latency(core, core), 34);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Mesh latencies are bounded (Table 4 structure).
+#[test]
+fn mesh_latency_bounds() {
+    let m = Mesh::skylake_6134();
+    for core in 0..8 {
+        for slice in 0..18 {
+            let lat = m.llc_latency(core, slice);
+            assert!((44..=74).contains(&lat));
+        }
+    }
+}
 
-    /// Timed reads return one of the four architectural latencies, and
-    /// repeating a read never goes slower (monotone warm-up) in the
-    /// absence of interfering traffic.
-    #[test]
-    fn read_latency_levels(offsets in proptest::collection::vec(0usize..4096, 1..40)) {
-        let mut m = Machine::new(
-            MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20),
-        );
+/// Timed reads return one of the four architectural latencies, and an
+/// immediate repeat always hits L1.
+#[test]
+fn read_latency_levels() {
+    let mut rng = Rng64::seed_from_u64(0x11b2);
+    for _ in 0..8 {
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
         let r = m.mem_mut().alloc(1 << 20, 1 << 20).unwrap();
-        for off in offsets {
+        let n = rng.gen_range(1usize..40);
+        for _ in 0..n {
+            let off = rng.gen_range(0usize..4096);
             let pa = r.pa(off * 64);
             let c1 = m.touch_read(0, pa);
             let slice = m.slice_of(pa);
             let llc = u64::from(m.llc_latency(0, slice));
-            prop_assert!(
+            assert!(
                 c1 == 4 || c1 == 11 || c1 == llc || c1 == 192,
                 "unexpected latency {c1}"
             );
             let c2 = m.touch_read(0, pa);
-            prop_assert_eq!(c2, 4, "immediate re-read must hit L1");
+            assert_eq!(c2, 4, "immediate re-read must hit L1");
         }
     }
+}
 
-    /// Data written through the timed path is always read back intact,
-    /// regardless of cache state (caches are metadata-only).
-    #[test]
-    fn data_integrity_through_caches(
-        writes in proptest::collection::vec((0usize..8192, any::<u64>()), 1..60),
-    ) {
-        let mut m = Machine::new(
-            MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20),
-        );
+/// Data written through the timed path is always read back intact,
+/// regardless of cache state (caches are metadata-only).
+#[test]
+fn data_integrity_through_caches() {
+    let mut rng = Rng64::seed_from_u64(0x11b3);
+    for _ in 0..8 {
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
         let r = m.mem_mut().alloc(1 << 20, 1 << 20).unwrap();
         let mut model = std::collections::HashMap::new();
-        for (slot, v) in writes {
+        let n = rng.gen_range(1usize..60);
+        for _ in 0..n {
+            let slot = rng.gen_range(0usize..8192);
+            let v = rng.next_u64();
             m.write_u64(0, r.pa(slot * 8), v);
             model.insert(slot, v);
             // Occasionally flush to force re-fetch paths.
-            if slot % 3 == 0 {
+            if slot.is_multiple_of(3) {
                 m.clflush(0, r.pa(slot * 8));
             }
         }
         for (slot, v) in model {
             let (got, _) = m.read_u64(0, r.pa(slot * 8));
-            prop_assert_eq!(got, v, "slot {}", slot);
+            assert_eq!(got, v, "slot {slot}");
         }
     }
+}
 
-    /// DMA'd bytes land in memory and in the LLC, and core reads see them.
-    #[test]
-    fn dma_coherency(frames in proptest::collection::vec((0usize..256, 1usize..200), 1..20)) {
-        let mut m = Machine::new(
-            MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20),
-        );
+/// DMA'd bytes land in memory and in the LLC, and core reads see them.
+#[test]
+fn dma_coherency() {
+    let mut rng = Rng64::seed_from_u64(0x11b4);
+    for _ in 0..8 {
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
         let r = m.mem_mut().alloc(1 << 20, 1 << 20).unwrap();
-        for (slot, len) in frames {
+        let n = rng.gen_range(1usize..20);
+        for _ in 0..n {
+            let slot = rng.gen_range(0usize..256);
+            let len = rng.gen_range(1usize..200);
             let pa = r.pa(slot * 2048);
             let data = vec![(slot % 251) as u8; len];
             m.dma_write(pa, &data);
             let mut back = vec![0u8; len];
             m.read_bytes(0, pa, &mut back);
-            prop_assert_eq!(back, data);
+            assert_eq!(back, data);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The inclusive-LLC invariant holds under arbitrary interleavings of
-    /// reads, writes, flushes and DMA from all cores.
-    #[test]
-    fn inclusion_invariant_under_chaos(
-        ops in proptest::collection::vec((0u8..4, 0usize..8, 0usize..2048), 1..150),
-    ) {
-        let mut m = Machine::new(
-            MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20),
-        );
+/// The inclusive-LLC invariant holds under arbitrary interleavings of
+/// reads, writes, flushes and DMA from all cores.
+#[test]
+fn inclusion_invariant_under_chaos() {
+    let mut rng = Rng64::seed_from_u64(0x11b5);
+    for _ in 0..6 {
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
         let r = m.mem_mut().alloc(1 << 20, 1 << 20).unwrap();
-        for (op, core, slot) in ops {
+        let n = rng.gen_range(1usize..150);
+        for _ in 0..n {
+            let op = rng.gen_range(0u32..4);
+            let core = rng.gen_range(0usize..8);
+            let slot = rng.gen_range(0usize..2048);
             let pa = r.pa(slot * 512);
             match op {
                 0 => {
@@ -213,7 +254,7 @@ proptest! {
                 }
                 _ => m.dma_write(pa, &[1u8; 64]),
             }
-            prop_assert_eq!(m.check_inclusion(), None);
+            assert_eq!(m.check_inclusion(), None);
         }
     }
 }

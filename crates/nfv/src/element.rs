@@ -42,13 +42,44 @@ impl Pkt {
     }
 
     /// The parsed 5-tuple, parsing (timed) on first use.
-    pub fn flow(&mut self, ctx: &mut Ctx<'_>) -> (FlowTuple, Cycles) {
+    ///
+    /// `None` means the frame does not carry a well-formed
+    /// Ethernet+IPv4+TCP prefix (truncated or malformed); elements must
+    /// drop such packets as [`DropCause::Parse`], never panic.
+    pub fn flow(&mut self, ctx: &mut Ctx<'_>) -> (Option<FlowTuple>, Cycles) {
         if let Some(f) = self.flow {
-            return (f, 0);
+            return (Some(f), 0);
         }
-        let (hdr, c) = crate::packet::parse_header(ctx.m, ctx.core, self.data_pa);
-        self.flow = Some(hdr.flow);
-        (hdr.flow, c)
+        let (hdr, c) =
+            crate::packet::parse_header(ctx.m, ctx.core, self.data_pa, usize::from(self.len));
+        self.flow = hdr.map(|h| h.flow);
+        (self.flow, c)
+    }
+}
+
+/// Why an element dropped a packet — the software half of the drop
+/// accounting (the NIC half is [`rte::nic::DropReason`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The frame failed header parsing (truncated or malformed).
+    Parse,
+    /// No route matched the destination.
+    NoRoute,
+    /// A flow table was full and could not admit the flow.
+    TableExhausted,
+    /// Deliberate policy drop (filters, DPI verdicts).
+    Policy,
+}
+
+impl std::fmt::Display for DropCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::Parse => "parse failure",
+            Self::NoRoute => "no route",
+            Self::TableExhausted => "flow table exhausted",
+            Self::Policy => "policy",
+        };
+        f.write_str(s)
     }
 }
 
@@ -57,8 +88,8 @@ impl Pkt {
 pub enum Action {
     /// Pass to the next element / transmit.
     Forward,
-    /// Drop the packet.
-    Drop,
+    /// Drop the packet, with the cause for the accounting.
+    Drop(DropCause),
 }
 
 /// A packet-processing element.
@@ -112,8 +143,8 @@ impl ServiceChain {
         for e in &mut self.elements {
             let (action, c) = e.process(ctx, pkt);
             total += c;
-            if action == Action::Drop {
-                return (Action::Drop, total);
+            if let Action::Drop(cause) = action {
+                return (Action::Drop(cause), total);
             }
         }
         (Action::Forward, total)
@@ -175,10 +206,7 @@ mod tests {
                 action: Action::Forward,
             }));
         assert_eq!(chain.len(), 2);
-        let mut ctx = Ctx {
-            m: &mut m,
-            core: 0,
-        };
+        let mut ctx = Ctx { m: &mut m, core: 0 };
         let (a, c) = chain.process(&mut ctx, &mut pkt());
         assert_eq!(a, Action::Forward);
         assert_eq!(c, 20);
@@ -190,18 +218,15 @@ mod tests {
         let mut chain = ServiceChain::new()
             .push(Box::new(CountingElement {
                 calls: 0,
-                action: Action::Drop,
+                action: Action::Drop(DropCause::Policy),
             }))
             .push(Box::new(CountingElement {
                 calls: 0,
                 action: Action::Forward,
             }));
-        let mut ctx = Ctx {
-            m: &mut m,
-            core: 0,
-        };
+        let mut ctx = Ctx { m: &mut m, core: 0 };
         let (a, c) = chain.process(&mut ctx, &mut pkt());
-        assert_eq!(a, Action::Drop);
+        assert_eq!(a, Action::Drop(DropCause::Policy));
         assert_eq!(c, 10, "second element must not run");
     }
 
@@ -220,16 +245,31 @@ mod tests {
             mark: None,
             flow: None,
         };
-        let mut ctx = Ctx {
-            m: &mut m,
-            core: 0,
-        };
+        let mut ctx = Ctx { m: &mut m, core: 0 };
         let (flow1, c1) = p.flow(&mut ctx);
         let (flow2, c2) = p.flow(&mut ctx);
-        assert_eq!(flow1, f);
-        assert_eq!(flow2, f);
+        assert_eq!(flow1, Some(f));
+        assert_eq!(flow2, Some(f));
         assert!(c1 > 0);
         assert_eq!(c2, 0, "cached parse is free");
+    }
+
+    #[test]
+    fn flow_on_garbage_is_none_not_panic() {
+        let mut m = machine();
+        let r = m.mem_mut().alloc(4096, 4096).unwrap();
+        m.mem_mut().write(r.pa(0), &[0xffu8; 64]);
+        let mut p = Pkt {
+            mbuf: 0,
+            data_pa: r.pa(0),
+            len: 20,
+            mark: None,
+            flow: None,
+        };
+        let mut ctx = Ctx { m: &mut m, core: 0 };
+        let (flow, c) = p.flow(&mut ctx);
+        assert_eq!(flow, None);
+        assert!(c > 0, "failed parse still costs cycles");
     }
 
     #[test]

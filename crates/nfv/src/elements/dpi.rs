@@ -7,7 +7,7 @@
 //! calls DPI out as wanting a *configurable* window rather than the
 //! header default.
 
-use crate::element::{Action, Ctx, Element, Pkt};
+use crate::element::{Action, Ctx, DropCause, Element, Pkt};
 use llc_sim::hierarchy::Cycles;
 use llc_sim::CACHE_LINE;
 
@@ -86,7 +86,7 @@ impl Element for Dpi {
         if hit {
             self.stats.matches += 1;
             if self.action == MatchAction::Drop {
-                return (Action::Drop, cycles);
+                return (Action::Drop(DropCause::Policy), cycles);
             }
         }
         (Action::Forward, cycles)
@@ -105,8 +105,7 @@ mod tests {
     use trafficgen::FlowTuple;
 
     fn setup() -> (Machine, llc_sim::mem::Region) {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
         let r = m.mem_mut().alloc(8192, 4096).unwrap();
         (m, r)
     }
@@ -135,7 +134,7 @@ mod tests {
         let mut pkt = pkt_with_payload(&mut m, r, &payload);
         let mut ctx = Ctx { m: &mut m, core: 0 };
         let (a, _) = dpi.process(&mut ctx, &mut pkt);
-        assert_eq!(a, Action::Drop);
+        assert_eq!(a, Action::Drop(DropCause::Policy));
         assert_eq!(dpi.stats().matches, 1);
     }
 

@@ -5,7 +5,7 @@
 //! packets stick to it (per-flow state in simulated memory), and the
 //! destination IP is rewritten to the chosen backend.
 
-use crate::element::{Action, Ctx, Element, Pkt};
+use crate::element::{Action, Ctx, DropCause, Element, Pkt};
 use crate::packet::rewrite_dst_ip;
 use crate::table::{FlowTable, TableError};
 use llc_sim::hierarchy::Cycles;
@@ -20,6 +20,8 @@ pub struct LbStats {
     pub hits: u64,
     /// Packets dropped on table exhaustion.
     pub exhausted: u64,
+    /// Packets whose headers failed to parse (dropped).
+    pub malformed: u64,
 }
 
 /// The load-balancer element.
@@ -66,6 +68,10 @@ impl LoadBalancer {
 impl Element for LoadBalancer {
     fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt) -> (Action, Cycles) {
         let (flow, mut cycles) = pkt.flow(ctx);
+        let Some(flow) = flow else {
+            self.stats.malformed += 1;
+            return (Action::Drop(DropCause::Parse), cycles);
+        };
         let backends = &self.backends;
         let next_rr = &mut self.next_rr;
         let mut pick = || {
@@ -92,7 +98,7 @@ impl Element for LoadBalancer {
             }
             Err(TableError::Full) => {
                 self.stats.exhausted += 1;
-                (Action::Drop, cycles)
+                (Action::Drop(DropCause::TableExhausted), cycles)
             }
         }
     }
@@ -110,15 +116,18 @@ mod tests {
     use trafficgen::FlowTuple;
 
     fn setup() -> (Machine, LoadBalancer, llc_sim::mem::Region) {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
-        let lb = LoadBalancer::new(&mut m, 1024, vec![0x0a640001, 0x0a640002, 0x0a640003])
-            .unwrap();
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+        let lb = LoadBalancer::new(&mut m, 1024, vec![0x0a640001, 0x0a640002, 0x0a640003]).unwrap();
         let r = m.mem_mut().alloc(4096, 4096).unwrap();
         (m, lb, r)
     }
 
-    fn run_pkt(m: &mut Machine, lb: &mut LoadBalancer, r: llc_sim::mem::Region, f: &FlowTuple) -> u32 {
+    fn run_pkt(
+        m: &mut Machine,
+        lb: &mut LoadBalancer,
+        r: llc_sim::mem::Region,
+        f: &FlowTuple,
+    ) -> u32 {
         let mut buf = vec![0u8; 64];
         encode_frame(&mut buf, f, 64, 0.0, 0);
         m.mem_mut().write(r.pa(0), &buf);
@@ -164,8 +173,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one backend")]
     fn rejects_empty_backends() {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
         let _ = LoadBalancer::new(&mut m, 64, vec![]);
     }
 }

@@ -45,17 +45,13 @@ mod tests {
 
     #[test]
     fn swaps_and_counts() {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
         let r = m.mem_mut().alloc(4096, 4096).unwrap();
         let mut buf = vec![0u8; 64];
         encode_frame(&mut buf, &FlowTuple::tcp(1, 2, 3, 4), 64, 0.0, 0);
         m.mem_mut().write(r.pa(0), &buf);
         let mut e = MacSwap::new();
-        let mut ctx = Ctx {
-            m: &mut m,
-            core: 0,
-        };
+        let mut ctx = Ctx { m: &mut m, core: 0 };
         let mut pkt = Pkt {
             mbuf: 0,
             data_pa: r.pa(0),

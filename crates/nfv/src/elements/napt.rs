@@ -6,7 +6,7 @@
 //! what makes the stateful chain "more memory-intensive compared to the
 //! simple forwarding application" (§5.2.1).
 
-use crate::element::{Action, Ctx, Element, Pkt};
+use crate::element::{Action, Ctx, DropCause, Element, Pkt};
 use crate::packet::rewrite_src_port;
 use crate::table::{FlowTable, TableError};
 use llc_sim::hierarchy::Cycles;
@@ -21,6 +21,8 @@ pub struct NaptStats {
     pub hits: u64,
     /// Packets dropped because the table or port pool was exhausted.
     pub exhausted: u64,
+    /// Packets whose headers failed to parse (dropped).
+    pub malformed: u64,
 }
 
 /// The NAPT element.
@@ -55,6 +57,10 @@ impl Napt {
 impl Element for Napt {
     fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt) -> (Action, Cycles) {
         let (flow, mut cycles) = pkt.flow(ctx);
+        let Some(flow) = flow else {
+            self.stats.malformed += 1;
+            return (Action::Drop(DropCause::Parse), cycles);
+        };
         let next_port = &mut self.next_port;
         let mut fresh_port = || {
             let p = *next_port;
@@ -81,7 +87,7 @@ impl Element for Napt {
             }
             Err(TableError::Full) => {
                 self.stats.exhausted += 1;
-                (Action::Drop, cycles)
+                (Action::Drop(DropCause::TableExhausted), cycles)
             }
         }
     }
@@ -99,8 +105,7 @@ mod tests {
     use trafficgen::FlowTuple;
 
     fn setup() -> (Machine, Napt, llc_sim::mem::Region) {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
         let napt = Napt::new(&mut m, 1024).unwrap();
         let r = m.mem_mut().alloc(4096, 4096).unwrap();
         (m, napt, r)
@@ -125,19 +130,13 @@ mod tests {
         let flow = FlowTuple::tcp(0x0a000001, 5555, 0xc0a80001, 80);
         let mut first = pkt_for(&mut m, r, &flow);
         let port1 = {
-            let mut ctx = Ctx {
-                m: &mut m,
-                core: 0,
-            };
+            let mut ctx = Ctx { m: &mut m, core: 0 };
             napt.process(&mut ctx, &mut first);
             first.flow.unwrap().src_port
         };
         let mut second = pkt_for(&mut m, r, &flow);
         let port2 = {
-            let mut ctx = Ctx {
-                m: &mut m,
-                core: 0,
-            };
+            let mut ctx = Ctx { m: &mut m, core: 0 };
             napt.process(&mut ctx, &mut second);
             second.flow.unwrap().src_port
         };
@@ -153,10 +152,7 @@ mod tests {
         for i in 0..50u32 {
             let flow = FlowTuple::tcp(0x0a000000 + i, 1000, 0xc0a80001, 80);
             let mut p = pkt_for(&mut m, r, &flow);
-            let mut ctx = Ctx {
-                m: &mut m,
-                core: 0,
-            };
+            let mut ctx = Ctx { m: &mut m, core: 0 };
             napt.process(&mut ctx, &mut p);
             ports.insert(p.flow.unwrap().src_port);
         }
@@ -170,14 +166,30 @@ mod tests {
         let flow = FlowTuple::tcp(0x0a000001, 7777, 0xc0a80001, 80);
         let mut p = pkt_for(&mut m, r, &flow);
         {
-            let mut ctx = Ctx {
-                m: &mut m,
-                core: 0,
-            };
+            let mut ctx = Ctx { m: &mut m, core: 0 };
             napt.process(&mut ctx, &mut p);
         }
-        let (hdr, _) = crate::packet::parse_header(&mut m, 0, r.pa(0));
+        let (hdr, _) = crate::packet::parse_header(&mut m, 0, r.pa(0), 64);
+        let hdr = hdr.expect("well-formed frame parses");
         assert_eq!(hdr.flow.src_port, 10_000, "first pooled port");
         assert_ne!(hdr.flow.src_port, 7777);
+    }
+
+    #[test]
+    fn malformed_packet_drops_without_state() {
+        let (mut m, mut napt, r) = setup();
+        m.mem_mut().write(r.pa(0), &[0x5au8; 64]);
+        let mut p = Pkt {
+            mbuf: 0,
+            data_pa: r.pa(0),
+            len: 20,
+            mark: None,
+            flow: None,
+        };
+        let mut ctx = Ctx { m: &mut m, core: 0 };
+        let (a, _) = napt.process(&mut ctx, &mut p);
+        assert_eq!(a, Action::Drop(DropCause::Parse));
+        assert_eq!(napt.stats().malformed, 1);
+        assert_eq!(napt.flows(), 0, "no translation state for garbage");
     }
 }

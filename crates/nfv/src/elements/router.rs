@@ -7,7 +7,7 @@
 //! before the rule is installed) the element does the DIR-24-8 lookup in
 //! memory.
 
-use crate::element::{Action, Ctx, Element, Pkt};
+use crate::element::{Action, Ctx, DropCause, Element, Pkt};
 use crate::lpm::Lpm;
 use crate::packet::decrement_ttl;
 use llc_sim::hierarchy::Cycles;
@@ -22,6 +22,8 @@ pub struct RouterStats {
     pub software: u64,
     /// Packets with no route (dropped).
     pub no_route: u64,
+    /// Packets whose headers failed to parse (dropped).
+    pub malformed: u64,
 }
 
 /// The routing element.
@@ -80,6 +82,10 @@ impl Element for Router {
         } else {
             let (flow, c) = pkt.flow(ctx);
             cycles += c;
+            let Some(flow) = flow else {
+                self.stats.malformed += 1;
+                return (Action::Drop(DropCause::Parse), cycles);
+            };
             let (hop, c) = self.lpm.lookup(ctx.m, ctx.core, flow.dst_ip);
             cycles += c;
             self.stats.software += 1;
@@ -88,7 +94,7 @@ impl Element for Router {
         match next_hop {
             None => {
                 self.stats.no_route += 1;
-                (Action::Drop, cycles)
+                (Action::Drop(DropCause::NoRoute), cycles)
             }
             Some(hop) => {
                 self.last_next_hop = Some(hop);
@@ -115,8 +121,7 @@ mod tests {
     use trafficgen::FlowTuple;
 
     fn setup() -> (Machine, Router, llc_sim::mem::Region) {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
         let lpm = Lpm::build(
             &mut m,
             &[RouteEntry {
@@ -147,16 +152,13 @@ mod tests {
     fn software_path_routes_and_decrements_ttl() {
         let (mut m, mut router, r) = setup();
         let mut pkt = write_frame(&mut m, r, 0xc0a80505);
-        let mut ctx = Ctx {
-            m: &mut m,
-            core: 0,
-        };
+        let mut ctx = Ctx { m: &mut m, core: 0 };
         let (a, _) = router.process(&mut ctx, &mut pkt);
         assert_eq!(a, Action::Forward);
         assert_eq!(router.last_next_hop(), Some(3));
         assert_eq!(router.stats().software, 1);
-        let (hdr, _) = crate::packet::parse_header(&mut m, 0, r.pa(0));
-        assert_eq!(hdr.ttl, 63);
+        let (hdr, _) = crate::packet::parse_header(&mut m, 0, r.pa(0), 64);
+        assert_eq!(hdr.expect("well-formed frame parses").ttl, 63);
     }
 
     #[test]
@@ -164,10 +166,7 @@ mod tests {
         let (mut m, mut router, r) = setup();
         let mut pkt = write_frame(&mut m, r, 0xc0a80505);
         pkt.mark = Some(9);
-        let mut ctx = Ctx {
-            m: &mut m,
-            core: 0,
-        };
+        let mut ctx = Ctx { m: &mut m, core: 0 };
         let (a, _) = router.process(&mut ctx, &mut pkt);
         assert_eq!(a, Action::Forward);
         assert_eq!(router.last_next_hop(), Some(9));
@@ -179,13 +178,22 @@ mod tests {
     fn no_route_drops() {
         let (mut m, mut router, r) = setup();
         let mut pkt = write_frame(&mut m, r, 0x08080808);
-        let mut ctx = Ctx {
-            m: &mut m,
-            core: 0,
-        };
+        let mut ctx = Ctx { m: &mut m, core: 0 };
         let (a, _) = router.process(&mut ctx, &mut pkt);
-        assert_eq!(a, Action::Drop);
+        assert_eq!(a, Action::Drop(DropCause::NoRoute));
         assert_eq!(router.stats().no_route, 1);
+    }
+
+    #[test]
+    fn truncated_packet_drops_as_parse_failure() {
+        let (mut m, mut router, r) = setup();
+        let mut pkt = write_frame(&mut m, r, 0xc0a80505);
+        pkt.len = 30; // Shorter than the L2-L4 prefix.
+        let mut ctx = Ctx { m: &mut m, core: 0 };
+        let (a, _) = router.process(&mut ctx, &mut pkt);
+        assert_eq!(a, Action::Drop(DropCause::Parse));
+        assert_eq!(router.stats().malformed, 1);
+        assert_eq!(router.stats().no_route, 0);
     }
 
     #[test]
@@ -193,10 +201,7 @@ mod tests {
         let (mut m, mut router, r) = setup();
         let mut soft = write_frame(&mut m, r, 0xc0a80101);
         let c_soft = {
-            let mut ctx = Ctx {
-                m: &mut m,
-                core: 0,
-            };
+            let mut ctx = Ctx { m: &mut m, core: 0 };
             router.process(&mut ctx, &mut soft).1
         };
         // Fresh machine state for a fair cold comparison is overkill here;
@@ -204,10 +209,7 @@ mod tests {
         let mut hard = write_frame(&mut m, r, 0xc0a80101);
         hard.mark = Some(3);
         let c_mark = {
-            let mut ctx = Ctx {
-                m: &mut m,
-                core: 0,
-            };
+            let mut ctx = Ctx { m: &mut m, core: 0 };
             router.process(&mut ctx, &mut hard).1
         };
         assert!(c_mark < c_soft, "offload {c_mark} vs software {c_soft}");

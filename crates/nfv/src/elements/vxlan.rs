@@ -9,7 +9,7 @@
 //! slice": pairing this element with `CacheDirector::install(..,
 //! window_offset = 64)` places that second line.
 
-use crate::element::{Action, Ctx, Element, Pkt};
+use crate::element::{Action, Ctx, DropCause, Element, Pkt};
 use llc_sim::hierarchy::Cycles;
 use trafficgen::FlowTuple;
 
@@ -50,6 +50,8 @@ pub struct VxlanStats {
     pub decapped: u64,
     /// Frames that were not VXLAN (dropped by this element).
     pub not_vxlan: u64,
+    /// VXLAN frames too short to carry an inner frame (dropped).
+    pub truncated: u64,
 }
 
 /// The decapsulation element: validates the envelope, reads the VNI, and
@@ -80,16 +82,29 @@ impl VxlanDecap {
 impl Element for VxlanDecap {
     fn process(&mut self, ctx: &mut Ctx<'_>, pkt: &mut Pkt) -> (Action, Cycles) {
         // Read the outer UDP destination port + the VXLAN header: bytes
-        // 36..50, all within the first cache line.
-        let mut head = [0u8; 50];
-        let mut cycles = ctx.m.read_bytes(ctx.core, pkt.data_pa, &mut head);
+        // 36..50, all within the first cache line. Never read past the
+        // frame: a truncated envelope yields zeroed (non-matching) bytes.
+        let mut head = [0u8; VXLAN_OVERHEAD];
+        let readable = usize::from(pkt.len).min(VXLAN_OVERHEAD);
+        let mut cycles = ctx
+            .m
+            .read_bytes(ctx.core, pkt.data_pa, &mut head[..readable]);
         ctx.m.advance(ctx.core, DECAP_WORK);
         cycles += DECAP_WORK;
+        if usize::from(pkt.len) < VXLAN_OVERHEAD {
+            self.stats.truncated += 1;
+            return (Action::Drop(DropCause::Parse), cycles);
+        }
         let dst_port = u16::from_be_bytes([head[36], head[37]]);
         let is_vxlan = head[23] == 17 && dst_port == VXLAN_PORT && head[42] & 0x08 != 0;
-        if !is_vxlan || (pkt.len as usize) < VXLAN_OVERHEAD + crate::packet::HDR_LEN {
+        if !is_vxlan {
             self.stats.not_vxlan += 1;
-            return (Action::Drop, cycles);
+            return (Action::Drop(DropCause::Policy), cycles);
+        }
+        if usize::from(pkt.len) < VXLAN_OVERHEAD + crate::packet::HDR_LEN {
+            // The envelope is valid but the inner frame is cut short.
+            self.stats.truncated += 1;
+            return (Action::Drop(DropCause::Parse), cycles);
         }
         self.last_vni = Some(u32::from_be_bytes([0, head[46], head[47], head[48]]));
         // Decap: shift the packet view to the inner frame. The inner
@@ -114,8 +129,7 @@ mod tests {
     use llc_sim::machine::{Machine, MachineConfig};
 
     fn setup() -> (Machine, llc_sim::mem::Region) {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
         let r = m.mem_mut().alloc(8192, 4096).unwrap();
         (m, r)
     }
@@ -148,7 +162,7 @@ mod tests {
         assert_eq!(e.stats().decapped, 1);
         // The packet view now parses as the inner frame.
         let (flow, _) = pkt.flow(&mut Ctx { m: &mut m, core: 0 });
-        assert_eq!(flow, inner_flow);
+        assert_eq!(flow, Some(inner_flow));
         assert_eq!(pkt.len as usize, 128);
     }
 
@@ -169,7 +183,7 @@ mod tests {
         };
         let mut ctx = Ctx { m: &mut m, core: 0 };
         let (a, _) = e.process(&mut ctx, &mut pkt);
-        assert_eq!(a, Action::Drop);
+        assert_eq!(a, Action::Drop(DropCause::Policy));
         assert_eq!(e.stats().not_vxlan, 1);
     }
 
@@ -198,6 +212,31 @@ mod tests {
         };
         let mut ctx = Ctx { m: &mut m, core: 0 };
         let (a, _) = e.process(&mut ctx, &mut pkt);
-        assert_eq!(a, Action::Drop);
+        assert_eq!(a, Action::Drop(DropCause::Parse));
+        assert_eq!(e.stats().truncated, 1);
+    }
+
+    #[test]
+    fn envelope_shorter_than_vxlan_header_never_reads_past_frame() {
+        // A frame cut inside the outer headers: the element must reject
+        // it without touching bytes beyond `len`.
+        let (mut m, r) = setup();
+        let outer = FlowTuple::udp(1, 1, 2, VXLAN_PORT);
+        let frame = encapsulate(&outer, 7, &[0u8; 128]);
+        m.mem_mut().write(r.pa(0), &frame);
+        for cut in [0usize, 10, 36, 42, 49] {
+            let mut e = VxlanDecap::new();
+            let mut pkt = Pkt {
+                mbuf: 0,
+                data_pa: r.pa(0),
+                len: cut as u16,
+                mark: None,
+                flow: None,
+            };
+            let mut ctx = Ctx { m: &mut m, core: 0 };
+            let (a, _) = e.process(&mut ctx, &mut pkt);
+            assert_eq!(a, Action::Drop(DropCause::Parse), "cut at {cut}");
+            assert_eq!(e.stats().truncated, 1);
+        }
     }
 }

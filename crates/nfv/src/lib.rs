@@ -38,7 +38,7 @@
 //! cfg.mbufs = 512;
 //! let mut trace = CampusTrace::fixed_size(64, 16, 1);
 //! let mut sched = ArrivalSchedule::constant_pps(1000.0);
-//! let res = run_experiment(cfg, &mut trace, &mut sched, 200);
+//! let res = run_experiment(cfg, &mut trace, &mut sched, 200).expect("config fits");
 //! assert_eq!(res.delivered, 200);
 //! let p99 = res.summary().unwrap().percentile(99.0);
 //! assert!(p99 > 0.0);

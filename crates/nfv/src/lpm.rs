@@ -113,9 +113,8 @@ pub const LOOKUP_WORK: Cycles = 10;
 /// default route), so every destination resolves; the rest are random
 /// /8../24 prefixes that override the default for parts of the space.
 pub fn synth_routes(count: usize, seed: u64) -> Vec<RouteEntry> {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = SmallRng::seed_from_u64(seed);
+    use trafficgen::Rng64;
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut out = Vec::with_capacity(count);
     out.push(RouteEntry {
         prefix: 0,
@@ -130,8 +129,8 @@ pub fn synth_routes(count: usize, seed: u64) -> Vec<RouteEntry> {
         });
     }
     while out.len() < count {
-        let len = rng.gen_range(8..=24);
-        let prefix: u32 = rng.gen::<u32>() & (u32::MAX << (32 - len));
+        let len = rng.gen_range(8u32..=24) as u8;
+        let prefix: u32 = rng.next_u32() & (u32::MAX << (32 - u32::from(len)));
         out.push(RouteEntry {
             prefix,
             len,

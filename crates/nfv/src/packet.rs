@@ -73,12 +73,41 @@ pub struct ParsedHeader {
 
 /// Reads and parses the 54 B header prefix at `data_pa` (timed on
 /// `core`) — the access CacheDirector accelerates.
-pub fn parse_header(m: &mut Machine, core: usize, data_pa: PhysAddr) -> (ParsedHeader, Cycles) {
+///
+/// Fully bounds-checked: `frame_len` is the bytes actually on the wire,
+/// and no frame — truncated, malformed, or hostile — can make this
+/// panic. Returns `None` (still charging the cycles spent looking) when
+/// the frame is too short for an Ethernet+IPv4+TCP prefix, is not IPv4,
+/// has IP options (unsupported here), or claims an IP total length that
+/// does not fit in the frame (a mid-packet truncation).
+pub fn parse_header(
+    m: &mut Machine,
+    core: usize,
+    data_pa: PhysAddr,
+    frame_len: usize,
+) -> (Option<ParsedHeader>, Cycles) {
     let mut hdr = [0u8; HDR_LEN];
-    let mut cycles = m.read_bytes(core, data_pa, &mut hdr);
+    let readable = frame_len.min(HDR_LEN);
+    let mut cycles = m.read_bytes(core, data_pa, &mut hdr[..readable]);
     // Field extraction work.
     m.advance(core, PARSE_WORK);
     cycles += PARSE_WORK;
+    if frame_len < HDR_LEN {
+        return (None, cycles);
+    }
+    let ethertype = u16::from_be_bytes([hdr[12], hdr[13]]);
+    if ethertype != 0x0800 {
+        return (None, cycles);
+    }
+    // Version 4, IHL 5 (options unsupported).
+    if hdr[14] != 0x45 {
+        return (None, cycles);
+    }
+    let tot_len = usize::from(u16::from_be_bytes([hdr[16], hdr[17]]));
+    if tot_len < IPV4_LEN + TCP_LEN || tot_len > frame_len - ETH_LEN {
+        // Claims more (or fewer) bytes than the wire carried.
+        return (None, cycles);
+    }
     let flow = FlowTuple {
         src_ip: u32::from_be_bytes([hdr[26], hdr[27], hdr[28], hdr[29]]),
         dst_ip: u32::from_be_bytes([hdr[30], hdr[31], hdr[32], hdr[33]]),
@@ -86,7 +115,7 @@ pub fn parse_header(m: &mut Machine, core: usize, data_pa: PhysAddr) -> (ParsedH
         dst_port: u16::from_be_bytes([hdr[36], hdr[37]]),
         proto: hdr[23],
     };
-    (ParsedHeader { flow, ttl: hdr[22] }, cycles)
+    (Some(ParsedHeader { flow, ttl: hdr[22] }), cycles)
 }
 
 /// Cycles of pure-ALU work charged for header field extraction.
@@ -165,7 +194,8 @@ mod tests {
         let n = encode_frame(&mut buf, &flow(), 128, 123.0, 77);
         assert_eq!(n, 128);
         m.mem_mut().write(r.pa(0), &buf[..n]);
-        let (hdr, cycles) = parse_header(&mut m, 0, r.pa(0));
+        let (hdr, cycles) = parse_header(&mut m, 0, r.pa(0), n);
+        let hdr = hdr.expect("well-formed frame parses");
         assert_eq!(hdr.flow, flow());
         assert_eq!(hdr.ttl, 64);
         assert!(cycles > PARSE_WORK);
@@ -203,10 +233,59 @@ mod tests {
         rewrite_dst_ip(&mut m, 0, r.pa(0), 0x01020304);
         rewrite_src_port(&mut m, 0, r.pa(0), 9999);
         decrement_ttl(&mut m, 0, r.pa(0));
-        let (hdr, _) = parse_header(&mut m, 0, r.pa(0));
+        let (hdr, _) = parse_header(&mut m, 0, r.pa(0), 128);
+        let hdr = hdr.expect("well-formed frame parses");
         assert_eq!(hdr.flow.dst_ip, 0x01020304);
         assert_eq!(hdr.flow.src_port, 9999);
         assert_eq!(hdr.ttl, 63);
+    }
+
+    #[test]
+    fn truncated_frames_parse_to_none() {
+        let mut m = machine();
+        let r = m.mem_mut().alloc(4096, 4096).unwrap();
+        let mut buf = vec![0u8; 128];
+        let n = encode_frame(&mut buf, &flow(), 128, 0.0, 0);
+        m.mem_mut().write(r.pa(0), &buf[..n]);
+        // Every truncation point must be rejected, never panic: shorter
+        // than the L2-L4 prefix, or long enough for the prefix but
+        // shorter than the IP total length claims.
+        for cut in 0..HDR_LEN + 8 {
+            let (hdr, cycles) = parse_header(&mut m, 0, r.pa(0), cut);
+            assert!(hdr.is_none(), "cut at {cut} must not parse");
+            assert!(cycles >= PARSE_WORK, "rejection still costs cycles");
+        }
+        let (hdr, _) = parse_header(&mut m, 0, r.pa(0), 128);
+        assert!(hdr.is_some());
+    }
+
+    #[test]
+    fn malformed_headers_parse_to_none() {
+        let mut m = machine();
+        let r = m.mem_mut().alloc(4096, 4096).unwrap();
+        let mut buf = vec![0u8; 128];
+        encode_frame(&mut buf, &flow(), 128, 0.0, 0);
+        // Not IPv4 ethertype.
+        let mut bad = buf.clone();
+        bad[12] = 0x86;
+        bad[13] = 0xdd;
+        m.mem_mut().write(r.pa(0), &bad);
+        assert!(parse_header(&mut m, 0, r.pa(0), 128).0.is_none());
+        // IP options (IHL > 5).
+        let mut bad = buf.clone();
+        bad[14] = 0x46;
+        m.mem_mut().write(r.pa(0), &bad);
+        assert!(parse_header(&mut m, 0, r.pa(0), 128).0.is_none());
+        // IP total length larger than the wire frame.
+        let mut bad = buf.clone();
+        bad[16..18].copy_from_slice(&1400u16.to_be_bytes());
+        m.mem_mut().write(r.pa(0), &bad);
+        assert!(parse_header(&mut m, 0, r.pa(0), 128).0.is_none());
+        // IP total length too small for IPv4+TCP.
+        let mut bad = buf.clone();
+        bad[16..18].copy_from_slice(&20u16.to_be_bytes());
+        m.mem_mut().write(r.pa(0), &bad);
+        assert!(parse_header(&mut m, 0, r.pa(0), 128).0.is_none());
     }
 
     #[test]
@@ -218,11 +297,11 @@ mod tests {
         encode_frame(&mut buf, &flow(), 64, 0.0, 0);
         // DDIO-delivered header: LLC hit at slice distance.
         m.dma_write(pa, &buf);
-        let (_, cold) = parse_header(&mut m, 0, pa);
+        let (_, cold) = parse_header(&mut m, 0, pa, 64);
         let slice = m.slice_of(pa);
         assert_eq!(cold, u64::from(m.llc_latency(0, slice)) + PARSE_WORK);
         // Re-parse: L1 hit.
-        let (_, hot) = parse_header(&mut m, 0, pa);
+        let (_, hot) = parse_header(&mut m, 0, pa, 64);
         assert_eq!(hot, 4 + PARSE_WORK);
     }
 

@@ -14,6 +14,7 @@
 
 use crate::element::{Action, Ctx, Pkt, ServiceChain};
 use crate::elements::{LoadBalancer, MacSwap, Napt};
+use crate::runtime::{mem_err, SetupError};
 use cache_director::{CacheDirector, CACHEDIRECTOR_HEADROOM};
 use llc_sim::machine::{Machine, MachineConfig};
 use rte::mempool::MbufPool;
@@ -91,12 +92,17 @@ struct Handoff {
 }
 
 /// Runs `n` packets through the two-stage pipeline at `pps`.
+///
+/// # Errors
+///
+/// Returns [`SetupError`] when the mempool or a flow table does not fit
+/// the simulated DRAM.
 pub fn run_pipeline(
     cfg: &PipelineConfig,
     flows: usize,
     pps: f64,
     n: usize,
-) -> PipelineResult {
+) -> Result<PipelineResult, SetupError> {
     let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_seed(cfg.seed));
     let (c1, c2) = (cfg.stage1_core, cfg.stage2_core);
     let policy = PlacementPolicy::from_topology(&m);
@@ -111,17 +117,21 @@ pub fn run_pipeline(
         headroom_cap,
         rte::mbuf::DEFAULT_DATAROOM,
     )
-    .expect("pool fits");
+    .map_err(mem_err("pipeline mempool"))?;
     let cores = m.config().cores;
     let mut policy: Box<dyn HeadroomPolicy> = match cfg.headroom {
         PipelineHeadroom::Stock => Box::new(FixedHeadroom(rte::mbuf::DEFAULT_HEADROOM)),
         PipelineHeadroom::Stage1Slice => {
             let targets = vec![vec![m.closest_slice(c1)]; cores];
-            Box::new(CacheDirector::install_with_targets(&mut m, &pool, targets, 0))
+            Box::new(CacheDirector::install_with_targets(
+                &mut m, &pool, targets, 0,
+            ))
         }
         PipelineHeadroom::Compromise => {
             let targets = vec![vec![compromise]; cores];
-            Box::new(CacheDirector::install_with_targets(&mut m, &pool, targets, 0))
+            Box::new(CacheDirector::install_with_targets(
+                &mut m, &pool, targets, 0,
+            ))
         }
     };
     let mut port = Port::new(0, Steering::Rss(Rss::new(1)), cfg.queue_depth);
@@ -129,9 +139,9 @@ pub fn run_pipeline(
     let mut handoff: Ring<Handoff> = Ring::new(cfg.queue_depth);
     // Stage 1: header-touching element; stage 2: the stateful pair.
     let mut stage1 = ServiceChain::new().push(Box::new(MacSwap::new()));
-    let napt = Napt::new(&mut m, 1 << 13).expect("table fits");
+    let napt = Napt::new(&mut m, 1 << 13).map_err(mem_err("NAPT table"))?;
     let lb = LoadBalancer::new(&mut m, 1 << 13, vec![0x0a64_0001, 0x0a64_0002])
-        .expect("table fits");
+        .map_err(mem_err("LB table"))?;
     let mut stage2 = ServiceChain::new().push(Box::new(napt)).push(Box::new(lb));
 
     let mut trace = CampusTrace::fixed_size(128, flows, cfg.seed);
@@ -151,8 +161,14 @@ pub fn run_pipeline(
             for comp in &batch {
                 let mut pkt = Pkt::from_completion(comp);
                 // The stage-1 header touch + element.
-                let _ = pkt.flow(&mut Ctx { m: &mut m, core: c1 });
-                let mut ctx = Ctx { m: &mut m, core: c1 };
+                let _ = pkt.flow(&mut Ctx {
+                    m: &mut m,
+                    core: c1,
+                });
+                let mut ctx = Ctx {
+                    m: &mut m,
+                    core: c1,
+                };
                 let _ = stage1.process(&mut ctx, &mut pkt);
                 m.advance(c1, cfg.stage_cycles);
                 if let Err(h) = handoff.enqueue(Handoff { comp: *comp }) {
@@ -174,8 +190,14 @@ pub fn run_pipeline(
             for h in &batch {
                 let mut pkt = Pkt::from_completion(&h.comp);
                 // Stage 2 re-touches the shared header line.
-                let _ = pkt.flow(&mut Ctx { m: &mut m, core: c2 });
-                let mut ctx = Ctx { m: &mut m, core: c2 };
+                let _ = pkt.flow(&mut Ctx {
+                    m: &mut m,
+                    core: c2,
+                });
+                let mut ctx = Ctx {
+                    m: &mut m,
+                    core: c2,
+                };
                 let (action, _) = stage2.process(&mut ctx, &mut pkt);
                 m.advance(c2, cfg.stage_cycles);
                 match action {
@@ -187,7 +209,7 @@ pub fn run_pipeline(
                         });
                         delivered += 1;
                     }
-                    Action::Drop => pool.put(h.comp.mbuf),
+                    Action::Drop(_) => pool.put(h.comp.mbuf),
                 }
             }
             port.tx_burst(&mut m, &mut pool, c2, &tx);
@@ -220,7 +242,8 @@ pub fn run_pipeline(
             }
         }
         let spec = trace.next_packet();
-        let len = crate::packet::encode_frame(&mut frame, &spec.flow, spec.size as usize, t, spec.seq);
+        let len =
+            crate::packet::encode_frame(&mut frame, &spec.flow, spec.size as usize, t, spec.seq);
         let _ = port.deliver(&mut m, &frame[..len], &spec.flow, t);
     }
     // Drain.
@@ -237,13 +260,13 @@ pub fn run_pipeline(
         }
     }
     let stats = port.stats();
-    PipelineResult {
+    Ok(PipelineResult {
         delivered,
         dropped: stats.rx_nodesc + stats.rx_overrun + handoff.drops(),
         stage1_cycles: m.now(c1) - s1_start,
         stage2_cycles: m.now(c2) - s2_start,
         compromise_slice: compromise,
-    }
+    })
 }
 
 /// Convenience: `FlowTuple` re-export used by pipeline callers.
@@ -255,6 +278,7 @@ mod tests {
 
     fn run(headroom: PipelineHeadroom) -> PipelineResult {
         run_pipeline(&PipelineConfig::new(headroom), 64, 500_000.0, 6_000)
+            .expect("test config fits")
     }
 
     #[test]
@@ -282,8 +306,7 @@ mod tests {
         let stock = run(PipelineHeadroom::Stock);
         let stage1 = run(PipelineHeadroom::Stage1Slice);
         let comp = run(PipelineHeadroom::Compromise);
-        let total =
-            |r: &PipelineResult| r.stage1_cycles + r.stage2_cycles;
+        let total = |r: &PipelineResult| r.stage1_cycles + r.stage2_cycles;
         assert!(
             total(&comp) < total(&stock),
             "compromise {} must beat stock {}",
@@ -303,7 +326,7 @@ mod tests {
         let mut cfg = PipelineConfig::new(PipelineHeadroom::Stock);
         cfg.queue_depth = 8;
         // Offered far above what two stages at ~300 cycles each sustain.
-        let r = run_pipeline(&cfg, 32, 50_000_000.0, 5_000);
+        let r = run_pipeline(&cfg, 32, 50_000_000.0, 5_000).expect("test config fits");
         assert!(r.dropped > 0, "overload must shed load somewhere");
         assert_eq!(r.delivered + r.dropped, 5_000);
     }

@@ -18,18 +18,129 @@
 //! cycles — and therefore latency — respond to where packet headers sit
 //! in the LLC, which is the effect CacheDirector exists to exploit.
 
-use crate::element::{Action, Ctx, Pkt, ServiceChain};
+use crate::element::{Action, Ctx, DropCause, Pkt, ServiceChain};
 use crate::elements::{LoadBalancer, MacSwap, Napt, Router};
 use crate::lpm::{synth_routes, Lpm};
 use crate::packet::encode_frame;
 use cache_director::{CacheDirector, CACHEDIRECTOR_HEADROOM};
 use llc_sim::machine::{Machine, MachineConfig};
+use llc_sim::mem::MemError;
+use rte::fault::{FaultPlan, FaultState};
 use rte::mempool::MbufPool;
-use rte::nic::{FixedHeadroom, HeadroomPolicy, Port, TxDesc};
+use rte::nic::{DropReason, FixedHeadroom, HeadroomPolicy, Port, TxDesc};
 use rte::steering::{FdirAction, FlowDirector, Rss, Steering};
 use std::collections::HashSet;
 use std::rc::Rc;
 use trafficgen::{ArrivalSchedule, CampusTrace, FlowTuple};
+
+/// Why a testbed could not be assembled: some required structure did
+/// not fit the simulated DRAM. Construction reports this instead of
+/// panicking so experiment binaries can fail with a clear message.
+#[derive(Debug)]
+pub enum SetupError {
+    /// `what` could not be allocated from simulated memory.
+    Mem {
+        /// The structure being allocated.
+        what: &'static str,
+        /// The underlying allocation failure.
+        source: MemError,
+    },
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Mem { what, source } => {
+                write!(f, "cannot allocate {what}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Mem { source, .. } => Some(source),
+        }
+    }
+}
+
+pub(crate) fn mem_err(what: &'static str) -> impl FnOnce(MemError) -> SetupError {
+    move |source| SetupError::Mem { what, source }
+}
+
+/// Per-cause drop accounting for a run. The conservation invariant
+/// `offered == delivered + total()` holds for every finished run; the
+/// runtime asserts it in [`Testbed::finish`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// NIC: no posted descriptor (queue backlogged).
+    pub nodesc: u64,
+    /// NIC: no posted descriptor *because the mbuf pool was starved*
+    /// (refills were failing when the frame arrived).
+    pub pool_starved: u64,
+    /// NIC: packet-rate ceiling exceeded.
+    pub overrun: u64,
+    /// NIC: hardware CRC failure (corrupt frame or runt).
+    pub crc: u64,
+    /// NIC: link down at arrival.
+    pub link_down: u64,
+    /// NIC: RX engine stalled.
+    pub rx_stall: u64,
+    /// Chain: header parse failure (truncated/malformed frame).
+    pub parse: u64,
+    /// Chain: no route for the destination.
+    pub no_route: u64,
+    /// Chain: a flow table was full.
+    pub table_exhausted: u64,
+    /// Chain: deliberate policy drop.
+    pub policy: u64,
+}
+
+impl DropStats {
+    /// Sum over every cause.
+    pub fn total(&self) -> u64 {
+        self.nodesc
+            + self.pool_starved
+            + self.overrun
+            + self.crc
+            + self.link_down
+            + self.rx_stall
+            + self.parse
+            + self.no_route
+            + self.table_exhausted
+            + self.policy
+    }
+
+    fn count_chain(&mut self, cause: DropCause) {
+        match cause {
+            DropCause::Parse => self.parse += 1,
+            DropCause::NoRoute => self.no_route += 1,
+            DropCause::TableExhausted => self.table_exhausted += 1,
+            DropCause::Policy => self.policy += 1,
+        }
+    }
+}
+
+impl std::fmt::Display for DropStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nodesc={} pool_starved={} overrun={} crc={} link_down={} rx_stall={} \
+             parse={} no_route={} table_exhausted={} policy={}",
+            self.nodesc,
+            self.pool_starved,
+            self.overrun,
+            self.crc,
+            self.link_down,
+            self.rx_stall,
+            self.parse,
+            self.no_route,
+            self.table_exhausted,
+            self.policy
+        )
+    }
+}
 
 /// Which headroom policy the DuT's driver uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,11 +208,17 @@ pub struct RunConfig {
     pub nic_rate_mpps: Option<f64>,
     /// RNG seed.
     pub seed: u64,
+    /// Injected faults (default: none).
+    pub faults: FaultPlan,
 }
 
 impl RunConfig {
     /// The §5 defaults: 8 cores, 1024-descriptor queues, 32-burst.
-    pub fn paper_defaults(chain: ChainSpec, steering: SteeringKind, headroom: HeadroomMode) -> Self {
+    pub fn paper_defaults(
+        chain: ChainSpec,
+        steering: SteeringKind,
+        headroom: HeadroomMode,
+    ) -> Self {
         Self {
             cores: 8,
             steering,
@@ -114,7 +231,14 @@ impl RunConfig {
             loopback_ns: 0.0,
             nic_rate_mpps: Some(14.2),
             seed: 0x0dfe_11ce,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// The same configuration with a fault plan attached.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -130,6 +254,9 @@ pub struct RunResult {
     pub delivered: u64,
     /// Frames dropped (NIC descriptor exhaustion + chain drops).
     pub dropped: u64,
+    /// Per-cause drop accounting; `drops.total() == dropped` and
+    /// `offered == delivered + dropped` always hold.
+    pub drops: DropStats,
     /// Offered wire rate in Gbps.
     pub offered_gbps: f64,
     /// Achieved (TX) wire rate in Gbps.
@@ -181,7 +308,8 @@ pub struct Testbed {
     core_free_ns: Vec<f64>,
     ns_per_cycle: f64,
     latencies: Vec<f64>,
-    chain_drops: u64,
+    drops: DropStats,
+    faults: FaultState,
     tx_wire_bits: u64,
     offered_wire_bits: u64,
     offered: u64,
@@ -193,18 +321,24 @@ pub struct Testbed {
 impl Testbed {
     /// Builds the DuT on a fresh Haswell machine.
     ///
+    /// Returns [`SetupError`] when the configuration does not fit the
+    /// simulated DRAM (pool, tables).
+    ///
     /// # Panics
     ///
-    /// Panics when `cores` is 0 or exceeds the machine, or when the pool
-    /// cannot be reserved.
-    pub fn new(cfg: RunConfig) -> Self {
+    /// Panics when `cores` is 0 or exceeds the machine, or the queue
+    /// geometry is degenerate (constructor invariants).
+    pub fn new(cfg: RunConfig) -> Result<Self, SetupError> {
         let mcfg = MachineConfig::haswell_e5_2667_v3().with_seed(cfg.seed);
         Self::on_machine(cfg, Machine::new(mcfg))
     }
 
     /// Builds the DuT on a provided machine (e.g. Skylake).
-    pub fn on_machine(cfg: RunConfig, mut m: Machine) -> Self {
-        assert!(cfg.cores > 0 && cfg.cores <= m.config().cores, "bad core count");
+    pub fn on_machine(cfg: RunConfig, mut m: Machine) -> Result<Self, SetupError> {
+        assert!(
+            cfg.cores > 0 && cfg.cores <= m.config().cores,
+            "bad core count"
+        );
         assert!(cfg.burst > 0 && cfg.queue_depth > 0, "bad queue geometry");
         let ns_per_cycle = 1.0 / m.config().freq_ghz;
         let mbufs = if cfg.mbufs == 0 {
@@ -217,7 +351,7 @@ impl Testbed {
             HeadroomMode::CacheDirector { .. } => CACHEDIRECTOR_HEADROOM,
         };
         let pool = MbufPool::create(&mut m, mbufs, headroom_cap, rte::mbuf::DEFAULT_DATAROOM)
-            .expect("mbuf pool fits simulated DRAM");
+            .map_err(mem_err("mbuf pool"))?;
         let policy = match cfg.headroom {
             HeadroomMode::Stock => Policy::Fixed(FixedHeadroom(rte::mbuf::DEFAULT_HEADROOM)),
             HeadroomMode::CacheDirector { preferred_slices } => {
@@ -241,20 +375,20 @@ impl Testbed {
             ChainSpec::RouterNaptLb { routes, .. } => {
                 let lpm = Rc::new(
                     Lpm::build(&mut m, &synth_routes(routes, cfg.seed ^ 0x1007))
-                        .expect("LPM table fits simulated DRAM"),
+                        .map_err(mem_err("LPM table"))?,
                 );
                 let mut chains = Vec::with_capacity(cfg.cores);
                 for _ in 0..cfg.cores {
                     // Per-core tables sized for the flow population; 8 K
                     // one-line buckets (512 KB) keep the hot buckets
                     // LLC-resident like a tuned NF would.
-                    let napt = Napt::new(&mut m, 1 << 13).expect("NAPT table fits");
+                    let napt = Napt::new(&mut m, 1 << 13).map_err(mem_err("NAPT table"))?;
                     let lb = LoadBalancer::new(
                         &mut m,
                         1 << 13,
                         vec![0x0a64_0001, 0x0a64_0002, 0x0a64_0003, 0x0a64_0004],
                     )
-                    .expect("LB table fits");
+                    .map_err(mem_err("LB table"))?;
                     chains.push(
                         ServiceChain::new()
                             .push(Box::new(Router::new(Rc::clone(&lpm))))
@@ -269,7 +403,8 @@ impl Testbed {
             core_free_ns: vec![0.0; cfg.cores],
             ns_per_cycle,
             latencies: Vec::new(),
-            chain_drops: 0,
+            drops: DropStats::default(),
+            faults: FaultState::new(cfg.faults.clone()),
             tx_wire_bits: 0,
             offered_wire_bits: 0,
             offered: 0,
@@ -292,7 +427,7 @@ impl Testbed {
             tb.port
                 .refill(&mut tb.m, &mut tb.pool, q, q, tb.policy.as_dyn(), depth);
         }
-        tb
+        Ok(tb)
     }
 
     /// The simulated machine (inspection).
@@ -302,6 +437,11 @@ impl Testbed {
 
     /// Offers one frame at `t_ns`; drops count toward the result.
     pub fn offer(&mut self, flow: &FlowTuple, size: u16, t_ns: f64) {
+        // Draw this frame's faults first: a pool-exhaustion window must
+        // already be in force while the cores catch up (their refills
+        // are what the outage starves).
+        let fault = self.faults.next_frame();
+        self.pool.set_outage(fault.pool_blocked);
         // Let the DuT catch up to the present before the frame arrives.
         self.run_cores_until(t_ns);
         // Metron's controller: install the FlowDirector rule with the
@@ -333,11 +473,27 @@ impl Testbed {
         self.offered += 1;
         self.offered_wire_bits += trafficgen::arrival::wire_bits(size);
         self.last_arrival_ns = self.last_arrival_ns.max(t_ns);
-        // NIC delivery; descriptor exhaustion drops are counted in the
-        // port stats.
-        let _ = self
+        // NIC delivery; every failure is classified into the per-cause
+        // drop accounting so `offered == delivered + drops.total()`.
+        match self
             .port
-            .deliver(&mut self.m, &self.scratch[..len], flow, t_ns);
+            .deliver_faulty(&mut self.m, &self.scratch[..len], flow, t_ns, fault)
+        {
+            Ok(_) => {}
+            Err(DropReason::NoDescriptor) => {
+                // The NIC only sees the ring; the runtime knows whether
+                // descriptors were missing because the *pool* was dry.
+                if self.pool.in_outage() || self.pool.available() == 0 {
+                    self.drops.pool_starved += 1;
+                } else {
+                    self.drops.nodesc += 1;
+                }
+            }
+            Err(DropReason::Overrun) => self.drops.overrun += 1,
+            Err(DropReason::CrcError) => self.drops.crc += 1,
+            Err(DropReason::LinkDown) => self.drops.link_down += 1,
+            Err(DropReason::RxStall) => self.drops.rx_stall += 1,
+        }
     }
 
     /// Runs every core's polling loop until simulated time `until_ns`.
@@ -353,6 +509,19 @@ impl Testbed {
                 return;
             }
             if self.port.ready_count(core) == 0 {
+                // An idle PMD still re-arms its RX ring. Without this, a
+                // transient pool outage that drains the posted ring would
+                // leave the queue dry forever once the pool recovers.
+                if self.port.posted_count(core) < self.cfg.queue_depth {
+                    self.port.refill(
+                        &mut self.m,
+                        &mut self.pool,
+                        core,
+                        core,
+                        self.policy.as_dyn(),
+                        self.cfg.queue_depth,
+                    );
+                }
                 // Idle-poll forward to the horizon.
                 self.core_free_ns[core] = until_ns;
                 return;
@@ -392,14 +561,13 @@ impl Testbed {
                     });
                     self.tx_wire_bits += trafficgen::arrival::wire_bits(comp.len);
                 }
-                Action::Drop => {
-                    self.chain_drops += 1;
+                Action::Drop(cause) => {
+                    self.drops.count_chain(cause);
                     self.pool.put(comp.mbuf);
                 }
             }
             // Per-packet completion time, attributed as processing ends.
-            let done_ns =
-                start_ns + (self.m.now(core) - start_cycles) as f64 * self.ns_per_cycle;
+            let done_ns = start_ns + (self.m.now(core) - start_cycles) as f64 * self.ns_per_cycle;
             if action == Action::Forward {
                 self.latencies.push(done_ns - comp.arrival_ns);
             }
@@ -409,8 +577,14 @@ impl Testbed {
         // and not-yet-harvested completions; refill only the slots this
         // burst freed.
         let target = self.cfg.queue_depth - self.port.ready_count(core);
-        self.port
-            .refill(&mut self.m, &mut self.pool, core, core, self.policy.as_dyn(), target);
+        self.port.refill(
+            &mut self.m,
+            &mut self.pool,
+            core,
+            core,
+            self.policy.as_dyn(),
+            target,
+        );
         let busy = (self.m.now(core) - start_cycles) as f64 * self.ns_per_cycle;
         self.core_free_ns[core] = start_ns + busy;
     }
@@ -441,11 +615,28 @@ impl Testbed {
         let offered_window = self.last_arrival_ns.max(1.0);
         let stats = self.port.stats();
         let delivered = stats.tx_pkts;
-        let dropped = stats.rx_nodesc + stats.rx_overrun + self.chain_drops;
+        let dropped = self.drops.total();
+        // Conservation: every offered frame is either transmitted back
+        // or accounted to exactly one drop cause. Cross-check the
+        // runtime classification against the NIC's own counters.
+        assert_eq!(
+            self.offered,
+            delivered + dropped,
+            "conservation violated: offered {} != delivered {} + drops [{}]",
+            self.offered,
+            delivered,
+            self.drops
+        );
+        assert_eq!(
+            self.drops.nodesc + self.drops.pool_starved,
+            stats.rx_nodesc,
+            "descriptor-drop classification must partition rx_nodesc"
+        );
         RunResult {
             offered: self.offered,
             delivered,
             dropped,
+            drops: self.drops,
             offered_gbps: self.offered_wire_bits as f64 / offered_window,
             achieved_gbps: self.tx_wire_bits as f64 / duration_ns,
             duration_ns,
@@ -461,14 +652,14 @@ pub fn run_experiment(
     trace: &mut CampusTrace,
     schedule: &mut ArrivalSchedule,
     n: usize,
-) -> RunResult {
-    let mut tb = Testbed::new(cfg);
+) -> Result<RunResult, SetupError> {
+    let mut tb = Testbed::new(cfg)?;
     for _ in 0..n {
         let t = schedule.next_arrival_ns();
         let spec = trace.next_packet();
         tb.offer(&spec.flow, spec.size, t);
     }
-    tb.finish()
+    Ok(tb.finish())
 }
 
 #[cfg(test)]
@@ -488,6 +679,7 @@ mod tests {
             loopback_ns: 9_000.0,
             nic_rate_mpps: None,
             seed: 7,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -496,7 +688,7 @@ mod tests {
         let cfg = small_cfg(ChainSpec::MacSwap, HeadroomMode::Stock, SteeringKind::Rss);
         let mut trace = CampusTrace::fixed_size(64, 64, 1);
         let mut sched = ArrivalSchedule::constant_pps(1000.0);
-        let res = run_experiment(cfg, &mut trace, &mut sched, 500);
+        let res = run_experiment(cfg, &mut trace, &mut sched, 500).expect("config fits");
         assert_eq!(res.offered, 500);
         assert_eq!(res.delivered, 500);
         assert_eq!(res.dropped, 0);
@@ -513,8 +705,10 @@ mod tests {
         let mut trace = CampusTrace::fixed_size(64, 64, 1);
         // 2 cores at ~300 ns/packet service sustain ~6.6 Mpps; offer 40.
         let mut sched = ArrivalSchedule::constant_pps(40_000_000.0);
-        let res = run_experiment(cfg, &mut trace, &mut sched, 4_000);
+        let res = run_experiment(cfg, &mut trace, &mut sched, 4_000).expect("config fits");
         assert!(res.dropped > 0, "overload must drop");
+        assert_eq!(res.drops.total(), res.dropped);
+        assert_eq!(res.offered, res.delivered + res.dropped);
         let s = res.summary().unwrap();
         assert!(
             s.percentile(99.0) > s.percentile(50.0),
@@ -535,19 +729,23 @@ mod tests {
         );
         let mut trace = CampusTrace::new(trafficgen::SizeMix::campus(), 128, 3);
         let mut sched = ArrivalSchedule::constant_pps(10_000.0);
-        let res = run_experiment(cfg, &mut trace, &mut sched, 300);
+        let res = run_experiment(cfg, &mut trace, &mut sched, 300).expect("config fits");
         // Synthetic routes cover only part of the space: some packets
         // forward, some drop on no-route; the run must complete and
         // account for every frame.
         assert_eq!(res.offered, 300);
         assert_eq!(res.delivered + res.dropped, 300);
+        assert_eq!(res.drops.no_route, res.dropped, "all drops are no-route");
     }
 
     #[test]
     fn offloaded_chain_forwards_more_cheaply() {
         let mk = |offload| {
             small_cfg(
-                ChainSpec::RouterNaptLb { routes: 64, offload },
+                ChainSpec::RouterNaptLb {
+                    routes: 64,
+                    offload,
+                },
                 HeadroomMode::Stock,
                 SteeringKind::FlowDirector,
             )
@@ -555,7 +753,7 @@ mod tests {
         let run = |cfg| {
             let mut trace = CampusTrace::fixed_size(128, 32, 5);
             let mut sched = ArrivalSchedule::constant_pps(10_000.0);
-            run_experiment(cfg, &mut trace, &mut sched, 400)
+            run_experiment(cfg, &mut trace, &mut sched, 400).expect("config fits")
         };
         let soft = run(mk(false));
         let hard = run(mk(true));
@@ -580,7 +778,7 @@ mod tests {
             cfg.cores = 2;
             let mut trace = CampusTrace::fixed_size(64, 256, 9);
             let mut sched = ArrivalSchedule::constant_pps(9_000_000.0);
-            run_experiment(cfg, &mut trace, &mut sched, 6_000)
+            run_experiment(cfg, &mut trace, &mut sched, 6_000).expect("config fits")
         };
         let stock = run(HeadroomMode::Stock);
         let cd = run(HeadroomMode::CacheDirector {
@@ -601,11 +799,44 @@ mod tests {
             let cfg = small_cfg(ChainSpec::MacSwap, HeadroomMode::Stock, SteeringKind::Rss);
             let mut trace = CampusTrace::fixed_size(64, 16, 2);
             let mut sched = ArrivalSchedule::constant_pps(100_000.0);
-            run_experiment(cfg, &mut trace, &mut sched, 200)
+            run_experiment(cfg, &mut trace, &mut sched, 200).expect("config fits")
         };
         let a = mk();
         let b = mk();
         assert_eq!(a.latencies_ns, b.latencies_ns);
         assert_eq!(a.delivered, b.delivered);
+    }
+
+    #[test]
+    fn oversized_config_reports_setup_error() {
+        let mut cfg = small_cfg(ChainSpec::MacSwap, HeadroomMode::Stock, SteeringKind::Rss);
+        cfg.mbufs = u32::MAX / 4; // Far beyond the simulated DRAM.
+        let err = match Testbed::new(cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("cannot possibly fit"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("mbuf pool"), "{msg}");
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_conserve() {
+        let mk = || {
+            let mut cfg = small_cfg(ChainSpec::MacSwap, HeadroomMode::Stock, SteeringKind::Rss);
+            cfg.faults = FaultPlan::none()
+                .with_seed(11)
+                .with_corrupt_prob(0.1)
+                .with_truncate_prob(0.1)
+                .with_link_flap(rte::fault::Window::new(50, 80));
+            let mut trace = CampusTrace::fixed_size(64, 16, 2);
+            let mut sched = ArrivalSchedule::constant_pps(100_000.0);
+            run_experiment(cfg, &mut trace, &mut sched, 400).expect("config fits")
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.drops, b.drops, "fault injection is seeded");
+        assert!(a.drops.crc > 0, "corruption fired");
+        assert_eq!(a.drops.link_down, 30, "flap window is exact");
+        assert_eq!(a.offered, a.delivered + a.drops.total());
     }
 }

@@ -153,8 +153,7 @@ impl FlowTable {
                 let mut out = [0u8; 24];
                 out[STATE_OFF as usize] = 1;
                 out[KEY_OFF as usize..KEY_OFF as usize + KEY_LEN].copy_from_slice(&key);
-                out[VAL_OFF as usize..VAL_OFF as usize + 8]
-                    .copy_from_slice(&value.to_le_bytes());
+                out[VAL_OFF as usize..VAL_OFF as usize + 8].copy_from_slice(&value.to_le_bytes());
                 cycles += m.write_bytes(core, pa, &out);
                 if empty {
                     self.used += 1;

@@ -1,12 +1,12 @@
-//! Property-based tests for the NFV dataplane structures: the DIR-24-8
+//! Property-style tests for the NFV dataplane structures: the DIR-24-8
 //! LPM against a naive reference, and the flow table against a HashMap.
+//! Seeded loops over [`trafficgen::Rng64`] (fully offline).
 
 use llc_sim::machine::{Machine, MachineConfig};
 use nfv::lpm::{Lpm, RouteEntry};
 use nfv::packet::{encode_frame, parse_header};
 use nfv::table::FlowTable;
-use proptest::prelude::*;
-use trafficgen::FlowTuple;
+use trafficgen::{FlowTuple, Rng64};
 
 fn machine() -> Machine {
     Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20))
@@ -24,85 +24,97 @@ fn naive_lookup(routes: &[RouteEntry], dst: u32) -> Option<u16> {
         .map(|r| r.next_hop)
 }
 
-fn route_strategy() -> impl Strategy<Value = RouteEntry> {
-    (1u8..=24, any::<u32>(), any::<u16>()).prop_map(|(len, bits, hop)| RouteEntry {
-        prefix: bits & (u32::MAX << (32 - len)),
+fn random_route(rng: &mut Rng64) -> RouteEntry {
+    let len = rng.gen_range(1u32..=24) as u8;
+    let bits = rng.next_u32();
+    let hop = rng.gen_range(0u16..u16::MAX);
+    RouteEntry {
+        prefix: bits & (u32::MAX << (32 - u32::from(len))),
         len,
-        next_hop: if hop == u16::MAX { 0 } else { hop },
-    })
+        next_hop: hop,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// DIR-24-8 lookups agree with the naive longest-prefix reference —
-    /// except where two same-length routes overlap (build order decides,
-    /// as in real tables), which the generator avoids by deduplication.
-    #[test]
-    fn lpm_matches_reference(
-        mut routes in proptest::collection::vec(route_strategy(), 1..30),
-        probes in proptest::collection::vec(any::<u32>(), 1..50),
-    ) {
+/// DIR-24-8 lookups agree with the naive longest-prefix reference —
+/// except where two same-length routes overlap (build order decides,
+/// as in real tables), which the generator avoids by deduplication.
+#[test]
+fn lpm_matches_reference() {
+    let mut rng = Rng64::seed_from_u64(0x2f01);
+    for case in 0..24 {
+        let n_routes = rng.gen_range(1usize..30);
+        let mut routes: Vec<RouteEntry> = (0..n_routes).map(|_| random_route(&mut rng)).collect();
         // Deduplicate (prefix, len) pairs: overlapping same-length routes
         // have unspecified priority in both implementations.
         routes.sort_by_key(|r| (r.len, r.prefix));
         routes.dedup_by_key(|r| (r.len, r.prefix));
         let mut m = machine();
         let lpm = Lpm::build(&mut m, &routes).unwrap();
-        for dst in probes {
+        for _ in 0..rng.gen_range(1usize..50) {
+            let dst = rng.next_u32();
             let got = lpm.lookup_untimed(&m, dst);
             let want = naive_lookup(&routes, dst);
-            prop_assert_eq!(got, want, "dst {:08x}", dst);
+            assert_eq!(got, want, "case {case}, dst {dst:08x}");
         }
     }
+}
 
-    /// The flow table behaves like a HashMap under mixed workloads (while
-    /// under its probe-capacity limit).
-    #[test]
-    fn flow_table_matches_hashmap(
-        ops in proptest::collection::vec((any::<bool>(), 0u32..40, any::<u64>()), 1..120),
-    ) {
+/// The flow table behaves like a HashMap under mixed workloads (while
+/// under its probe-capacity limit).
+#[test]
+fn flow_table_matches_hashmap() {
+    let mut rng = Rng64::seed_from_u64(0x2f02);
+    for _ in 0..24 {
         let mut m = machine();
         let mut t = FlowTable::create(&mut m, 1024).unwrap();
         let mut model = std::collections::HashMap::new();
-        for (is_insert, key, value) in ops {
+        let n_ops = rng.gen_range(1usize..120);
+        for _ in 0..n_ops {
+            let is_insert = rng.gen_bool(0.5);
+            let key = rng.gen_range(0u32..40);
+            let value = rng.next_u64();
             let flow = FlowTuple::tcp(key, 1, 2, 3);
             if is_insert {
                 t.insert(&mut m, 0, &flow, value).unwrap();
                 model.insert(flow, value);
             } else {
                 let (got, _) = t.lookup(&mut m, 0, &flow);
-                prop_assert_eq!(got, model.get(&flow).copied());
+                assert_eq!(got, model.get(&flow).copied());
             }
-            prop_assert_eq!(t.len(), model.len());
+            assert_eq!(t.len(), model.len());
         }
     }
+}
 
-    /// Frame encode → simulated memory → parse is the identity on the
-    /// 5-tuple and payload tag for any flow and size.
-    #[test]
-    fn frame_roundtrip(
-        src in any::<u32>(), dst in any::<u32>(),
-        sp in any::<u16>(), dp in any::<u16>(),
-        udp in any::<bool>(),
-        size in 64u16..=1500,
-        seq in 0u32..u32::MAX,
-    ) {
+/// Frame encode → simulated memory → parse is the identity on the
+/// 5-tuple and payload tag for any flow and size.
+#[test]
+fn frame_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0x2f03);
+    let mut m = machine();
+    let r = m.mem_mut().alloc(4096, 4096).unwrap();
+    for _ in 0..64 {
+        let src = rng.next_u32();
+        let dst = rng.next_u32();
+        let sp = rng.gen_range(0u16..=u16::MAX);
+        let dp = rng.gen_range(0u16..=u16::MAX);
+        let udp = rng.gen_bool(0.5);
+        let size = rng.gen_range(64u16..=1500);
+        let seq = rng.next_u32();
         let flow = if udp {
             FlowTuple::udp(src, sp, dst, dp)
         } else {
             FlowTuple::tcp(src, sp, dst, dp)
         };
-        let mut m = machine();
-        let r = m.mem_mut().alloc(4096, 4096).unwrap();
         let mut buf = vec![0u8; 1500];
         let n = encode_frame(&mut buf, &flow, size as usize, 12345.0, u64::from(seq));
-        prop_assert_eq!(n, size as usize);
+        assert_eq!(n, size as usize);
         m.mem_mut().write(r.pa(0), &buf[..n]);
-        let (hdr, _) = parse_header(&mut m, 0, r.pa(0));
-        prop_assert_eq!(hdr.flow, flow);
+        let (hdr, _) = parse_header(&mut m, 0, r.pa(0), n);
+        let hdr = hdr.expect("well-formed frame parses");
+        assert_eq!(hdr.flow, flow);
         let (ts, got_seq) = nfv::packet::read_payload_tag(&m, r.pa(0));
-        prop_assert_eq!(ts, 12345.0);
-        prop_assert_eq!(got_seq, u64::from(seq));
+        assert_eq!(ts, 12345.0);
+        assert_eq!(got_seq, u64::from(seq));
     }
 }

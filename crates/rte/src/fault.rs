@@ -1,0 +1,346 @@
+//! Deterministic, seeded fault injection for the simulated I/O path.
+//!
+//! Real testbeds misbehave: frames arrive with bad CRCs, links flap,
+//! mempools run dry under bursts, and NICs stall their RX rings. The
+//! paper's latency story (and any reproduction of it) is only credible
+//! if the dataplane degrades gracefully under those conditions instead
+//! of panicking or silently losing accounting. This module provides a
+//! [`FaultPlan`] — a declarative, reproducible schedule of faults over
+//! the *offered-frame index* — and a [`FaultState`] that rolls the plan
+//! forward one frame at a time with a seeded [`trafficgen::Rng64`].
+//!
+//! Fault kinds:
+//!
+//! * **Frame corruption** (`corrupt_prob`): the frame arrives with a bad
+//!   FCS; the NIC verifies the CRC in hardware and drops it at the MAC,
+//!   counted as [`crate::nic::DropReason::CrcError`].
+//! * **Truncation** (`truncate_prob`): the frame is cut short in flight.
+//!   Runts (shorter than an Ethernet header) are dropped by the MAC like
+//!   CRC errors; longer truncations are *delivered* and must be rejected
+//!   by software parsers without panicking.
+//! * **Pool exhaustion windows** (`pool_exhaust`): transient allocation
+//!   outages, as when a slow consumer leaks the pool dry; the PMD's
+//!   refill sees an empty pool and RX starves on descriptors.
+//! * **RX stall windows** (`rx_stall`): the NIC stops draining posted
+//!   descriptors (e.g. a PCIe backpressure event); arrivals are dropped
+//!   as [`crate::nic::DropReason::RxStall`].
+//! * **Link flap windows** (`link_flap`): carrier loss; arrivals are
+//!   dropped as [`crate::nic::DropReason::LinkDown`].
+//!
+//! Everything is a pure function of `(seed, frame index)`, so a failing
+//! run replays exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use rte::fault::{FaultPlan, FaultState, Window};
+//!
+//! let plan = FaultPlan::none()
+//!     .with_seed(7)
+//!     .with_corrupt_prob(0.5)
+//!     .with_link_flap(Window::new(2, 4));
+//! let mut st = FaultState::new(plan);
+//! let mut corrupted = 0;
+//! for i in 0..8u64 {
+//!     let f = st.next_frame();
+//!     if f.corrupt {
+//!         corrupted += 1;
+//!     }
+//!     assert_eq!(f.link_down, (2..4).contains(&i));
+//! }
+//! assert!(corrupted > 0);
+//! ```
+
+use trafficgen::Rng64;
+
+/// A half-open `[start, end)` interval over the offered-frame index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First frame index affected.
+    pub start: u64,
+    /// First frame index no longer affected.
+    pub end: u64,
+}
+
+impl Window {
+    /// A window covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `end < start`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(end >= start, "window end before start");
+        Self { start, end }
+    }
+
+    /// Whether `idx` falls inside the window.
+    pub fn contains(&self, idx: u64) -> bool {
+        idx >= self.start && idx < self.end
+    }
+}
+
+fn any_contains(windows: &[Window], idx: u64) -> bool {
+    windows.iter().any(|w| w.contains(idx))
+}
+
+/// A declarative, reproducible schedule of injected faults.
+///
+/// The default plan injects nothing; builder methods add fault kinds.
+/// Probabilities are per offered frame; windows are over the offered
+/// frame index (frame 0 is the first call to `offer`).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for the per-frame random draws (corruption, truncation).
+    pub seed: u64,
+    /// Probability that a frame arrives with a bad FCS.
+    pub corrupt_prob: f64,
+    /// Probability that a frame is truncated to a random shorter length.
+    pub truncate_prob: f64,
+    /// Windows during which the mbuf pool refuses allocations.
+    pub pool_exhaust: Vec<Window>,
+    /// Windows during which the NIC does not drain posted descriptors.
+    pub rx_stall: Vec<Window>,
+    /// Windows during which the link is down.
+    pub link_flap: Vec<Window>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, ever.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan can ever inject anything.
+    pub fn is_none(&self) -> bool {
+        self.corrupt_prob <= 0.0
+            && self.truncate_prob <= 0.0
+            && self.pool_exhaust.is_empty()
+            && self.rx_stall.is_empty()
+            && self.link_flap.is_empty()
+    }
+
+    /// Sets the RNG seed for probabilistic faults.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-frame corruption (bad FCS) probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn with_corrupt_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Sets the per-frame truncation probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn with_truncate_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.truncate_prob = p;
+        self
+    }
+
+    /// Adds a transient mbuf-pool outage window.
+    pub fn with_pool_exhaustion(mut self, w: Window) -> Self {
+        self.pool_exhaust.push(w);
+        self
+    }
+
+    /// Adds an RX descriptor-stall window.
+    pub fn with_rx_stall(mut self, w: Window) -> Self {
+        self.rx_stall.push(w);
+        self
+    }
+
+    /// Adds a link-flap (carrier down) window.
+    pub fn with_link_flap(mut self, w: Window) -> Self {
+        self.link_flap.push(w);
+        self
+    }
+}
+
+/// The faults affecting one offered frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameFault {
+    /// The frame's FCS is bad; the MAC must drop it.
+    pub corrupt: bool,
+    /// Truncate the frame to this many bytes before delivery.
+    pub truncate_to: Option<usize>,
+    /// The link is down while this frame arrives.
+    pub link_down: bool,
+    /// The NIC is not draining descriptors while this frame arrives.
+    pub stall: bool,
+    /// The mbuf pool refuses allocations while this frame is in flight.
+    pub pool_blocked: bool,
+}
+
+impl FrameFault {
+    /// A fault-free frame.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+}
+
+/// Rolls a [`FaultPlan`] forward one offered frame at a time.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: Rng64,
+    next_idx: u64,
+}
+
+impl FaultState {
+    /// Starts the plan at frame index 0.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = Rng64::seed_from_u64(plan.seed ^ 0x5eed_fa17_0000_0001u64);
+        Self {
+            plan,
+            rng,
+            next_idx: 0,
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Index of the next frame to be drawn.
+    pub fn frame_index(&self) -> u64 {
+        self.next_idx
+    }
+
+    /// Draws the faults for the next offered frame.
+    ///
+    /// Exactly two RNG draws happen per frame regardless of the plan, so
+    /// window edits never shift the corruption/truncation sequence.
+    pub fn next_frame(&mut self) -> FrameFault {
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        let corrupt_draw = self.rng.gen_f64();
+        let trunc_draw = self.rng.next_u64();
+        let corrupt = corrupt_draw < self.plan.corrupt_prob;
+        // High bits decide whether to truncate, low bits decide where.
+        let trunc_uniform = (trunc_draw >> 11) as f64 / (1u64 << 53) as f64;
+        let truncate_to = if trunc_uniform < self.plan.truncate_prob {
+            // Deterministic length derived from the same draw: anywhere
+            // from an unusable runt to just under a minimal frame.
+            Some((trunc_draw % 61) as usize)
+        } else {
+            None
+        };
+        FrameFault {
+            corrupt,
+            truncate_to,
+            link_down: any_contains(&self.plan.link_flap, idx),
+            stall: any_contains(&self.plan.rx_stall, idx),
+            pool_blocked: any_contains(&self.plan.pool_exhaust, idx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_contains_half_open() {
+        let w = Window::new(10, 20);
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+        let empty = Window::new(5, 5);
+        assert!(!empty.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "end before start")]
+    fn window_rejects_reversed() {
+        Window::new(3, 2);
+    }
+
+    #[test]
+    fn none_plan_injects_nothing() {
+        let mut st = FaultState::new(FaultPlan::none());
+        assert!(st.plan().is_none());
+        for _ in 0..1000 {
+            assert_eq!(st.next_frame(), FrameFault::clean());
+        }
+        assert_eq!(st.frame_index(), 1000);
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let plan = FaultPlan::none()
+            .with_seed(42)
+            .with_corrupt_prob(0.3)
+            .with_truncate_prob(0.3);
+        let mut a = FaultState::new(plan.clone());
+        let mut b = FaultState::new(plan);
+        for _ in 0..500 {
+            assert_eq!(a.next_frame(), b.next_frame());
+        }
+    }
+
+    #[test]
+    fn windows_do_not_shift_random_draws() {
+        let base = FaultPlan::none().with_seed(9).with_corrupt_prob(0.5);
+        let windowed = base.clone().with_link_flap(Window::new(0, 100));
+        let mut a = FaultState::new(base);
+        let mut b = FaultState::new(windowed);
+        for _ in 0..200 {
+            assert_eq!(a.next_frame().corrupt, b.next_frame().corrupt);
+        }
+    }
+
+    #[test]
+    fn corruption_rate_tracks_probability() {
+        let mut st = FaultState::new(FaultPlan::none().with_seed(1).with_corrupt_prob(0.25));
+        let n = 20_000;
+        let hits = (0..n).filter(|_| st.next_frame().corrupt).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn truncation_lengths_below_min_frame() {
+        let mut st = FaultState::new(FaultPlan::none().with_seed(3).with_truncate_prob(1.0));
+        let mut saw_runt = false;
+        let mut saw_parseable = false;
+        for _ in 0..1000 {
+            let f = st.next_frame();
+            let len = f.truncate_to.expect("p=1.0 always truncates");
+            assert!(len < 61);
+            if len < 14 {
+                saw_runt = true;
+            } else {
+                saw_parseable = true;
+            }
+        }
+        assert!(saw_runt && saw_parseable);
+    }
+
+    #[test]
+    fn window_faults_fire_exactly_in_window() {
+        let plan = FaultPlan::none()
+            .with_pool_exhaustion(Window::new(5, 8))
+            .with_rx_stall(Window::new(2, 3))
+            .with_link_flap(Window::new(0, 1))
+            .with_link_flap(Window::new(9, 10));
+        let mut st = FaultState::new(plan);
+        for i in 0..12u64 {
+            let f = st.next_frame();
+            assert_eq!(f.pool_blocked, (5..8).contains(&i), "frame {i}");
+            assert_eq!(f.stall, i == 2, "frame {i}");
+            assert_eq!(f.link_down, i == 0 || i == 9, "frame {i}");
+        }
+    }
+}

@@ -57,12 +57,14 @@
 //! assert_eq!(port.stats().tx_pkts, 1);
 //! ```
 
+pub mod fault;
 pub mod mbuf;
 pub mod mempool;
 pub mod nic;
 pub mod ring;
 pub mod steering;
 
+pub use fault::{FaultPlan, FaultState, FrameFault, Window};
 pub use mbuf::{MbufMeta, MBUF_META_SIZE};
 pub use mempool::MbufPool;
 pub use nic::{FixedHeadroom, HeadroomPolicy, Port, RxCompletion};

@@ -21,6 +21,9 @@ pub struct MbufPool {
     headroom_cap: u16,
     dataroom: u16,
     free: Vec<u32>,
+    /// Fault injection: while set, `get` behaves as if the pool were
+    /// empty (a transient allocation outage).
+    outage: bool,
 }
 
 impl MbufPool {
@@ -41,8 +44,8 @@ impl MbufPool {
         dataroom: u16,
     ) -> Result<Self, MemError> {
         assert!(n > 0, "empty pool");
-        let obj_size =
-            (MBUF_META_SIZE + headroom_cap as usize + dataroom as usize).next_multiple_of(CACHE_LINE);
+        let obj_size = (MBUF_META_SIZE + headroom_cap as usize + dataroom as usize)
+            .next_multiple_of(CACHE_LINE);
         let region = m.mem_mut().alloc(obj_size * n as usize, CACHE_LINE)?;
         // LIFO free list: DPDK pools hand back recently returned (cache
         // hot) objects first.
@@ -54,6 +57,7 @@ impl MbufPool {
             headroom_cap,
             dataroom,
             free,
+            outage: false,
         })
     }
 
@@ -107,9 +111,25 @@ impl MbufPool {
         MbufMeta::at(self.obj_base(idx))
     }
 
-    /// Allocates an mbuf; `None` when the pool is empty.
+    /// Allocates an mbuf; `None` when the pool is empty or a fault
+    /// window has it in outage.
     pub fn get(&mut self) -> Option<u32> {
+        if self.outage {
+            return None;
+        }
         self.free.pop()
+    }
+
+    /// Fault injection: while `true`, allocations fail as if the pool
+    /// were drained; returns (`put`) still work, so the pool recovers
+    /// as soon as the outage lifts.
+    pub fn set_outage(&mut self, blocked: bool) {
+        self.outage = blocked;
+    }
+
+    /// Whether an injected outage is active.
+    pub fn in_outage(&self) -> bool {
+        self.outage
     }
 
     /// Returns an mbuf to the pool.
@@ -163,6 +183,20 @@ mod tests {
         assert_eq!(pool.available(), 3);
         // LIFO: the most recently returned object comes back first.
         assert_eq!(pool.get(), Some(a));
+    }
+
+    #[test]
+    fn outage_blocks_get_but_not_put() {
+        let mut m = machine();
+        let mut pool = MbufPool::create(&mut m, 4, 128, 512).unwrap();
+        let a = pool.get().unwrap();
+        pool.set_outage(true);
+        assert!(pool.in_outage());
+        assert_eq!(pool.get(), None, "outage blocks allocation");
+        pool.put(a);
+        assert_eq!(pool.available(), 4, "returns still land");
+        pool.set_outage(false);
+        assert_eq!(pool.get(), Some(a), "recovers after the window");
     }
 
     #[test]

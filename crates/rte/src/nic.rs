@@ -16,6 +16,7 @@
 //!    metadata (timed), processes, and transmits via [`Port::tx_burst`],
 //!    which DMA-reads the frame out and recycles the buffer.
 
+use crate::fault::FrameFault;
 use crate::mempool::MbufPool;
 use crate::ring::Ring;
 use crate::steering::Steering;
@@ -26,6 +27,10 @@ use trafficgen::FlowTuple;
 
 /// Default RX queue depth in descriptors.
 pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
+/// Frames shorter than an Ethernet header are runts; the MAC drops them
+/// before software ever sees them, like a bad FCS.
+pub const MIN_MAC_FRAME: usize = 14;
 
 /// Chooses each posted buffer's `data_off`.
 ///
@@ -89,6 +94,25 @@ pub enum DropReason {
     NoDescriptor,
     /// The NIC's packet-rate ceiling was exceeded.
     Overrun,
+    /// Hardware CRC check failed (corrupt frame or runt).
+    CrcError,
+    /// The link was down when the frame arrived.
+    LinkDown,
+    /// The RX engine was stalled (not draining descriptors).
+    RxStall,
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::NoDescriptor => "no posted descriptor",
+            Self::Overrun => "packet-rate overrun",
+            Self::CrcError => "bad CRC / runt",
+            Self::LinkDown => "link down",
+            Self::RxStall => "rx engine stalled",
+        };
+        f.write_str(s)
+    }
 }
 
 /// Port-level counters.
@@ -102,10 +126,23 @@ pub struct PortStats {
     pub rx_nodesc: u64,
     /// Frames dropped by the NIC packet-rate ceiling.
     pub rx_overrun: u64,
+    /// Frames dropped by the hardware CRC check (corrupt or runt).
+    pub rx_crc: u64,
+    /// Frames lost while the link was down.
+    pub rx_linkdown: u64,
+    /// Frames lost while the RX engine was stalled.
+    pub rx_stall: u64,
     /// Frames transmitted.
     pub tx_pkts: u64,
     /// Bytes transmitted.
     pub tx_bytes: u64,
+}
+
+impl PortStats {
+    /// Every frame the NIC dropped, across all causes.
+    pub fn rx_dropped(&self) -> u64 {
+        self.rx_nodesc + self.rx_overrun + self.rx_crc + self.rx_linkdown + self.rx_stall
+    }
 }
 
 /// One RX queue: posted descriptors and ready completions.
@@ -223,9 +260,11 @@ impl Port {
             mbuf,
             data_pa: meta.data_pa_for(data_off),
         };
-        self.queues[q]
-            .posted
-            .enqueue(desc).expect("checked not full");
+        if self.queues[q].posted.enqueue(desc).is_err() {
+            // Unreachable after the is_full check, but degrade by handing
+            // the buffer back rather than panicking.
+            return Err(mbuf);
+        }
         Ok(cycles)
     }
 
@@ -269,6 +308,27 @@ impl Port {
         flow: &FlowTuple,
         arrival_ns: f64,
     ) -> Result<usize, DropReason> {
+        self.deliver_faulty(m, frame, flow, arrival_ns, FrameFault::clean())
+    }
+
+    /// [`Port::deliver`] with an injected [`FrameFault`] applied, in the
+    /// order the hardware would: carrier loss first, then the MAC's
+    /// packet-rate ceiling, then the (possibly stalled) RX engine, then
+    /// the CRC/runt check, then steering and descriptor consumption.
+    /// Truncated-but-parseable frames are delivered at their shortened
+    /// length; rejecting them is software's job.
+    pub fn deliver_faulty(
+        &mut self,
+        m: &mut Machine,
+        frame: &[u8],
+        flow: &FlowTuple,
+        arrival_ns: f64,
+        fault: FrameFault,
+    ) -> Result<usize, DropReason> {
+        if fault.link_down {
+            self.stats.rx_linkdown += 1;
+            return Err(DropReason::LinkDown);
+        }
         if self.rx_gap_ns > 0.0 {
             // Leaky bucket: the NIC pipeline absorbs short bursts (a few
             // dozen frames) but sustained input beyond `1/rx_gap_ns` pps
@@ -281,7 +341,27 @@ impl Port {
             }
             self.next_accept_ns += self.rx_gap_ns;
         }
+        if fault.stall {
+            self.stats.rx_stall += 1;
+            return Err(DropReason::RxStall);
+        }
+        // Hardware CRC verification: corrupt frames and runts (too short
+        // to carry an Ethernet header) die at the MAC.
+        let wire_len = fault
+            .truncate_to
+            .map_or(frame.len(), |t| t.min(frame.len()));
+        if fault.corrupt || wire_len < MIN_MAC_FRAME {
+            self.stats.rx_crc += 1;
+            return Err(DropReason::CrcError);
+        }
+        let frame = &frame[..wire_len];
         let (q, mark) = self.steering.steer(flow);
+        if self.queues[q].ready.is_full() {
+            // Completion ring backed up (application not polling): the
+            // frame is lost but the descriptor stays posted.
+            self.stats.rx_nodesc += 1;
+            return Err(DropReason::NoDescriptor);
+        }
         let Some(desc) = self.queues[q].posted.dequeue() else {
             self.stats.rx_nodesc += 1;
             return Err(DropReason::NoDescriptor);
@@ -294,9 +374,13 @@ impl Port {
             arrival_ns,
             mark,
         };
-        self.queues[q]
-            .ready
-            .enqueue(completion).expect("ready ring sized like posted ring");
+        if self.queues[q].ready.enqueue(completion).is_err() {
+            // Unreachable after the is_full check; degrade by re-posting
+            // the descriptor and counting the loss.
+            let _ = self.queues[q].posted.enqueue(desc);
+            self.stats.rx_nodesc += 1;
+            return Err(DropReason::NoDescriptor);
+        }
         self.queues[q].rx_pkts += 1;
         self.stats.rx_pkts += 1;
         self.stats.rx_bytes += frame.len() as u64;
@@ -356,8 +440,7 @@ mod tests {
     use llc_sim::machine::MachineConfig;
 
     fn setup() -> (Machine, MbufPool, Port) {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
         let pool = MbufPool::create(&mut m, 256, 128, 2048).unwrap();
         let port = Port::new(0, Steering::Rss(Rss::new(2)), 64);
         (m, pool, port)
@@ -455,8 +538,7 @@ mod tests {
 
     #[test]
     fn fdir_mark_is_delivered() {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
         let mut pool = MbufPool::create(&mut m, 64, 128, 2048).unwrap();
         let mut fd = FlowDirector::new(2);
         fd.set_rule(
@@ -499,6 +581,136 @@ mod tests {
 }
 
 #[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::steering::{Rss, Steering};
+    use llc_sim::machine::MachineConfig;
+
+    fn setup() -> (Machine, MbufPool, Port) {
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+        let pool = MbufPool::create(&mut m, 64, 128, 2048).unwrap();
+        let port = Port::new(0, Steering::Rss(Rss::new(1)), 16);
+        (m, pool, port)
+    }
+
+    fn flow() -> FlowTuple {
+        FlowTuple::tcp(0x0a000001, 1234, 0xc0a80001, 80)
+    }
+
+    #[test]
+    fn corrupt_frame_dies_at_the_mac() {
+        let (mut m, mut pool, mut port) = setup();
+        let mut policy = FixedHeadroom(128);
+        port.refill(&mut m, &mut pool, 0, 0, &mut policy, 8);
+        let fault = FrameFault {
+            corrupt: true,
+            ..FrameFault::clean()
+        };
+        let err = port
+            .deliver_faulty(&mut m, &[0u8; 64], &flow(), 0.0, fault)
+            .unwrap_err();
+        assert_eq!(err, DropReason::CrcError);
+        assert_eq!(port.stats().rx_crc, 1);
+        assert_eq!(port.posted_count(0), 8, "no descriptor consumed");
+    }
+
+    #[test]
+    fn runt_truncation_counts_as_crc() {
+        let (mut m, mut pool, mut port) = setup();
+        let mut policy = FixedHeadroom(128);
+        port.refill(&mut m, &mut pool, 0, 0, &mut policy, 8);
+        let fault = FrameFault {
+            truncate_to: Some(MIN_MAC_FRAME - 1),
+            ..FrameFault::clean()
+        };
+        let err = port
+            .deliver_faulty(&mut m, &[0u8; 64], &flow(), 0.0, fault)
+            .unwrap_err();
+        assert_eq!(err, DropReason::CrcError);
+        assert_eq!(port.stats().rx_crc, 1);
+    }
+
+    #[test]
+    fn parseable_truncation_is_delivered_short() {
+        let (mut m, mut pool, mut port) = setup();
+        let mut policy = FixedHeadroom(128);
+        port.refill(&mut m, &mut pool, 0, 0, &mut policy, 8);
+        let fault = FrameFault {
+            truncate_to: Some(40),
+            ..FrameFault::clean()
+        };
+        let q = port
+            .deliver_faulty(&mut m, &[0xabu8; 100], &flow(), 0.0, fault)
+            .unwrap();
+        let (batch, _) = port.rx_burst(&mut m, &pool, q, 0, 8);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].len, 40, "delivered at the truncated length");
+        assert_eq!(port.stats().rx_bytes, 40);
+    }
+
+    #[test]
+    fn link_down_and_stall_are_counted_separately() {
+        let (mut m, mut pool, mut port) = setup();
+        let mut policy = FixedHeadroom(128);
+        port.refill(&mut m, &mut pool, 0, 0, &mut policy, 8);
+        let down = FrameFault {
+            link_down: true,
+            ..FrameFault::clean()
+        };
+        let stall = FrameFault {
+            stall: true,
+            ..FrameFault::clean()
+        };
+        assert_eq!(
+            port.deliver_faulty(&mut m, &[0u8; 64], &flow(), 0.0, down),
+            Err(DropReason::LinkDown)
+        );
+        assert_eq!(
+            port.deliver_faulty(&mut m, &[0u8; 64], &flow(), 1.0, stall),
+            Err(DropReason::RxStall)
+        );
+        let s = port.stats();
+        assert_eq!(s.rx_linkdown, 1);
+        assert_eq!(s.rx_stall, 1);
+        assert_eq!(s.rx_dropped(), 2);
+        assert_eq!(s.rx_pkts, 0);
+    }
+
+    #[test]
+    fn clean_fault_is_transparent() {
+        let (mut m, mut pool, mut port) = setup();
+        let mut policy = FixedHeadroom(128);
+        port.refill(&mut m, &mut pool, 0, 0, &mut policy, 8);
+        let q = port
+            .deliver_faulty(&mut m, &[0u8; 64], &flow(), 0.0, FrameFault::clean())
+            .unwrap();
+        assert_eq!(port.queue_rx_pkts(q), 1);
+        assert_eq!(port.stats().rx_dropped(), 0);
+    }
+
+    #[test]
+    fn ready_ring_backpressure_drops_without_panicking() {
+        // Post more descriptors than the ready ring can hold and never
+        // poll: deliveries beyond the ring capacity must fail cleanly.
+        let (mut m, mut pool, mut port) = setup();
+        let mut policy = FixedHeadroom(128);
+        port.refill(&mut m, &mut pool, 0, 0, &mut policy, 16);
+        let mut ok = 0;
+        let mut dropped = 0;
+        for i in 0..40 {
+            match port.deliver(&mut m, &[0u8; 64], &flow(), i as f64) {
+                Ok(_) => ok += 1,
+                Err(DropReason::NoDescriptor) => dropped += 1,
+                Err(other) => panic!("unexpected drop reason {other:?}"),
+            }
+        }
+        assert_eq!(ok, 16);
+        assert_eq!(dropped, 24);
+        assert_eq!(port.stats().rx_nodesc, 24);
+    }
+}
+
+#[cfg(test)]
 mod rate_limit_tests {
     use super::*;
     use crate::steering::{Rss, Steering};
@@ -509,8 +721,7 @@ mod rate_limit_tests {
     /// (the bug a naive `next_accept = arrival + gap` check had).
     #[test]
     fn rate_limit_converges_to_cap() {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
         let mut pool = MbufPool::create(&mut m, 4096, 128, 2048).unwrap();
         let mut port = Port::new(0, Steering::Rss(Rss::new(1)), 4096);
         let mut policy = FixedHeadroom(128);
@@ -538,8 +749,7 @@ mod rate_limit_tests {
     /// Under the cap, nothing is dropped and bursts are absorbed.
     #[test]
     fn rate_limit_transparent_below_cap() {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
         let mut pool = MbufPool::create(&mut m, 512, 128, 2048).unwrap();
         let mut port = Port::new(0, Steering::Rss(Rss::new(1)), 512);
         let mut policy = FixedHeadroom(128);
@@ -561,8 +771,7 @@ mod rate_limit_tests {
     /// Lifting the cap restores unlimited acceptance.
     #[test]
     fn rate_limit_can_be_lifted() {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
         let mut pool = MbufPool::create(&mut m, 256, 128, 2048).unwrap();
         let mut port = Port::new(0, Steering::Rss(Rss::new(1)), 256);
         let mut policy = FixedHeadroom(128);

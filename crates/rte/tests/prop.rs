@@ -1,75 +1,89 @@
-//! Property-based tests for the DPDK-work-alike substrate.
+//! Property-style tests for the DPDK-work-alike substrate.
+//! Seeded loops over [`trafficgen::Rng64`] (fully offline).
 
 use llc_sim::machine::{Machine, MachineConfig};
-use proptest::prelude::*;
 use rte::mempool::MbufPool;
 use rte::ring::Ring;
-use rte::steering::{FlowDirector, Rss, TOEPLITZ_KEY};
-use trafficgen::FlowTuple;
+use rte::steering::{toeplitz_hash, FlowDirector, Rss, TOEPLITZ_KEY};
+use trafficgen::{FlowTuple, Rng64};
 
-proptest! {
-    /// The ring behaves exactly like a bounded FIFO model.
-    #[test]
-    fn ring_matches_deque_model(
-        ops in proptest::collection::vec(proptest::option::of(0u32..1000), 1..300),
-        cap in 1usize..64,
-    ) {
+/// The ring behaves exactly like a bounded FIFO model.
+#[test]
+fn ring_matches_deque_model() {
+    let mut rng = Rng64::seed_from_u64(0x5701);
+    for _ in 0..64 {
+        let cap = rng.gen_range(1usize..64);
+        let n_ops = rng.gen_range(1usize..300);
         let mut ring = Ring::new(cap);
         let mut model = std::collections::VecDeque::new();
         let mut drops = 0u64;
-        for op in ops {
-            match op {
-                Some(v) => {
-                    let ok = ring.enqueue(v).is_ok();
-                    if model.len() < cap {
-                        prop_assert!(ok);
-                        model.push_back(v);
-                    } else {
-                        prop_assert!(!ok);
-                        drops += 1;
-                    }
+        for _ in 0..n_ops {
+            if rng.gen_bool(0.6) {
+                let v = rng.gen_range(0u32..1000);
+                let ok = ring.enqueue(v).is_ok();
+                if model.len() < cap {
+                    assert!(ok);
+                    model.push_back(v);
+                } else {
+                    assert!(!ok);
+                    drops += 1;
                 }
-                None => {
-                    prop_assert_eq!(ring.dequeue(), model.pop_front());
-                }
+            } else {
+                assert_eq!(ring.dequeue(), model.pop_front());
             }
-            prop_assert_eq!(ring.len(), model.len());
-            prop_assert_eq!(ring.drops(), drops);
+            assert_eq!(ring.len(), model.len());
+            assert_eq!(ring.drops(), drops);
         }
     }
+}
 
-    /// Burst dequeue preserves FIFO order and never over-returns.
-    #[test]
-    fn ring_burst_order(
-        values in proptest::collection::vec(0u32..1000, 0..50),
-        burst in 1usize..20,
-    ) {
+/// Burst dequeue preserves FIFO order and never over-returns.
+#[test]
+fn ring_burst_order() {
+    let mut rng = Rng64::seed_from_u64(0x5702);
+    for _ in 0..64 {
+        let n = rng.gen_range(0usize..50);
+        let burst = rng.gen_range(1usize..20);
+        let values: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..1000)).collect();
         let mut ring = Ring::new(64);
         let accepted = ring.enqueue_burst(values.iter().copied());
         let got = ring.dequeue_burst(burst);
-        prop_assert!(got.len() <= burst);
-        prop_assert_eq!(&got[..], &values[..got.len().min(accepted)]);
+        assert!(got.len() <= burst);
+        assert_eq!(&got[..], &values[..got.len().min(accepted)]);
     }
+}
 
-    /// RSS is deterministic, in range, and insensitive to non-tuple bits.
-    #[test]
-    fn rss_queue_in_range(
-        src in any::<u32>(), dst in any::<u32>(),
-        sp in any::<u16>(), dp in any::<u16>(),
-        queues in 1usize..64,
-    ) {
+/// RSS is deterministic, in range, and insensitive to non-tuple bits.
+#[test]
+fn rss_queue_in_range() {
+    let mut rng = Rng64::seed_from_u64(0x5703);
+    for _ in 0..256 {
+        let queues = rng.gen_range(1usize..64);
         let rss = Rss::new(queues);
-        let f = FlowTuple::tcp(src, sp, dst, dp);
+        let f = FlowTuple::tcp(
+            rng.next_u32(),
+            rng.gen_range(0u16..=u16::MAX),
+            rng.next_u32(),
+            rng.gen_range(0u16..=u16::MAX),
+        );
         let q = rss.queue_for(&f);
-        prop_assert!(q < queues);
-        prop_assert_eq!(rss.queue_for(&f), q);
+        assert!(q < queues);
+        assert_eq!(rss.queue_for(&f), q);
     }
+}
 
-    /// Toeplitz over a 12-byte input is XOR-linear in the input (a known
-    /// algebraic property of the hash).
-    #[test]
-    fn toeplitz_is_linear(a in any::<[u8; 12]>(), b in any::<[u8; 12]>()) {
-        use rte::steering::toeplitz_hash;
+/// Toeplitz over a 12-byte input is XOR-linear in the input (a known
+/// algebraic property of the hash).
+#[test]
+fn toeplitz_is_linear() {
+    let mut rng = Rng64::seed_from_u64(0x5704);
+    for _ in 0..256 {
+        let mut a = [0u8; 12];
+        let mut b = [0u8; 12];
+        for i in 0..12 {
+            a[i] = rng.gen_range(0u32..=255) as u8;
+            b[i] = rng.gen_range(0u32..=255) as u8;
+        }
         let mut x = [0u8; 12];
         for i in 0..12 {
             x[i] = a[i] ^ b[i];
@@ -78,24 +92,28 @@ proptest! {
         let hb = toeplitz_hash(&TOEPLITZ_KEY, &b);
         let hx = toeplitz_hash(&TOEPLITZ_KEY, &x);
         let h0 = toeplitz_hash(&TOEPLITZ_KEY, &[0u8; 12]);
-        prop_assert_eq!(hx ^ h0, ha ^ hb);
+        assert_eq!(hx ^ h0, ha ^ hb);
     }
+}
 
-    /// FlowDirector stays sticky and balanced under arbitrary flow
-    /// arrival orders.
-    #[test]
-    fn fdir_sticky_and_balanced(
-        flows in proptest::collection::vec((any::<u32>(), any::<u16>()), 1..200),
-        queues in 1usize..16,
-    ) {
+/// FlowDirector stays sticky and balanced under arbitrary flow
+/// arrival orders.
+#[test]
+fn fdir_sticky_and_balanced() {
+    let mut rng = Rng64::seed_from_u64(0x5705);
+    for _ in 0..32 {
+        let queues = rng.gen_range(1usize..16);
+        let n_flows = rng.gen_range(1usize..200);
         let mut fd = FlowDirector::new(queues);
         let mut assigned = std::collections::HashMap::new();
-        for (ip, port) in flows {
+        for _ in 0..n_flows {
+            let ip = rng.next_u32();
+            let port = rng.gen_range(0u16..=u16::MAX);
             let f = FlowTuple::tcp(ip, port, 1, 80);
             let q = fd.action_for(&f).queue;
-            prop_assert!(q < queues);
+            assert!(q < queues);
             let prev = assigned.entry(f).or_insert(q);
-            prop_assert_eq!(*prev, q, "flow moved queues");
+            assert_eq!(*prev, q, "flow moved queues");
         }
         // Round-robin balance: queue loads differ by at most 1.
         let mut counts = vec![0usize; queues];
@@ -103,31 +121,29 @@ proptest! {
             counts[q] += 1;
         }
         let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
-        prop_assert!(hi - lo <= 1, "imbalance {counts:?}");
+        assert!(hi - lo <= 1, "imbalance {counts:?}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Mempool get/put sequences conserve objects and never alias.
-    #[test]
-    fn mempool_conservation(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
-        let mut m = Machine::new(
-            MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20),
-        );
+/// Mempool get/put sequences conserve objects and never alias.
+#[test]
+fn mempool_conservation() {
+    let mut rng = Rng64::seed_from_u64(0x5706);
+    for _ in 0..16 {
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(16 << 20));
         let mut pool = MbufPool::create(&mut m, 32, 128, 512).unwrap();
         let mut held = Vec::new();
-        for get in ops {
-            if get {
+        let n_ops = rng.gen_range(1usize..200);
+        for _ in 0..n_ops {
+            if rng.gen_bool(0.5) {
                 if let Some(idx) = pool.get() {
-                    prop_assert!(!held.contains(&idx), "aliased mbuf {idx}");
+                    assert!(!held.contains(&idx), "aliased mbuf {idx}");
                     held.push(idx);
                 }
             } else if let Some(idx) = held.pop() {
                 pool.put(idx);
             }
-            prop_assert_eq!(pool.available() + held.len(), 32);
+            assert_eq!(pool.available() + held.len(), 32);
         }
     }
 }

@@ -92,8 +92,7 @@ pub fn setup_isolation<F: FnMut(PhysAddr) -> usize>(
             // The neighbour "pollutes all LLC slices except slice 0": carve
             // its set out of the other slices round-robin.
             let slices = m.config().slices;
-            let per =
-                (noise_bytes / llc_sim::CACHE_LINE).div_ceil(slices.saturating_sub(1).max(1));
+            let per = (noise_bytes / llc_sim::CACHE_LINE).div_ceil(slices.saturating_sub(1).max(1));
             let mut lines = Vec::new();
             for s in (0..slices).filter(|&s| s != slice) {
                 lines.extend_from_slice(alloc.alloc_lines(s, per)?.lines());
@@ -135,24 +134,15 @@ mod tests {
     const MAIN_BYTES: usize = 1_310_720;
     const NOISE_BYTES: usize = 40 * 1024 * 1024;
 
-    fn setup() -> (
-        Machine,
-        SliceAllocator<impl FnMut(PhysAddr) -> usize>,
-    ) {
-        let mut m =
-            Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(512 << 20));
+    fn setup() -> (Machine, SliceAllocator<impl FnMut(PhysAddr) -> usize>) {
+        let mut m = Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(512 << 20));
         let r = m.mem_mut().alloc(256 << 20, 1 << 20).unwrap();
         let h = FoldedSliceHash::skylake_18slice();
         (m, SliceAllocator::new(r, move |pa| h.slice_of(pa)))
     }
 
     /// Runs main + neighbour interleaved and returns the main app's cycles.
-    fn contended_run(
-        m: &mut Machine,
-        main: &SliceBuffer,
-        noise: &SliceBuffer,
-        ops: usize,
-    ) -> u64 {
+    fn contended_run(m: &mut Machine, main: &SliceBuffer, noise: &SliceBuffer, ops: usize) -> u64 {
         warm_buffer(m, 0, main);
         // The neighbour has been running for a while before the
         // measurement starts: its streaming set already fills the LLC.
@@ -256,8 +246,7 @@ mod tests {
         // which Haswell's geometry (8 of 20 ways x 2048 sets = 1 MB per
         // slice, 256 kB L2) permits for a 512 kB set.
         let mut m = Machine::new(
-            llc_sim::machine::MachineConfig::haswell_e5_2667_v3()
-                .with_dram_capacity(512 << 20),
+            llc_sim::machine::MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20),
         );
         let region = m.mem_mut().alloc(256 << 20, 1 << 20).unwrap();
         let h = llc_sim::hash::XorSliceHash::haswell_8slice();

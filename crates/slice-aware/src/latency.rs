@@ -187,8 +187,7 @@ mod tests {
     use llc_sim::machine::MachineConfig;
 
     fn haswell() -> (Machine, Region) {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
         let r = m.mem_mut().alloc(128 << 20, 1 << 20).unwrap();
         (m, r)
     }
@@ -247,8 +246,7 @@ mod tests {
 
     #[test]
     fn skylake_profile_matches_mesh() {
-        let mut m =
-            Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(512 << 20));
+        let mut m = Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(512 << 20));
         let r = m.mem_mut().alloc(256 << 20, 1 << 20).unwrap();
         let prof = profile_access_times(&mut m, 0, r, 2);
         assert_eq!(prof.entries.len(), 18);

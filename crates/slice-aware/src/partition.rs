@@ -136,7 +136,9 @@ impl<F: FnMut(PhysAddr) -> usize> SlicePartitioner<F> {
 
     /// Slices not granted to anyone.
     pub fn free_slices(&self) -> Vec<usize> {
-        (0..self.slices).filter(|&s| self.owner[s].is_none()).collect()
+        (0..self.slices)
+            .filter(|&s| self.owner[s].is_none())
+            .collect()
     }
 
     /// Allocates `lines` cache lines for `tenant`, spread round-robin
@@ -179,13 +181,7 @@ mod tests {
         let mut p = partitioner();
         p.grant(1, &[0, 1]).unwrap();
         let err = p.grant(2, &[1, 2]).unwrap_err();
-        assert_eq!(
-            err,
-            PartitionError::SliceTaken {
-                slice: 1,
-                owner: 1
-            }
-        );
+        assert_eq!(err, PartitionError::SliceTaken { slice: 1, owner: 1 });
         // The failed grant must not have claimed slice 2.
         assert_eq!(p.owner_of(2), None);
         p.grant(2, &[2, 3]).unwrap();
@@ -235,8 +231,14 @@ mod tests {
     fn errors_are_reported() {
         let mut p = partitioner();
         p.grant(1, &[0]).unwrap();
-        assert_eq!(p.grant(1, &[1]).unwrap_err(), PartitionError::DuplicateTenant(1));
-        assert_eq!(p.alloc_for(5, 1).unwrap_err(), PartitionError::NoSuchTenant(5));
+        assert_eq!(
+            p.grant(1, &[1]).unwrap_err(),
+            PartitionError::DuplicateTenant(1)
+        );
+        assert_eq!(
+            p.alloc_for(5, 1).unwrap_err(),
+            PartitionError::NoSuchTenant(5)
+        );
         assert_eq!(p.revoke(5).unwrap_err(), PartitionError::NoSuchTenant(5));
         p.grant(3, &[]).unwrap();
         assert_eq!(p.alloc_for(3, 1).unwrap_err(), PartitionError::EmptyGrant);

@@ -170,16 +170,7 @@ mod tests {
         let m = skylake();
         let p = PlacementPolicy::from_topology(&m);
         let primaries = [0, 4, 8, 12, 10, 14, 3, 15];
-        let secondaries: [&[usize]; 8] = [
-            &[2, 6],
-            &[1],
-            &[11],
-            &[13],
-            &[7, 9],
-            &[16],
-            &[5],
-            &[17],
-        ];
+        let secondaries: [&[usize]; 8] = [&[2, 6], &[1], &[11], &[13], &[7, 9], &[16], &[5], &[17]];
         for c in 0..8 {
             assert_eq!(p.primary(c), primaries[c], "core {c} primary");
             assert_eq!(p.secondary(c), secondaries[c], "core {c} secondary");

@@ -18,8 +18,7 @@ use llc_sim::addr::PhysAddr;
 use llc_sim::hash::{SliceHash, XorSliceHash};
 use llc_sim::machine::Machine;
 use llc_sim::mem::Region;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use trafficgen::Rng64;
 
 /// Lowest physical-address bit that can participate (bit 6: below that is
 /// the line offset, which never matters).
@@ -52,7 +51,11 @@ impl ReconstructedHash {
         for (k, &mask) in self.masks.iter().enumerate() {
             out.push_str(&format!("o{k}    "));
             for b in (FIRST_CANDIDATE_BIT..=self.max_bit).rev() {
-                out.push_str(if mask & (1u64 << b) != 0 { "  #" } else { "  ." });
+                out.push_str(if mask & (1u64 << b) != 0 {
+                    "  #"
+                } else {
+                    "  ."
+                });
             }
             out.push('\n');
         }
@@ -120,7 +123,7 @@ pub fn verify_hash(
     seed: u64,
 ) -> f64 {
     let hash = rec.as_hash();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let lines = region.len() / llc_sim::CACHE_LINE;
     let mut agree = 0usize;
     for _ in 0..samples {
@@ -141,8 +144,7 @@ mod tests {
     use llc_sim::machine::MachineConfig;
 
     fn machine_with_region(bytes: usize) -> (Machine, Region) {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(bytes * 2));
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(bytes * 2));
         let r = m.mem_mut().alloc(bytes, bytes).unwrap();
         (m, r)
     }
@@ -192,8 +194,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "2^n-slice")]
     fn rejects_non_pow2_slice_counts() {
-        let mut m =
-            Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(64 << 20));
+        let mut m = Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(64 << 20));
         let r = m.mem_mut().alloc(1 << 20, 1 << 20).unwrap();
         reconstruct_hash(&mut m, 0, r, 4);
     }

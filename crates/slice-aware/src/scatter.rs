@@ -106,7 +106,9 @@ impl ScatteredBuf {
     /// Panics when `off >= len`.
     pub fn pa_of(&self, off: usize) -> PhysAddr {
         assert!(off < self.len, "offset outside object");
-        self.segments.line(off / CACHE_LINE).add((off % CACHE_LINE) as u64)
+        self.segments
+            .line(off / CACHE_LINE)
+            .add((off % CACHE_LINE) as u64)
     }
 
     /// Timed write of `data` at logical offset `off`.
@@ -156,12 +158,8 @@ mod tests {
     use llc_sim::hash::{SliceHash, XorSliceHash};
     use llc_sim::machine::MachineConfig;
 
-    fn setup() -> (
-        Machine,
-        SliceAllocator<impl FnMut(PhysAddr) -> usize>,
-    ) {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+    fn setup() -> (Machine, SliceAllocator<impl FnMut(PhysAddr) -> usize>) {
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
         let r = m.mem_mut().alloc(16 << 20, 1 << 20).unwrap();
         let h = XorSliceHash::haswell_8slice();
         (m, SliceAllocator::new(r, move |pa| h.slice_of(pa)))
@@ -194,9 +192,7 @@ mod tests {
     fn multi_slice_spread_round_robin() {
         let (m, mut a) = setup();
         let obj = ScatteredBuf::new_multi(&mut a, &[0, 2], 64 * 8).unwrap();
-        let slices: Vec<usize> = (0..8)
-            .map(|i| m.slice_of(obj.segments().line(i)))
-            .collect();
+        let slices: Vec<usize> = (0..8).map(|i| m.slice_of(obj.segments().line(i))).collect();
         assert_eq!(slices, vec![0, 2, 0, 2, 0, 2, 0, 2]);
     }
 

@@ -13,8 +13,7 @@ use crate::alloc::SliceBuffer;
 use llc_sim::hierarchy::Cycles;
 use llc_sim::machine::Machine;
 use llc_sim::AccessKind;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use trafficgen::Rng64;
 
 /// Fixed per-operation cycles: random-index arithmetic plus the pointer
 /// fetch from the (hot) pointer array.
@@ -40,7 +39,7 @@ pub fn random_access(
     seed: u64,
 ) -> Cycles {
     assert!(!buf.is_empty(), "empty buffer");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut total = 0;
     for _ in 0..ops {
         let pa = buf.line(rng.gen_range(0..buf.len()));
@@ -65,8 +64,8 @@ pub fn random_access_multicore(
     seed: u64,
 ) -> Vec<Cycles> {
     assert!(!work.is_empty(), "no work");
-    let mut rngs: Vec<SmallRng> = (0..work.len())
-        .map(|i| SmallRng::seed_from_u64(seed ^ (i as u64) << 32))
+    let mut rngs: Vec<Rng64> = (0..work.len())
+        .map(|i| Rng64::seed_from_u64(seed ^ (i as u64) << 32))
         .collect();
     let mut totals = vec![0; work.len()];
     for _ in 0..ops_per_core {
@@ -106,9 +105,11 @@ mod tests {
     use llc_sim::hash::{SliceHash, XorSliceHash};
     use llc_sim::machine::MachineConfig;
 
-    fn setup() -> (Machine, SliceAllocator<impl FnMut(llc_sim::PhysAddr) -> usize>) {
-        let mut m =
-            Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+    fn setup() -> (
+        Machine,
+        SliceAllocator<impl FnMut(llc_sim::PhysAddr) -> usize>,
+    ) {
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
         let r = m.mem_mut().alloc(128 << 20, 1 << 20).unwrap();
         let h = XorSliceHash::haswell_8slice();
         (m, SliceAllocator::new(r, move |pa| h.slice_of(pa)))
@@ -181,8 +182,7 @@ mod tests {
         let bufs: Vec<_> = (0..8)
             .map(|c| a.alloc_lines(m.closest_slice(c), 512).unwrap())
             .collect();
-        let work: Vec<(usize, &SliceBuffer)> =
-            bufs.iter().enumerate().collect();
+        let work: Vec<(usize, &SliceBuffer)> = bufs.iter().enumerate().collect();
         let totals = random_access_multicore(&mut m, &work, 500, AccessKind::Read, 5);
         assert_eq!(totals.len(), 8);
         assert!(totals.iter().all(|&t| t > 0));

@@ -20,11 +20,13 @@
 
 pub mod arrival;
 pub mod flow;
+pub mod rng;
 pub mod trace;
 pub mod tracefile;
 pub mod zipf;
 
 pub use arrival::{gbps_to_pps, ArrivalSchedule};
 pub use flow::FlowTuple;
+pub use rng::Rng64;
 pub use trace::{CampusTrace, PacketSpec, SizeMix};
 pub use zipf::ZipfGen;

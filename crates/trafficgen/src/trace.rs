@@ -9,9 +9,8 @@
 //! footprint behave like the original.
 
 use crate::flow::FlowTuple;
+use crate::rng::Rng64;
 use crate::zipf::ZipfGen;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Default Zipf skew of the flow-popularity distribution (calibrated so
 /// the NFV experiments sit at the paper's operating point; see
@@ -66,7 +65,7 @@ pub struct CampusTrace {
     fixed: u16,
     flows: Vec<FlowTuple>,
     flow_pop: ZipfGen,
-    rng: SmallRng,
+    rng: Rng64,
     seq: u64,
 }
 
@@ -87,7 +86,7 @@ impl CampusTrace {
             flows: build_flows(flow_count, seed),
             // Flow popularity is skewed: a few heavy hitters dominate.
             flow_pop: ZipfGen::new(flow_count as u64, DEFAULT_FLOW_SKEW, seed ^ 0x1111),
-            rng: SmallRng::seed_from_u64(seed ^ 0x2222),
+            rng: Rng64::seed_from_u64(seed ^ 0x2222),
             seq: 0,
         }
     }
@@ -112,7 +111,7 @@ impl CampusTrace {
             fixed: size,
             flows: build_flows(flow_count, seed),
             flow_pop: ZipfGen::new(flow_count as u64, DEFAULT_FLOW_SKEW, seed ^ 0x1111),
-            rng: SmallRng::seed_from_u64(seed ^ 0x2222),
+            rng: Rng64::seed_from_u64(seed ^ 0x2222),
             seq: 0,
         }
     }
@@ -128,13 +127,13 @@ impl CampusTrace {
         let size = match self.mix {
             None => self.fixed,
             Some(mix) => {
-                let u: f64 = self.rng.gen();
+                let u: f64 = self.rng.gen_f64();
                 if u < mix.small {
-                    self.rng.gen_range(64..100)
+                    self.rng.gen_range(64u16..100)
                 } else if u < mix.small + mix.medium {
-                    self.rng.gen_range(100..500)
+                    self.rng.gen_range(100u16..500)
                 } else {
-                    self.rng.gen_range(500..=1500)
+                    self.rng.gen_range(500u16..=1500)
                 }
             }
         };
@@ -152,16 +151,16 @@ impl CampusTrace {
 /// Builds a deterministic flow population: clients in 10.0.0.0/8 talking
 /// to servers in 192.168.0.0/16 on common ports.
 fn build_flows(count: usize, seed: u64) -> Vec<FlowTuple> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut out = Vec::with_capacity(count);
     let mut seen = std::collections::HashSet::with_capacity(count);
     while out.len() < count {
         let f = FlowTuple::tcp(
             0x0a00_0000 | rng.gen_range(1u32..=0x00ff_fffe),
-            rng.gen_range(1024..=65535),
+            rng.gen_range(1024u16..=65535),
             0xc0a8_0000 | rng.gen_range(1u32..=0xfffe),
             *[80u16, 443, 8080, 53, 5060]
-                .get(rng.gen_range(0..5))
+                .get(rng.gen_range(0usize..5))
                 .expect("index in range"),
         );
         if seen.insert(f) {
@@ -181,8 +180,7 @@ mod tests {
         let n = 100_000;
         let pkts = t.take(n);
         let small = pkts.iter().filter(|p| p.size < 100).count() as f64 / n as f64;
-        let medium = pkts.iter().filter(|p| (100..500).contains(&p.size)).count() as f64
-            / n as f64;
+        let medium = pkts.iter().filter(|p| (100..500).contains(&p.size)).count() as f64 / n as f64;
         let large = pkts.iter().filter(|p| p.size >= 500).count() as f64 / n as f64;
         assert!((small - 0.269).abs() < 0.01, "small fraction {small}");
         assert!((medium - 0.118).abs() < 0.01, "medium fraction {medium}");

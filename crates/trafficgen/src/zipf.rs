@@ -12,8 +12,7 @@
 //! stores hash ranks to keys, which the KVS crate does separately so the
 //! hot set is spread over the key space.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// A seeded Zipf(θ) generator over `[0, n)`.
 #[derive(Debug, Clone)]
@@ -23,7 +22,7 @@ pub struct ZipfGen {
     alpha: f64,
     zetan: f64,
     eta: f64,
-    rng: SmallRng,
+    rng: Rng64,
 }
 
 impl ZipfGen {
@@ -50,7 +49,7 @@ impl ZipfGen {
             alpha,
             zetan,
             eta,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
         }
     }
 
@@ -74,7 +73,7 @@ impl ZipfGen {
         if self.theta == 0.0 {
             return self.rng.gen_range(0..self.n);
         }
-        let u: f64 = self.rng.gen();
+        let u: f64 = self.rng.gen_f64();
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;

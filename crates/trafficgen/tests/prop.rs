@@ -1,68 +1,97 @@
-//! Property-based tests for workload generation.
+//! Property-style tests for workload generation.
+//! Seeded loops over the in-tree [`Rng64`] (fully offline).
 
-use proptest::prelude::*;
-use trafficgen::{gbps_to_pps, ArrivalSchedule, CampusTrace, SizeMix, ZipfGen};
+use trafficgen::{gbps_to_pps, ArrivalSchedule, CampusTrace, Rng64, SizeMix, ZipfGen};
 
-proptest! {
-    /// Zipf ranks are always in range for any valid (n, theta, seed).
-    #[test]
-    fn zipf_ranks_in_range(n in 1u64..100_000, theta in 0.0f64..0.999, seed in any::<u64>()) {
+/// Zipf ranks are always in range for any valid (n, theta, seed).
+#[test]
+fn zipf_ranks_in_range() {
+    let mut rng = Rng64::seed_from_u64(0x7a01);
+    for _ in 0..48 {
+        let n = rng.gen_range(1u64..100_000);
+        let theta = rng.gen_f64() * 0.999;
+        let seed = rng.next_u64();
         let mut g = ZipfGen::new(n, theta, seed);
         for _ in 0..200 {
-            prop_assert!(g.next_rank() < n);
+            assert!(g.next_rank() < n);
         }
     }
+}
 
-    /// Rank probabilities are a proper distribution (sum to 1, monotone).
-    #[test]
-    fn zipf_probs_valid(n in 2u64..2_000, theta in 0.0f64..0.999) {
+/// Rank probabilities are a proper distribution (sum to 1, monotone).
+#[test]
+fn zipf_probs_valid() {
+    let mut rng = Rng64::seed_from_u64(0x7a02);
+    for _ in 0..48 {
+        let n = rng.gen_range(2u64..2_000);
+        let theta = rng.gen_f64() * 0.999;
         let g = ZipfGen::new(n, theta, 0);
         let total: f64 = (0..n).map(|k| g.prob(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
+        assert!((total - 1.0).abs() < 1e-6);
         for k in 1..n.min(100) {
-            prop_assert!(g.prob(k) <= g.prob(k - 1) + 1e-15);
+            assert!(g.prob(k) <= g.prob(k - 1) + 1e-15);
         }
     }
+}
 
-    /// Campus traces always emit valid Ethernet sizes and known flows.
-    #[test]
-    fn trace_emits_valid_packets(flows in 1usize..500, seed in any::<u64>()) {
+/// Campus traces always emit valid Ethernet sizes and known flows.
+#[test]
+fn trace_emits_valid_packets() {
+    let mut rng = Rng64::seed_from_u64(0x7a03);
+    for _ in 0..24 {
+        let flows = rng.gen_range(1usize..500);
+        let seed = rng.next_u64();
         let mut t = CampusTrace::new(SizeMix::campus(), flows, seed);
         for _ in 0..200 {
             let p = t.next_packet();
-            prop_assert!((64..=1500).contains(&p.size));
-            prop_assert_eq!(p.flow.proto, 6);
+            assert!((64..=1500).contains(&p.size));
+            assert_eq!(p.flow.proto, 6);
         }
     }
+}
 
-    /// Fixed-size traces emit exactly the requested size.
-    #[test]
-    fn fixed_trace_is_fixed(size in 64u16..=1500, flows in 1usize..100, seed in any::<u64>()) {
+/// Fixed-size traces emit exactly the requested size.
+#[test]
+fn fixed_trace_is_fixed() {
+    let mut rng = Rng64::seed_from_u64(0x7a04);
+    for _ in 0..48 {
+        let size = rng.gen_range(64u16..=1500);
+        let flows = rng.gen_range(1usize..100);
+        let seed = rng.next_u64();
         let mut t = CampusTrace::fixed_size(size, flows, seed);
         for _ in 0..50 {
-            prop_assert_eq!(t.next_packet().size, size);
+            assert_eq!(t.next_packet().size, size);
         }
     }
+}
 
-    /// Arrival schedules are strictly increasing with the exact period.
-    #[test]
-    fn schedule_monotone(pps in 1.0f64..1e8) {
+/// Arrival schedules are strictly increasing with the exact period.
+#[test]
+fn schedule_monotone() {
+    let mut rng = Rng64::seed_from_u64(0x7a05);
+    for _ in 0..64 {
+        let pps = 1.0 + rng.gen_f64() * 1e8;
         let mut s = ArrivalSchedule::constant_pps(pps);
         let period = s.period_ns();
-        prop_assert!((period - 1e9 / pps).abs() < 1e-6 * period);
+        assert!((period - 1e9 / pps).abs() < 1e-6 * period);
         let mut last = -1.0;
         for _ in 0..100 {
             let t = s.next_arrival_ns();
-            prop_assert!(t > last);
+            assert!(t > last);
             last = t;
         }
     }
+}
 
-    /// Gbps→pps conversion round-trips through wire occupancy.
-    #[test]
-    fn gbps_pps_roundtrip(gbps in 0.1f64..400.0, size in 64.0f64..1500.0) {
+/// Gbps→pps conversion round-trips through wire occupancy.
+#[test]
+fn gbps_pps_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0x7a06);
+    for _ in 0..256 {
+        let gbps = 0.1 + rng.gen_f64() * 399.9;
+        let size = 64.0 + rng.gen_f64() * (1500.0 - 64.0);
         let pps = gbps_to_pps(gbps, size);
         let back = pps * (size + 20.0) * 8.0 / 1e9;
-        prop_assert!((back - gbps).abs() < 1e-9 * gbps.max(1.0));
+        assert!((back - gbps).abs() < 1e-9 * gbps.max(1.0));
     }
 }

@@ -273,18 +273,20 @@ mod tests {
 
     #[test]
     fn solve3_identity() {
-        let sol = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [
-            7.0, 8.0, 9.0,
-        ])
+        let sol = solve3(
+            [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            [7.0, 8.0, 9.0],
+        )
         .unwrap();
         assert_eq!(sol, [7.0, 8.0, 9.0]);
     }
 
     #[test]
     fn solve3_singular_is_none() {
-        assert!(solve3([[1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [0.0, 0.0, 1.0]], [
-            1.0, 2.0, 3.0
-        ])
+        assert!(solve3(
+            [[1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [0.0, 0.0, 1.0]],
+            [1.0, 2.0, 3.0]
+        )
         .is_none());
     }
 }

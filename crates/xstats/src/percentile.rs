@@ -95,7 +95,10 @@ impl Summary {
     ///
     /// Panics if `p` is outside `[0, 100]` or not finite.
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!(p.is_finite() && (0.0..=100.0).contains(&p), "p out of range");
+        assert!(
+            p.is_finite() && (0.0..=100.0).contains(&p),
+            "p out of range"
+        );
         let n = self.sorted.len();
         if n == 1 {
             return self.sorted[0];

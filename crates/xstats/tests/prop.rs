@@ -1,114 +1,148 @@
-//! Property-based tests for the statistics crate.
+//! Property-style tests for the statistics crate.
+//! Seeded loops over [`trafficgen::Rng64`] (fully offline).
 
-use proptest::prelude::*;
+use trafficgen::Rng64;
 use xstats::fit::{linear_fit, quadratic_fit};
 use xstats::{Cdf, Histogram, Summary};
 
-fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e9f64..1e9, 1..max_len)
+fn finite_samples(rng: &mut Rng64, max_len: usize) -> Vec<f64> {
+    let n = rng.gen_range(1usize..max_len);
+    (0..n).map(|_| (rng.gen_f64() - 0.5) * 2e9).collect()
 }
 
-proptest! {
-    /// Percentiles are bounded by min/max and monotone in `p`.
-    #[test]
-    fn percentile_bounds_and_monotonicity(samples in finite_samples(200)) {
+/// Percentiles are bounded by min/max and monotone in `p`.
+#[test]
+fn percentile_bounds_and_monotonicity() {
+    let mut rng = Rng64::seed_from_u64(0xe501);
+    for _ in 0..64 {
+        let samples = finite_samples(&mut rng, 200);
         let s = Summary::from_samples(samples).unwrap();
         let mut last = s.min();
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let v = s.percentile(p);
-            prop_assert!(v >= s.min() - 1e-9 && v <= s.max() + 1e-9);
-            prop_assert!(v >= last - 1e-9, "percentile not monotone at {p}");
+            assert!(v >= s.min() - 1e-9 && v <= s.max() + 1e-9);
+            assert!(v >= last - 1e-9, "percentile not monotone at {p}");
             last = v;
         }
-        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+        assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
     }
+}
 
-    /// Shifting every sample shifts mean/percentiles and leaves stddev.
-    #[test]
-    fn summary_shift_invariance(samples in finite_samples(100), shift in -1e6f64..1e6) {
+/// Shifting every sample shifts mean/percentiles and leaves stddev.
+#[test]
+fn summary_shift_invariance() {
+    let mut rng = Rng64::seed_from_u64(0xe502);
+    for _ in 0..64 {
+        let samples = finite_samples(&mut rng, 100);
+        let shift = (rng.gen_f64() - 0.5) * 2e6;
         let a = Summary::from_samples(samples.iter().copied()).unwrap();
         let b = Summary::from_samples(samples.iter().map(|v| v + shift)).unwrap();
-        prop_assert!((b.mean() - a.mean() - shift).abs() < 1e-6 * (1.0 + a.mean().abs() + shift.abs()));
-        prop_assert!((b.stddev() - a.stddev()).abs() < 1e-6 * (1.0 + a.stddev()));
-        prop_assert!((b.median() - a.median() - shift).abs() < 1e-6 * (1.0 + a.median().abs() + shift.abs()));
+        assert!((b.mean() - a.mean() - shift).abs() < 1e-6 * (1.0 + a.mean().abs() + shift.abs()));
+        assert!((b.stddev() - a.stddev()).abs() < 1e-6 * (1.0 + a.stddev()));
+        assert!(
+            (b.median() - a.median() - shift).abs() < 1e-6 * (1.0 + a.median().abs() + shift.abs())
+        );
     }
+}
 
-    /// The CDF is a valid distribution function: 0 at -inf side, 1 at the
-    /// max, non-decreasing, and quantile() inverts it.
-    #[test]
-    fn cdf_is_a_distribution(samples in finite_samples(150)) {
+/// The CDF is a valid distribution function: 0 below the min, 1 at the
+/// max, non-decreasing, and quantile() inverts it.
+#[test]
+fn cdf_is_a_distribution() {
+    let mut rng = Rng64::seed_from_u64(0xe503);
+    for _ in 0..64 {
+        let samples = finite_samples(&mut rng, 150);
         let c = Cdf::from_samples(samples.iter().copied()).unwrap();
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(c.at(lo - 1.0), 0.0);
-        prop_assert_eq!(c.at(hi), 1.0);
+        assert_eq!(c.at(lo - 1.0), 0.0);
+        assert_eq!(c.at(hi), 1.0);
         let mut prev = 0.0;
         for i in 0..=20 {
             let x = lo + (hi - lo) * i as f64 / 20.0;
             let v = c.at(x);
-            prop_assert!(v >= prev);
+            assert!(v >= prev);
             prev = v;
         }
         for q in [0.1, 0.5, 0.9, 1.0] {
             let x = c.quantile(q);
-            prop_assert!(c.at(x) >= q - 1e-12, "quantile must reach its mass");
+            assert!(c.at(x) >= q - 1e-12, "quantile must reach its mass");
         }
     }
+}
 
-    /// Histogram counts are conserved.
-    #[test]
-    fn histogram_conserves_mass(samples in finite_samples(200)) {
+/// Histogram counts are conserved.
+#[test]
+fn histogram_conserves_mass() {
+    let mut rng = Rng64::seed_from_u64(0xe504);
+    for _ in 0..64 {
+        let samples = finite_samples(&mut rng, 200);
         let mut h = Histogram::new(-1e6, 1e6, 32);
         for &v in &samples {
             h.record(v);
         }
         let binned: u64 = h.bins().iter().sum();
-        prop_assert_eq!(
-            binned + h.underflow() + h.overflow(),
-            samples.len() as u64
-        );
-        prop_assert_eq!(h.count(), samples.len() as u64);
-        prop_assert_eq!(h.fraction_le(2e6), 1.0);
+        assert_eq!(binned + h.underflow() + h.overflow(), samples.len() as u64);
+        assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.fraction_le(2e9), 1.0);
     }
+}
 
-    /// A linear fit recovers exact lines through noiseless points.
-    #[test]
-    fn linear_fit_recovers_lines(a in -100.0f64..100.0, b in -100.0f64..100.0) {
-        let pts: Vec<(f64, f64)> = (0..20).map(|i| {
-            let x = i as f64;
-            (x, a + b * x)
-        }).collect();
+/// A linear fit recovers exact lines through noiseless points.
+#[test]
+fn linear_fit_recovers_lines() {
+    let mut rng = Rng64::seed_from_u64(0xe505);
+    for _ in 0..128 {
+        let a = (rng.gen_f64() - 0.5) * 200.0;
+        let b = (rng.gen_f64() - 0.5) * 200.0;
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, a + b * x)
+            })
+            .collect();
         let f = linear_fit(&pts).unwrap();
-        prop_assert!((f.a - a).abs() < 1e-6 * (1.0 + a.abs()));
-        prop_assert!((f.b - b).abs() < 1e-6 * (1.0 + b.abs()));
-        prop_assert!(f.r2 > 1.0 - 1e-9);
+        assert!((f.a - a).abs() < 1e-6 * (1.0 + a.abs()));
+        assert!((f.b - b).abs() < 1e-6 * (1.0 + b.abs()));
+        assert!(f.r2 > 1.0 - 1e-9);
     }
+}
 
-    /// A quadratic fit recovers exact parabolas.
-    #[test]
-    fn quadratic_fit_recovers_parabolas(
-        a in -50.0f64..50.0,
-        b in -50.0f64..50.0,
-        c in -5.0f64..5.0,
-    ) {
-        let pts: Vec<(f64, f64)> = (-10..=10).map(|i| {
-            let x = i as f64;
-            (x, a + b * x + c * x * x)
-        }).collect();
+/// A quadratic fit recovers exact parabolas.
+#[test]
+fn quadratic_fit_recovers_parabolas() {
+    let mut rng = Rng64::seed_from_u64(0xe506);
+    for _ in 0..128 {
+        let a = (rng.gen_f64() - 0.5) * 100.0;
+        let b = (rng.gen_f64() - 0.5) * 100.0;
+        let c = (rng.gen_f64() - 0.5) * 10.0;
+        let pts: Vec<(f64, f64)> = (-10..=10)
+            .map(|i| {
+                let x = i as f64;
+                (x, a + b * x + c * x * x)
+            })
+            .collect();
         let f = quadratic_fit(&pts).unwrap();
-        prop_assert!((f.a - a).abs() < 1e-5 * (1.0 + a.abs()));
-        prop_assert!((f.b - b).abs() < 1e-5 * (1.0 + b.abs()));
-        prop_assert!((f.c - c).abs() < 1e-5 * (1.0 + c.abs()));
+        assert!((f.a - a).abs() < 1e-5 * (1.0 + a.abs()));
+        assert!((f.b - b).abs() < 1e-5 * (1.0 + b.abs()));
+        assert!((f.c - c).abs() < 1e-5 * (1.0 + c.abs()));
     }
+}
 
-    /// R² never exceeds 1 and adding pure noise keeps it in [?, 1].
-    #[test]
-    fn r_squared_at_most_one(pts in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..50)) {
+/// R² never exceeds 1 for arbitrary point clouds.
+#[test]
+fn r_squared_at_most_one() {
+    let mut rng = Rng64::seed_from_u64(0xe507);
+    for _ in 0..64 {
+        let n = rng.gen_range(3usize..50);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| ((rng.gen_f64() - 0.5) * 2e3, (rng.gen_f64() - 0.5) * 2e3))
+            .collect();
         if let Some(f) = linear_fit(&pts) {
-            prop_assert!(f.r2 <= 1.0 + 1e-9);
+            assert!(f.r2 <= 1.0 + 1e-9);
         }
         if let Some(f) = quadratic_fit(&pts) {
-            prop_assert!(f.r2 <= 1.0 + 1e-9);
+            assert!(f.r2 <= 1.0 + 1e-9);
         }
     }
 }

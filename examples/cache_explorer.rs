@@ -10,7 +10,7 @@ use llc_sim::machine::{Machine, MachineConfig};
 use slice_aware::mapping::SliceMap;
 use slice_aware::placement::PlacementPolicy;
 
-fn explore(cfg: MachineConfig) {
+fn explore(cfg: MachineConfig) -> Result<(), Box<dyn std::error::Error>> {
     let mut m = Machine::new(cfg);
     println!("=== {} ===", m.config().name);
     let cores = m.config().cores;
@@ -41,9 +41,12 @@ fn explore(cfg: MachineConfig) {
     }
 
     // Slice occupancy of 1 MB of physical memory.
-    let region = m.mem_mut().alloc(1 << 20, 1 << 20).unwrap();
+    let region = m.mem_mut().alloc(1 << 20, 1 << 20)?;
     let map = SliceMap::from_hash(&m, region);
-    println!("1 MB region line counts per slice: {:?}", map.histogram(slices));
+    println!(
+        "1 MB region line counts per slice: {:?}",
+        map.histogram(slices)
+    );
 
     // DDIO: DMA a frame, see where it landed.
     let pa = region.pa(0);
@@ -59,9 +62,11 @@ fn explore(cfg: MachineConfig) {
     // CAT: restrict core 0 to 2 ways and show the effect on evictions.
     m.set_cat_mask(0, 0b11);
     println!("core 0 now CAT-restricted to 2 LLC ways (like `pqos -e llc:1=0x3`)\n");
+    Ok(())
 }
 
-fn main() {
-    explore(MachineConfig::haswell_e5_2667_v3());
-    explore(MachineConfig::skylake_gold_6134());
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    explore(MachineConfig::haswell_e5_2667_v3())?;
+    explore(MachineConfig::skylake_gold_6134())?;
+    Ok(())
 }

@@ -20,27 +20,41 @@ use trafficgen::ZipfGen;
 
 const N_VALUES: usize = 1 << 20; // 64 MB of 64 B values.
 
-fn serve(placement: Placement, requests: usize) -> (f64, f64) {
-    let mut m = Machine::new(
-        MachineConfig::haswell_e5_2667_v3().with_dram_capacity(2 << 30),
-    );
-    let region = m.mem_mut().alloc(N_VALUES * 64 * 9, 1 << 20).unwrap();
+fn serve(placement: Placement, requests: usize) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(2 << 30));
+    let region = m.mem_mut().alloc(N_VALUES * 64 * 9, 1 << 20)?;
     let hash = XorSliceHash::haswell_8slice();
     let mut alloc = SliceAllocator::new(region, move |pa| hash.slice_of(pa));
-    let mut store = KvStore::build(&mut m, &mut alloc, N_VALUES, placement).unwrap();
-    let mut pool = MbufPool::create(&mut m, 1024, 128, 2048).unwrap();
+    let mut store = KvStore::build(&mut m, &mut alloc, N_VALUES, placement)?;
+    let mut pool = MbufPool::create(&mut m, 1024, 128, 2048)?;
     let mut port = Port::new(0, Steering::Rss(Rss::new(1)), 256);
     let mut gen = RequestGen::new(ZipfGen::new(N_VALUES as u64, 0.99, 1), 950, 2);
     let mut policy = FixedHeadroom(128);
     // Warm, then measure.
     let warm = ServerConfig::fig8(requests / 4, 950, 0);
-    run_server(&mut m, &mut store, &mut pool, &mut port, &mut policy, &mut gen, &warm);
+    run_server(
+        &mut m,
+        &mut store,
+        &mut pool,
+        &mut port,
+        &mut policy,
+        &mut gen,
+        &warm,
+    );
     let cfg = ServerConfig::fig8(requests, 950, 0);
-    let rep = run_server(&mut m, &mut store, &mut pool, &mut port, &mut policy, &mut gen, &cfg);
-    (rep.tps / 1e6, rep.cycles_per_request)
+    let rep = run_server(
+        &mut m,
+        &mut store,
+        &mut pool,
+        &mut port,
+        &mut policy,
+        &mut gen,
+        &cfg,
+    );
+    Ok((rep.tps / 1e6, rep.cycles_per_request))
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let requests: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -60,11 +74,12 @@ fn main() {
             },
         ),
     ] {
-        let (tps, cpr) = serve(placement, requests);
+        let (tps, cpr) = serve(placement, requests)?;
         println!("{name:<24} {tps:6.3} MTPS  ({cpr:5.1} cycles/request)");
     }
     println!(
         "\nThe hot-set placement keeps popular values in the serving core's closest \
          slice without giving up the rest of the LLC for the long tail (paper §3.1, §8)."
     );
+    Ok(())
 }

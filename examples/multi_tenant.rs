@@ -15,25 +15,30 @@ use slice_aware::alloc::SliceAllocator;
 use slice_aware::partition::SlicePartitioner;
 use slice_aware::workload::{random_access, warm_buffer};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3());
-    let page = m.mem_mut().alloc(512 << 20, 1 << 20).unwrap();
+    let page = m.mem_mut().alloc(512 << 20, 1 << 20)?;
     let hash = llc_sim::hash::XorSliceHash::haswell_8slice();
     let alloc = SliceAllocator::new(page, move |pa| hash.slice_of(pa));
     let mut hv = SlicePartitioner::new(alloc, 8);
 
     // The "hypervisor" grants slices: a small latency-sensitive tenant
     // near core 0, a bigger one, and a batch tenant with the rest.
-    hv.grant(1, &[0]).unwrap();
-    hv.grant(2, &[2, 4]).unwrap();
-    hv.grant(3, &[1, 3, 5, 6, 7]).unwrap();
-    println!("grants: tenant1={:?} tenant2={:?} tenant3={:?}", hv.slices_of(1), hv.slices_of(2), hv.slices_of(3));
+    hv.grant(1, &[0])?;
+    hv.grant(2, &[2, 4])?;
+    hv.grant(3, &[1, 3, 5, 6, 7])?;
+    println!(
+        "grants: tenant1={:?} tenant2={:?} tenant3={:?}",
+        hv.slices_of(1),
+        hv.slices_of(2),
+        hv.slices_of(3)
+    );
 
     // Tenant working sets sized to their grants (~0.75 slice each).
     let bufs = [
-        (1u32, 0usize, hv.alloc_for(1, 30_000).unwrap()),
-        (2, 2, hv.alloc_for(2, 60_000).unwrap()),
-        (3, 4, hv.alloc_for(3, 150_000).unwrap()),
+        (1u32, 0usize, hv.alloc_for(1, 30_000)?),
+        (2, 2, hv.alloc_for(2, 60_000)?),
+        (3, 4, hv.alloc_for(3, 150_000)?),
     ];
     for (t, core, buf) in &bufs {
         warm_buffer(&mut m, *core, buf);
@@ -47,13 +52,20 @@ fn main() {
         let per_op = cycles as f64 / 20_000.0;
         println!(
             "tenant {t} (core {core}): {per_op:.1} cycles/op — isolated in slices {:?}",
-            hv.slices_of(*t).unwrap()
+            hv.slices_of(*t).ok_or("tenant has a grant")?
         );
     }
 
     // Tear one tenant down and re-grant its slice.
-    let freed = hv.revoke(1).unwrap();
-    println!("\ntenant 1 torn down, slices {freed:?} free again: {:?}", hv.free_slices());
-    hv.grant(4, &freed).unwrap();
-    println!("tenant 4 granted {:?}", hv.slices_of(4).unwrap());
+    let freed = hv.revoke(1)?;
+    println!(
+        "\ntenant 1 torn down, slices {freed:?} free again: {:?}",
+        hv.free_slices()
+    );
+    hv.grant(4, &freed)?;
+    println!(
+        "tenant 4 granted {:?}",
+        hv.slices_of(4).ok_or("tenant 4 has a grant")?
+    );
+    Ok(())
 }

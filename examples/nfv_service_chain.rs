@@ -10,7 +10,7 @@
 use nfv::runtime::{run_experiment, ChainSpec, HeadroomMode, RunConfig, SteeringKind};
 use trafficgen::{ArrivalSchedule, CampusTrace, SizeMix};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let packets: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -32,8 +32,8 @@ fn main() {
         let cfg = RunConfig::paper_defaults(chain, SteeringKind::FlowDirector, headroom);
         let mut trace = CampusTrace::new(SizeMix::campus(), 10_000, 7);
         let mut sched = ArrivalSchedule::constant_gbps(100.0, 670.0);
-        let res = run_experiment(cfg, &mut trace, &mut sched, packets);
-        let s = res.summary().expect("latencies");
+        let res = run_experiment(cfg, &mut trace, &mut sched, packets)?;
+        let s = res.summary().ok_or("no latencies recorded")?;
         let [p75, p90, p95, p99, mean] = s.paper_row();
         println!(
             "{name:<22} tput={:6.2} Gbps  p75={:8.1}us p90={:8.1}us p95={:8.1}us \
@@ -51,4 +51,5 @@ fn main() {
         "\nCacheDirector places each packet's header in the slice closest to its \
          processing core; the saved cycles compound in the queues and cut the tail."
     );
+    Ok(())
 }

@@ -10,13 +10,13 @@ use slice_aware::mapping::poll_slice_of;
 use slice_aware::reverse::reconstruct_hash;
 use slice_aware::workload::{random_access, warm_buffer};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A simulated Xeon E5-2667 v3 (the paper's testbed).
     let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3());
     println!("machine: {}", m.config().name);
 
     // Reserve a 1 GB hugepage, like the paper does with mmap.
-    let page = m.mem_mut().alloc_hugepage_1g().expect("hugepage");
+    let page = m.mem_mut().alloc_hugepage_1g()?;
 
     // Step 1 — which LLC slice does an address map to? Ask the uncore
     // counters (works even when the hash function is unknown).
@@ -42,8 +42,8 @@ fn main() {
         hash.slice_of(pa)
     });
     let lines = 1_441_792 / 64; // The paper's 1.375 MB working set.
-    let aware = alloc.alloc_lines(target, lines).expect("slice-local buffer");
-    let normal = alloc.alloc_contiguous_lines(lines).expect("baseline buffer");
+    let aware = alloc.alloc_lines(target, lines)?;
+    let normal = alloc.alloc_contiguous_lines(lines)?;
 
     // Step 4 — measure: 10 000 uniform random reads over each.
     warm_buffer(&mut m, 0, &aware);
@@ -55,4 +55,5 @@ fn main() {
          => {:.1}% speedup",
         (c_normal as f64 - c_aware as f64) / c_normal as f64 * 100.0
     );
+    Ok(())
 }

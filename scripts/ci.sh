@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Offline CI gate for the workspace. Everything here runs without
+# network access: no crates.io dependencies, no rustup downloads.
+#
+#   scripts/ci.sh         # fmt + clippy + tests (debug)
+#   scripts/ci.sh full    # ...plus release build and bench-harness check
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> rustfmt (check only)"
+cargo fmt --all --check
+
+echo "==> clippy, all targets, warnings are errors"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> tests (whole workspace)"
+cargo test --workspace -q
+
+if [[ "${1:-}" == "full" ]]; then
+    echo "==> release build"
+    cargo build --release -q
+    echo "==> bench harness compiles (not run)"
+    cargo clippy --workspace --all-targets --features bench-harness -q -- -D warnings
+    cargo bench -p bench --features bench-harness --no-run -q
+fi
+
+echo "CI OK"

@@ -27,7 +27,7 @@ fn forwarding_pipeline_conserves_packets() {
     );
     let mut trace = CampusTrace::new(SizeMix::campus(), 256, 1);
     let mut sched = ArrivalSchedule::constant_pps(500_000.0);
-    let res = run_experiment(c, &mut trace, &mut sched, 5_000);
+    let res = run_experiment(c, &mut trace, &mut sched, 5_000).expect("config fits");
     assert_eq!(res.offered, 5_000);
     assert_eq!(res.delivered + res.dropped, 5_000);
     assert_eq!(res.latencies_ns.len() as u64, res.delivered);
@@ -49,7 +49,7 @@ fn stateful_chain_full_stack() {
     );
     let mut trace = CampusTrace::new(SizeMix::campus(), 512, 2);
     let mut sched = ArrivalSchedule::constant_pps(1_000_000.0);
-    let res = run_experiment(c, &mut trace, &mut sched, 8_000);
+    let res = run_experiment(c, &mut trace, &mut sched, 8_000).expect("config fits");
     // Catch-all routes: every offered packet is either delivered or
     // dropped at the NIC, never lost.
     assert_eq!(res.delivered + res.dropped, res.offered);
@@ -64,6 +64,7 @@ fn cachedirector_never_hurts_at_low_rate() {
         let mut trace = CampusTrace::fixed_size(64, 64, 3);
         let mut sched = ArrivalSchedule::constant_pps(1000.0);
         run_experiment(c, &mut trace, &mut sched, 1_000)
+            .expect("config fits")
             .summary()
             .unwrap()
             .mean()
@@ -88,6 +89,7 @@ fn cachedirector_cuts_tails_under_load() {
         let mut trace = CampusTrace::fixed_size(128, 256, 5);
         let mut sched = ArrivalSchedule::constant_pps(5_000_000.0);
         run_experiment(c, &mut trace, &mut sched, 30_000)
+            .expect("config fits")
             .summary()
             .unwrap()
             .percentile(99.0)
@@ -109,8 +111,12 @@ fn rates_and_duration_are_consistent() {
     );
     let mut trace = CampusTrace::fixed_size(512, 32, 9);
     let mut sched = ArrivalSchedule::constant_gbps(10.0, 512.0);
-    let res = run_experiment(c, &mut trace, &mut sched, 5_000);
-    assert!((res.offered_gbps - 10.0).abs() < 0.5, "offered {}", res.offered_gbps);
+    let res = run_experiment(c, &mut trace, &mut sched, 5_000).expect("config fits");
+    assert!(
+        (res.offered_gbps - 10.0).abs() < 0.5,
+        "offered {}",
+        res.offered_gbps
+    );
     assert!(res.achieved_gbps <= res.offered_gbps + 0.5);
     assert!(res.duration_ns > 0.0);
 }
@@ -128,7 +134,7 @@ fn skylake_machine_runs_the_same_pipeline() {
         4,
     );
     let m = Machine::new(MachineConfig::skylake_gold_6134());
-    let mut tb = Testbed::on_machine(c, m);
+    let mut tb = Testbed::on_machine(c, m).expect("config fits");
     let mut trace = CampusTrace::fixed_size(256, 64, 11);
     let mut sched = ArrivalSchedule::constant_pps(100_000.0);
     for _ in 0..2_000 {
@@ -161,6 +167,7 @@ fn cachedirector_tail_gain_is_seed_robust() {
         let mut trace = CampusTrace::new(SizeMix::campus(), 2048, seed);
         let mut sched = ArrivalSchedule::constant_gbps(50.0, 670.0);
         run_experiment(c, &mut trace, &mut sched, 25_000)
+            .expect("config fits")
             .summary()
             .unwrap()
             .percentile(99.0)
@@ -182,5 +189,8 @@ fn cachedirector_tail_gain_is_seed_robust() {
             wins += 1;
         }
     }
-    assert!(wins >= 2, "CacheDirector should win on most seeds ({wins}/3)");
+    assert!(
+        wins >= 2,
+        "CacheDirector should win on most seeds ({wins}/3)"
+    );
 }

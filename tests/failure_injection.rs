@@ -3,6 +3,7 @@
 //! accounting.
 
 use nfv::runtime::{run_experiment, ChainSpec, HeadroomMode, RunConfig, SteeringKind};
+use rte::fault::FaultPlan;
 use trafficgen::{ArrivalSchedule, CampusTrace, FlowTuple};
 
 #[test]
@@ -21,10 +22,11 @@ fn starved_mbuf_pool_drops_but_conserves() {
         loopback_ns: 0.0,
         nic_rate_mpps: None,
         seed: 1,
+        faults: FaultPlan::none(),
     };
     let mut trace = CampusTrace::fixed_size(64, 64, 1);
     let mut sched = ArrivalSchedule::constant_pps(20_000_000.0);
-    let res = run_experiment(cfg, &mut trace, &mut sched, 10_000);
+    let res = run_experiment(cfg, &mut trace, &mut sched, 10_000).expect("config fits");
     assert!(res.dropped > 0, "starvation must drop");
     assert_eq!(res.delivered + res.dropped, res.offered);
     assert!(res.delivered > 0, "the pipeline must still make progress");
@@ -45,10 +47,11 @@ fn single_core_single_descriptor() {
         loopback_ns: 0.0,
         nic_rate_mpps: None,
         seed: 2,
+        faults: FaultPlan::none(),
     };
     let mut trace = CampusTrace::fixed_size(64, 4, 2);
     let mut sched = ArrivalSchedule::constant_pps(1000.0);
-    let res = run_experiment(cfg, &mut trace, &mut sched, 100);
+    let res = run_experiment(cfg, &mut trace, &mut sched, 100).expect("config fits");
     // At 1 kpps a single descriptor is re-posted long before the next
     // arrival: everything goes through.
     assert_eq!(res.delivered, 100);
@@ -61,8 +64,7 @@ fn napt_table_exhaustion_drops_cleanly() {
     use nfv::elements::Napt;
     use nfv::packet::encode_frame;
 
-    let mut m =
-        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
     // A 64-bucket table with more flows than it can hold.
     let mut napt = Napt::new(&mut m, 64).unwrap();
     let region = m.mem_mut().alloc(4096, 4096).unwrap();
@@ -83,7 +85,7 @@ fn napt_table_exhaustion_drops_cleanly() {
         let mut ctx = Ctx { m: &mut m, core: 0 };
         match napt.process(&mut ctx, &mut pkt).0 {
             Action::Forward => forwarded += 1,
-            Action::Drop => dropped += 1,
+            Action::Drop(_) => dropped += 1,
         }
     }
     assert!(dropped > 0, "an overfull table must shed flows");
@@ -109,10 +111,11 @@ fn zero_route_table_drops_everything() {
         loopback_ns: 0.0,
         nic_rate_mpps: None,
         seed: 3,
+        faults: FaultPlan::none(),
     };
     let mut trace = CampusTrace::fixed_size(64, 32, 3);
     let mut sched = ArrivalSchedule::constant_pps(10_000.0);
-    let res = run_experiment(cfg, &mut trace, &mut sched, 500);
+    let res = run_experiment(cfg, &mut trace, &mut sched, 500).expect("config fits");
     // The synthetic trace's servers sit in 192.168/16 (high half):
     // a single low-half /1 cannot route them, so the router drops all —
     // and every buffer is recycled (no leak: delivered+dropped=offered).
@@ -133,8 +136,7 @@ fn vxlan_chain_places_inner_header_window() {
     use rte::nic::Port;
     use rte::steering::{Rss, Steering};
 
-    let mut m =
-        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(128 << 20));
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(128 << 20));
     let mut pool = MbufPool::create(&mut m, 128, CACHEDIRECTOR_HEADROOM, 2048).unwrap();
     let mut cd = CacheDirector::install(&mut m, &pool, 1, 64);
     let mut port = Port::new(0, Steering::Rss(Rss::new(1)), 64);
@@ -162,5 +164,63 @@ fn vxlan_chain_places_inner_header_window() {
         m.slice_of(inner_hdr_line.line_base()),
         m.closest_slice(0),
         "the decapped inner header must sit in the placed window"
+    );
+}
+
+#[test]
+fn every_injected_fault_kind_degrades_gracefully() {
+    // One plan arming all five fault kinds at once, driven through the
+    // full cross-crate testbed. Each kind must surface in its own
+    // counter, and the per-cause counters must partition the loss:
+    // offered == delivered + sum(dropped[cause]). The per-kind detail
+    // tests live in crates/nfv/tests/failure_injection.rs.
+    use rte::fault::Window;
+    let mut cfg = RunConfig::paper_defaults(
+        ChainSpec::RouterNaptLb {
+            routes: 64,
+            offload: false,
+        },
+        SteeringKind::Rss,
+        HeadroomMode::CacheDirector {
+            preferred_slices: 1,
+        },
+    );
+    cfg.cores = 2;
+    cfg.queue_depth = 128;
+    cfg.mbufs = 512;
+    cfg.faults = FaultPlan::none()
+        .with_seed(7)
+        .with_corrupt_prob(0.05)
+        .with_truncate_prob(0.10)
+        .with_pool_exhaustion(Window::new(500, 800))
+        .with_rx_stall(Window::new(1200, 1300))
+        .with_link_flap(Window::new(1700, 1850));
+    let mut trace = CampusTrace::fixed_size(128, 256, 13);
+    let mut sched = ArrivalSchedule::constant_pps(2_000_000.0);
+    let res = run_experiment(cfg, &mut trace, &mut sched, 4000).expect("config fits");
+    assert_eq!(res.offered, res.delivered + res.dropped, "conservation");
+    assert_eq!(res.drops.total(), res.dropped, "causes partition the loss");
+    assert!(res.drops.crc > 0, "corruption: {}", res.drops);
+    assert!(
+        res.drops.parse > 0,
+        "truncation reaches the parser: {}",
+        res.drops
+    );
+    assert!(res.drops.pool_starved > 0, "pool outage: {}", res.drops);
+    assert_eq!(
+        res.drops.rx_stall, 100,
+        "stall loses its span: {}",
+        res.drops
+    );
+    assert_eq!(
+        res.drops.link_down, 150,
+        "flap loses its span: {}",
+        res.drops
+    );
+    assert!(
+        res.delivered > res.offered / 2,
+        "the testbed keeps making progress ({} of {})",
+        res.delivered,
+        res.offered
     );
 }

@@ -20,8 +20,7 @@ fn table1_cache_specification() {
 
 #[test]
 fn fig4_hash_reconstruction_matches_published_function() {
-    let mut m =
-        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
     let region = m.mem_mut().alloc(64 << 20, 64 << 20).unwrap();
     let rec = reconstruct_hash(&mut m, 0, region, 8);
     let window = (1u64 << (rec.max_bit + 1)) - 1;
@@ -33,8 +32,7 @@ fn fig4_hash_reconstruction_matches_published_function() {
 
 #[test]
 fn fig5_haswell_latency_shape() {
-    let mut m =
-        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
     let region = m.mem_mut().alloc(128 << 20, 1 << 20).unwrap();
     let prof = profile_access_times(&mut m, 0, region, 5);
     // Closest slice ≈ 34 cycles, max saving ≈ 20 cycles (6.25 ns).
@@ -62,16 +60,7 @@ fn table4_skylake_placement() {
     let m = Machine::new(MachineConfig::skylake_gold_6134().with_dram_capacity(64 << 20));
     let p = PlacementPolicy::from_topology(&m);
     let primaries = [0, 4, 8, 12, 10, 14, 3, 15];
-    let secondaries: [&[usize]; 8] = [
-        &[2, 6],
-        &[1],
-        &[11],
-        &[13],
-        &[7, 9],
-        &[16],
-        &[5],
-        &[17],
-    ];
+    let secondaries: [&[usize]; 8] = [&[2, 6], &[1], &[11], &[13], &[7, 9], &[16], &[5], &[17]];
     for c in 0..8 {
         assert_eq!(p.primary(c), primaries[c], "core {c}");
         assert_eq!(p.secondary(c), secondaries[c], "core {c}");
@@ -82,8 +71,7 @@ fn table4_skylake_placement() {
 fn section42_headroom_distribution() {
     use cache_director::{headroom_distribution, CacheDirector, CACHEDIRECTOR_HEADROOM};
     use rte::mempool::MbufPool;
-    let mut m =
-        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
     let pool = MbufPool::create(&mut m, 2048, CACHEDIRECTOR_HEADROOM, 2048).unwrap();
     let cd = CacheDirector::install(&mut m, &pool, 1, 0);
     assert_eq!(cd.stats().fallback, 0, "Haswell placement never falls back");
