@@ -35,11 +35,11 @@ fn run_config(
     let region = m.mem_mut().alloc(region_bytes, 1 << 20)?;
     let hash = XorSliceHash::haswell_8slice();
     let mut alloc = SliceAllocator::new(region, move |pa| hash.slice_of(pa));
-    let mut store = KvStore::build(&mut m, &mut alloc, n_values, placement)?;
+    let mut store = KvStore::build(&mut m, &mut alloc, n_values, placement.clone())?;
     let mut pool = MbufPool::create(&mut m, 1024, 128, 2048)?;
     let mut port = Port::new(0, Steering::Rss(Rss::new(1)), 256);
     let keygen = ZipfGen::new(n_values as u64, theta, 4242);
-    let mut gen = RequestGen::new(keygen, get_permille, 77);
+    let mut gens = [RequestGen::new(keygen, get_permille, 77)];
     let mut policy = FixedHeadroom(128);
     // Warm-up pass (the paper averages many runs on a hot server).
     let warm = ServerConfig::fig8(requests / 4, get_permille, 1);
@@ -49,7 +49,7 @@ fn run_config(
         &mut pool,
         &mut port,
         &mut policy,
-        &mut gen,
+        &mut gens,
         &warm,
     );
     let cfg = ServerConfig::fig8(requests, get_permille, 1);
@@ -59,7 +59,7 @@ fn run_config(
         &mut pool,
         &mut port,
         &mut policy,
-        &mut gen,
+        &mut gens,
         &cfg,
     );
     if std::env::var("KVS_DEBUG").is_ok() {
@@ -74,7 +74,11 @@ fn run_config(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(1, 150_000);
     let args: Vec<String> = std::env::args().collect();
-    let log2_n: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(21);
+    let default_log2 = if scale.smoke { 14 } else { 21 };
+    let log2_n: u32 = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_log2);
     let n_values = 1usize << log2_n;
     println!(
         "Fig. 8 — emulated KVS, 1 core, 2^{log2_n} x 64 B values, {} requests/point\n",
@@ -99,9 +103,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut by_cfg = Vec::new();
         for (placement, theta) in [
             (Placement::SliceAware { slice: 0 }, 0.99),
-            (hot, 0.99),
+            (hot.clone(), 0.99),
             (Placement::Normal, 0.99),
-            (hot, 0.0),
+            (hot.clone(), 0.0),
             (Placement::Normal, 0.0),
         ] {
             let tps = run_config(n_values, placement, theta, permille, scale.packets)?;

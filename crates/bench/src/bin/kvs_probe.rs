@@ -38,7 +38,11 @@ fn run(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(1, 100_000);
     let args: Vec<String> = std::env::args().collect();
-    let log2_n: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(21);
+    let default_log2 = if scale.smoke { 14 } else { 21 };
+    let log2_n: u32 = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_log2);
     let n = 1usize << log2_n;
     println!("store: 2^{log2_n} values = {} MB", (n * 64) >> 20);
     for theta in [0.99, 0.0] {

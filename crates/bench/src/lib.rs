@@ -13,19 +13,33 @@ pub mod harness;
 ///
 /// Every binary has defaults sized to finish in seconds; passing larger
 /// values tightens the statistics toward the paper's 50-run protocol.
+/// Passing `--smoke` anywhere overrides both with tiny values — the CI
+/// smoke stage uses it to prove every figure binary still runs end to
+/// end without paying for statistics.
 #[derive(Debug, Clone, Copy)]
 pub struct Scale {
     /// Independent repetitions (the paper uses 50).
     pub runs: usize,
     /// Packets (or operations) per run.
     pub packets: usize,
+    /// `--smoke` was passed: binaries should also shrink any scale
+    /// knobs of their own (store sizes, sweep points).
+    pub smoke: bool,
 }
 
 impl Scale {
     /// Parses `[runs] [packets]` from the process arguments, with the
-    /// given defaults.
+    /// given defaults. A literal `--smoke` in any position takes
+    /// precedence: one run, at most [`Scale::SMOKE_PACKETS`] packets.
     pub fn from_args(default_runs: usize, default_packets: usize) -> Self {
         let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--smoke") {
+            return Self {
+                runs: 1,
+                packets: default_packets.min(Self::SMOKE_PACKETS),
+                smoke: true,
+            };
+        }
         Self {
             runs: args
                 .get(1)
@@ -35,8 +49,12 @@ impl Scale {
                 .get(2)
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(default_packets),
+            smoke: false,
         }
     }
+
+    /// Packets per run under `--smoke`.
+    pub const SMOKE_PACKETS: usize = 2_000;
 }
 
 /// Median of each percentile row across runs: the paper's "values show

@@ -1,0 +1,829 @@
+//! The unified multi-core event engine: one polling loop for every
+//! queue application in the workspace.
+//!
+//! The paper's evaluation (§4–§5) runs every workload — stateless
+//! forwarding, stateful service chains, and the KVS — on the same
+//! substrate: per-core run-to-completion PMD loops over DDIO-fed RX
+//! queues. This crate is that substrate. An application implements
+//! [`QueueApp`] (what to do with one received packet, plus an optional
+//! `pump` hook for work that does not come from an RX queue, like a
+//! pipeline's handoff ring) and the engine supplies everything else:
+//!
+//! * **Simulated clock.** Each [`WorkerSpec`] (a core, optionally bound
+//!   to one RX queue) has a *free-at* timestamp. Workers never run ahead
+//!   of the load generator's clock, so queueing emerges naturally: a
+//!   busy worker leaves arrivals in the descriptor ring, and when the
+//!   ring's posted descriptors run out the NIC drops (`rx_nodesc`) — the
+//!   throughput ceiling of Table 3.
+//! * **The polling loop.** `rx_burst → on_packet → tx_burst → refill`,
+//!   with the idle re-arm that keeps RX rings stocked across transient
+//!   pool outages. This is the only PMD loop in the workspace; the NFV
+//!   testbed, the pipelined chain, and the multi-queue KVS are all thin
+//!   [`QueueApp`]s over it.
+//! * **Drop accounting.** A per-queue [`NicDrops`] ledger plus a
+//!   per-queue count of application drops. The engine owns the
+//!   conservation invariant
+//!   `offered + carried == delivered + Σ nic[cause] + app + in_flight`
+//!   and asserts it (globally and per queue) in [`Engine::finish`],
+//!   cross-checking its classification against the port's own counters.
+//! * **Fault injection.** [`rte::fault::FaultPlan`] windows — including
+//!   the TX-side kinds (`tx_stall`, `ready_overrun`) and per-queue RX
+//!   stalls — are drawn per offered frame with the target queue known,
+//!   so queue-scoped faults degrade only their queue.
+//!
+//! Hardware (machine, port, mempool, headroom policy) is *not* owned by
+//! the engine; callers pass a [`Hw`] view per call. That keeps warm
+//! state (e.g. a KVS store and its LLC contents) reusable across runs,
+//! which Fig. 8's warm-then-measure methodology depends on.
+
+pub mod drops;
+
+pub use drops::NicDrops;
+
+use llc_sim::machine::Machine;
+use rte::fault::{FaultPlan, FaultState};
+use rte::mempool::MbufPool;
+use rte::nic::{DropReason, HeadroomPolicy, Port, RxCompletion, TxDesc};
+use trafficgen::FlowTuple;
+
+/// A borrowed view of the hardware the engine drives. The engine owns
+/// clocks and ledgers only; machine, port, pool, and headroom policy
+/// stay with the caller so they can outlive a run (warm stores, reused
+/// ports).
+pub struct Hw<'a> {
+    /// The simulated machine.
+    pub m: &'a mut Machine,
+    /// The NIC port whose queues the workers poll.
+    pub port: &'a mut Port,
+    /// The mbuf pool backing the port's descriptors.
+    pub pool: &'a mut MbufPool,
+    /// The headroom policy applied on refill (stock or CacheDirector).
+    pub policy: &'a mut dyn HeadroomPolicy,
+}
+
+/// One worker: a core running the polling loop, optionally bound to one
+/// RX queue. Queue-less workers only run their app's [`QueueApp::pump`]
+/// hook (e.g. the second stage of a pipelined chain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSpec {
+    /// The core this worker's cycles are charged to.
+    pub core: usize,
+    /// The RX queue it polls, if any.
+    pub queue: Option<usize>,
+}
+
+impl WorkerSpec {
+    /// The usual run-to-completion shape: core `c` polls queue `c`.
+    pub fn run_to_completion(cores: usize) -> Vec<WorkerSpec> {
+        (0..cores)
+            .map(|c| WorkerSpec {
+                core: c,
+                queue: Some(c),
+            })
+            .collect()
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The workers (cores × queues).
+    pub workers: Vec<WorkerSpec>,
+    /// RX descriptors per queue; also the refill target.
+    pub queue_depth: usize,
+    /// PMD burst size.
+    pub burst: usize,
+    /// Injected faults.
+    pub faults: FaultPlan,
+}
+
+/// What an application decides about one received packet.
+#[derive(Debug, Clone, Copy)]
+pub enum Verdict {
+    /// Transmit this descriptor (the engine counts it as delivered and
+    /// recycles the buffer through `tx_burst`).
+    Tx(TxDesc),
+    /// Drop: the engine recycles the buffer and counts one application
+    /// drop on the worker's queue. Cause-level accounting is the app's
+    /// job (it has richer vocabulary than the engine needs).
+    Drop,
+    /// The app took ownership of the buffer (e.g. queued it on a
+    /// handoff ring). It must eventually resurface as a [`Verdict::Tx`]
+    /// from `pump`, a [`Ctx::drop_packet`], or stay counted in flight.
+    Consumed,
+}
+
+/// Per-poll context handed to the application. Wraps the machine and
+/// pool (reborrowed from [`Hw`]) plus the worker's identity and the
+/// wall-clock anchor of the current poll iteration.
+pub struct Ctx<'a> {
+    /// The simulated machine.
+    pub m: &'a mut Machine,
+    /// The mbuf pool (for recycling consumed buffers).
+    pub pool: &'a mut MbufPool,
+    /// The worker's core.
+    pub core: usize,
+    /// The worker's index in [`EngineConfig::workers`].
+    pub worker: usize,
+    /// The worker's RX queue, if any.
+    pub queue: Option<usize>,
+    start_cycles: u64,
+    start_ns: f64,
+    ns_per_cycle: f64,
+    dropped: u64,
+}
+
+impl Ctx<'_> {
+    /// The current simulated wall clock on this worker's core: the poll
+    /// iteration's start plus the cycles burned so far.
+    pub fn wall_ns(&self) -> f64 {
+        self.start_ns + (self.m.now(self.core) - self.start_cycles) as f64 * self.ns_per_cycle
+    }
+
+    /// Recycles `mbuf` and counts one application drop on this worker's
+    /// queue — the explicit form of [`Verdict::Drop`] for packets the
+    /// app previously [`Verdict::Consumed`] (e.g. a full handoff ring).
+    pub fn drop_packet(&mut self, mbuf: u32) {
+        self.pool.put(mbuf);
+        self.dropped += 1;
+    }
+}
+
+/// A queue application: the per-packet half of the polling loop.
+pub trait QueueApp {
+    /// Processes one received packet on `ctx.worker` and decides its
+    /// fate. Runs timed work against `ctx.m` on `ctx.core`.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, comp: &RxCompletion) -> Verdict;
+
+    /// Non-RX work for this worker (e.g. draining a handoff ring).
+    /// Push transmissions into `tx`; recycle drops with
+    /// [`Ctx::drop_packet`]. Returns how many packets moved — it MUST
+    /// make progress whenever [`QueueApp::has_backlog`] is true for this
+    /// worker, or the engine's drain loop cannot terminate.
+    fn pump(&mut self, _ctx: &mut Ctx<'_>, _tx: &mut Vec<TxDesc>) -> usize {
+        0
+    }
+
+    /// Whether worker `w` has non-RX work pending (see
+    /// [`QueueApp::pump`]).
+    fn has_backlog(&self, _worker: usize) -> bool {
+        false
+    }
+}
+
+/// Per-queue slice of the final [`EngineReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueueLedger {
+    /// Frames the load generator offered that steered to this queue.
+    pub offered: u64,
+    /// Completions a previous run left in this queue's ready ring.
+    pub carried: u64,
+    /// Frames transmitted by this queue's worker.
+    pub delivered: u64,
+    /// NIC/driver drops.
+    pub nic: NicDrops,
+    /// Application drops.
+    pub app_drops: u64,
+    /// Completions still in the ready ring at finish.
+    pub in_flight: u64,
+}
+
+/// What a finished engine run reports. Aggregates satisfy
+/// `offered + carried == delivered + nic.total() + app_drops +
+/// in_flight`, and each [`QueueLedger`] satisfies the same per queue
+/// (both asserted in [`Engine::finish`]).
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Frames offered.
+    pub offered: u64,
+    /// Completions carried in from a previous run.
+    pub carried: u64,
+    /// Frames transmitted.
+    pub delivered: u64,
+    /// Aggregate NIC/driver drops.
+    pub nic: NicDrops,
+    /// Aggregate application drops.
+    pub app_drops: u64,
+    /// Completions left in ready rings (closed-loop runs end with some).
+    pub in_flight: u64,
+    /// The per-queue breakdown; sums to the aggregate fields above.
+    pub per_queue: Vec<QueueLedger>,
+    /// Simulated run duration: the latest worker free-at time, ≥ 1 ns.
+    pub duration_ns: f64,
+    /// The last offered frame's arrival time.
+    pub last_arrival_ns: f64,
+    /// Wire bits offered (for Gbps math).
+    pub offered_wire_bits: u64,
+    /// Wire bits transmitted.
+    pub tx_wire_bits: u64,
+}
+
+/// The engine: clocks, fault state, and drop ledgers around one
+/// [`QueueApp`].
+pub struct Engine<A: QueueApp> {
+    app: A,
+    cfg: EngineConfig,
+    free_ns: Vec<f64>,
+    ns_per_cycle: f64,
+    faults: FaultState,
+    nic: Vec<NicDrops>,
+    app_drops: Vec<u64>,
+    offered_q: Vec<u64>,
+    delivered_q: Vec<u64>,
+    carried: Vec<u64>,
+    offered: u64,
+    delivered: u64,
+    offered_wire_bits: u64,
+    tx_wire_bits: u64,
+    last_arrival_ns: f64,
+    base_stats: rte::nic::PortStats,
+}
+
+impl<A: QueueApp> Engine<A> {
+    /// Assembles the engine around `app` and performs the initial
+    /// descriptor posting (each queue topped up to `queue_depth` minus
+    /// any completions carried over from a previous run — the ring's
+    /// slots are shared by posted descriptors and unharvested
+    /// completions).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry: no workers, zero burst/depth, a
+    /// worker queue outside the port, a queue polled by two workers, or
+    /// a port queue no worker polls.
+    pub fn new(app: A, cfg: EngineConfig, hw: &mut Hw<'_>) -> Self {
+        assert!(!cfg.workers.is_empty(), "no workers");
+        assert!(cfg.burst > 0 && cfg.queue_depth > 0, "bad queue geometry");
+        let queues = hw.port.num_queues();
+        let mut polled = vec![false; queues];
+        for w in &cfg.workers {
+            assert!(w.core < hw.m.config().cores, "worker core off-machine");
+            if let Some(q) = w.queue {
+                assert!(q < queues, "worker polls a queue the port lacks");
+                assert!(!polled[q], "queue {q} polled by two workers");
+                polled[q] = true;
+            }
+        }
+        assert!(
+            polled.iter().all(|&p| p),
+            "every port queue needs a polling worker"
+        );
+        let carried: Vec<u64> = (0..queues).map(|q| hw.port.ready_count(q) as u64).collect();
+        let ns_per_cycle = 1.0 / hw.m.config().freq_ghz;
+        let base_stats = hw.port.stats();
+        let eng = Self {
+            free_ns: vec![0.0; cfg.workers.len()],
+            ns_per_cycle,
+            faults: FaultState::new(cfg.faults.clone()),
+            nic: vec![NicDrops::default(); queues],
+            app_drops: vec![0; queues],
+            offered_q: vec![0; queues],
+            delivered_q: vec![0; queues],
+            carried,
+            offered: 0,
+            delivered: 0,
+            offered_wire_bits: 0,
+            tx_wire_bits: 0,
+            last_arrival_ns: 0.0,
+            base_stats,
+            app,
+            cfg,
+        };
+        for w in 0..eng.cfg.workers.len() {
+            if let Some(q) = eng.cfg.workers[w].queue {
+                let core = eng.cfg.workers[w].core;
+                let target = eng.cfg.queue_depth - hw.port.ready_count(q);
+                hw.port.refill(hw.m, hw.pool, q, core, hw.policy, target);
+            }
+        }
+        eng
+    }
+
+    /// The application (inspection).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// The application (mutation between polls).
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    /// The global simulated clock: the latest worker free-at time.
+    pub fn now_ns(&self) -> f64 {
+        self.free_ns.iter().copied().fold(0.0f64, f64::max)
+    }
+
+    /// Frames offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Frames transmitted so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Offers one frame at `t_ns`: routes it, draws its faults (with
+    /// the target queue known, so queue-scoped windows apply), lets the
+    /// workers catch up to the present, then delivers through the NIC.
+    /// Every failure is classified into the per-queue ledger; the
+    /// `Err` is returned so closed-loop callers can back off.
+    pub fn offer(
+        &mut self,
+        hw: &mut Hw<'_>,
+        flow: &FlowTuple,
+        frame: &[u8],
+        t_ns: f64,
+    ) -> Result<usize, DropReason> {
+        let (q, mark) = hw.port.route(flow);
+        // Draw this frame's faults before the catch-up: a pool-exhaustion
+        // window must already be in force while the workers run to the
+        // arrival (their refills are what the outage starves).
+        let fault = self.faults.draw_for_queue(t_ns, q);
+        hw.pool.set_outage(fault.pool_blocked);
+        self.run_until(hw, t_ns);
+        self.offered += 1;
+        self.offered_q[q] += 1;
+        self.offered_wire_bits += trafficgen::arrival::wire_bits(frame.len() as u16);
+        self.last_arrival_ns = self.last_arrival_ns.max(t_ns);
+        match hw.port.deliver_routed(hw.m, frame, q, mark, t_ns, fault) {
+            Ok(()) => Ok(q),
+            Err(reason) => {
+                let n = &mut self.nic[q];
+                match reason {
+                    DropReason::NoDescriptor => {
+                        // The NIC only sees the ring; the engine knows
+                        // whether descriptors were missing because the
+                        // *pool* was dry.
+                        if hw.pool.in_outage() || hw.pool.available() == 0 {
+                            n.pool_starved += 1;
+                        } else {
+                            n.nodesc += 1;
+                        }
+                    }
+                    DropReason::Overrun => n.overrun += 1,
+                    DropReason::CrcError => n.crc += 1,
+                    DropReason::LinkDown => n.link_down += 1,
+                    DropReason::RxStall => n.rx_stall += 1,
+                    DropReason::ReadyOverrun => n.ready_overrun += 1,
+                }
+                Err(reason)
+            }
+        }
+    }
+
+    /// Runs every worker's polling loop until simulated time `until_ns`.
+    pub fn run_until(&mut self, hw: &mut Hw<'_>, until_ns: f64) {
+        for w in 0..self.cfg.workers.len() {
+            self.run_worker_until(hw, w, until_ns);
+        }
+    }
+
+    fn run_worker_until(&mut self, hw: &mut Hw<'_>, w: usize, until_ns: f64) {
+        loop {
+            if self.free_ns[w] >= until_ns {
+                return;
+            }
+            let spec = self.cfg.workers[w];
+            let has_rx = spec.queue.is_some_and(|q| hw.port.ready_count(q) > 0);
+            if !has_rx && !self.app.has_backlog(w) {
+                // An idle PMD still re-arms its RX ring. Without this, a
+                // transient pool outage that drains the posted ring would
+                // leave the queue dry forever once the pool recovers.
+                if let Some(q) = spec.queue {
+                    if hw.port.posted_count(q) < self.cfg.queue_depth {
+                        hw.port.refill(
+                            hw.m,
+                            hw.pool,
+                            q,
+                            spec.core,
+                            hw.policy,
+                            self.cfg.queue_depth,
+                        );
+                    }
+                }
+                // Idle-poll forward to the horizon.
+                self.free_ns[w] = until_ns;
+                return;
+            }
+            self.poll_worker(hw, w);
+        }
+    }
+
+    /// One poll round over every worker with pending work, then a clock
+    /// sync: all workers advance to the latest free-at time. Closed-loop
+    /// callers alternate `offer(.., now_ns())` top-ups with `step`, and
+    /// the sync guarantees those offers never trigger catch-up
+    /// processing mid-top-up. Returns how many packets moved; zero means
+    /// the engine is drained (or wedged by faults) and the caller should
+    /// stop.
+    pub fn step(&mut self, hw: &mut Hw<'_>) -> usize {
+        let mut moved = 0;
+        for w in 0..self.cfg.workers.len() {
+            let spec = self.cfg.workers[w];
+            let has_rx = spec.queue.is_some_and(|q| hw.port.ready_count(q) > 0);
+            if has_rx || self.app.has_backlog(w) {
+                moved += self.poll_worker(hw, w);
+            }
+        }
+        let now = self.now_ns();
+        for f in &mut self.free_ns {
+            *f = now;
+        }
+        moved
+    }
+
+    /// Polls until no worker moves a packet (open-loop tail drain).
+    pub fn drain(&mut self, hw: &mut Hw<'_>) {
+        while self.step(hw) > 0 {}
+    }
+
+    /// One full PMD iteration for worker `w`:
+    /// `rx_burst → on_packet* → pump → tx_burst → refill`, with the
+    /// worker's clock advanced by the cycles burned. Returns packets
+    /// moved.
+    fn poll_worker(&mut self, hw: &mut Hw<'_>, w: usize) -> usize {
+        let spec = self.cfg.workers[w];
+        let core = spec.core;
+        let start_cycles = hw.m.now(core);
+        let start_ns = self.free_ns[w];
+        let aq = spec.queue.unwrap_or(0);
+        let batch = match spec.queue {
+            Some(q) => hw.port.rx_burst(hw.m, hw.pool, q, core, self.cfg.burst).0,
+            None => Vec::new(),
+        };
+        let mut moved = batch.len();
+        let mut tx: Vec<TxDesc> = Vec::with_capacity(batch.len());
+        {
+            let mut ctx = Ctx {
+                m: hw.m,
+                pool: hw.pool,
+                core,
+                worker: w,
+                queue: spec.queue,
+                start_cycles,
+                start_ns,
+                ns_per_cycle: self.ns_per_cycle,
+                dropped: 0,
+            };
+            for comp in &batch {
+                match self.app.on_packet(&mut ctx, comp) {
+                    Verdict::Tx(desc) => tx.push(desc),
+                    Verdict::Drop => ctx.drop_packet(comp.mbuf),
+                    Verdict::Consumed => {}
+                }
+            }
+            moved += self.app.pump(&mut ctx, &mut tx);
+            self.app_drops[aq] += ctx.dropped;
+        }
+        if !tx.is_empty() {
+            let t_tx = start_ns + (hw.m.now(core) - start_cycles) as f64 * self.ns_per_cycle;
+            if self.faults.tx_stalled(t_tx) {
+                // The TX descriptor path is wedged: fully processed
+                // frames cannot leave the box; the PMD recycles them.
+                for d in &tx {
+                    hw.pool.put(d.mbuf);
+                }
+                self.nic[aq].tx_stall += tx.len() as u64;
+            } else {
+                hw.port.tx_burst(hw.m, hw.pool, core, &tx);
+                self.delivered += tx.len() as u64;
+                self.delivered_q[aq] += tx.len() as u64;
+                for d in &tx {
+                    self.tx_wire_bits += trafficgen::arrival::wire_bits(d.len);
+                }
+            }
+        }
+        if let Some(q) = spec.queue {
+            // A real RX ring has `depth` slots shared by posted
+            // descriptors and not-yet-harvested completions; refill only
+            // the slots this burst freed.
+            let target = self.cfg.queue_depth - hw.port.ready_count(q);
+            hw.port.refill(hw.m, hw.pool, q, core, hw.policy, target);
+        }
+        let busy = (hw.m.now(core) - start_cycles) as f64 * self.ns_per_cycle;
+        self.free_ns[w] = start_ns + busy;
+        moved
+    }
+
+    /// Ends the run: clears any pool outage, asserts conservation
+    /// (globally, per queue, and against the port's own counters), and
+    /// returns the report plus the application. Does *not* drain —
+    /// open-loop callers should [`Engine::drain`] first; closed-loop
+    /// callers end with requests legitimately in flight.
+    pub fn finish(self, hw: &mut Hw<'_>) -> (EngineReport, A) {
+        hw.pool.set_outage(false);
+        let queues = self.nic.len();
+        let per_queue: Vec<QueueLedger> = (0..queues)
+            .map(|q| QueueLedger {
+                offered: self.offered_q[q],
+                carried: self.carried[q],
+                delivered: self.delivered_q[q],
+                nic: self.nic[q],
+                app_drops: self.app_drops[q],
+                in_flight: hw.port.ready_count(q) as u64,
+            })
+            .collect();
+        for (q, l) in per_queue.iter().enumerate() {
+            assert_eq!(
+                l.offered + l.carried,
+                l.delivered + l.nic.total() + l.app_drops + l.in_flight,
+                "queue {q} conservation: offered {} + carried {} != delivered {} \
+                 + nic [{}] + app {} + in_flight {}",
+                l.offered,
+                l.carried,
+                l.delivered,
+                l.nic,
+                l.app_drops,
+                l.in_flight
+            );
+        }
+        let nic = NicDrops::sum(per_queue.iter().map(|l| &l.nic));
+        let app_drops: u64 = per_queue.iter().map(|l| l.app_drops).sum();
+        let in_flight: u64 = per_queue.iter().map(|l| l.in_flight).sum();
+        let carried: u64 = self.carried.iter().sum();
+        assert_eq!(
+            self.offered + carried,
+            self.delivered + nic.total() + app_drops + in_flight,
+            "conservation violated: offered {} + carried {carried} != delivered {} \
+             + nic [{nic}] + app {app_drops} + in_flight {in_flight}",
+            self.offered,
+            self.delivered,
+        );
+        // Cross-check the engine's classification against the NIC's own
+        // counters (deltas over this run).
+        let s = hw.port.stats();
+        let b = self.base_stats;
+        assert_eq!(self.delivered, s.tx_pkts - b.tx_pkts, "tx accounting");
+        assert_eq!(
+            nic.nodesc + nic.pool_starved,
+            s.rx_nodesc - b.rx_nodesc,
+            "descriptor-drop classification must partition rx_nodesc"
+        );
+        assert_eq!(nic.crc, s.rx_crc - b.rx_crc, "crc accounting");
+        assert_eq!(nic.overrun, s.rx_overrun - b.rx_overrun, "overrun");
+        assert_eq!(nic.link_down, s.rx_linkdown - b.rx_linkdown, "link");
+        assert_eq!(nic.rx_stall, s.rx_stall - b.rx_stall, "stall");
+        assert_eq!(
+            nic.ready_overrun,
+            s.rx_ready_overrun - b.rx_ready_overrun,
+            "ready-overrun accounting"
+        );
+        let report = EngineReport {
+            offered: self.offered,
+            carried,
+            delivered: self.delivered,
+            nic,
+            app_drops,
+            in_flight,
+            per_queue,
+            duration_ns: self.now_ns().max(1.0),
+            last_arrival_ns: self.last_arrival_ns,
+            offered_wire_bits: self.offered_wire_bits,
+            tx_wire_bits: self.tx_wire_bits,
+        };
+        (report, self.app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_sim::machine::MachineConfig;
+    use rte::steering::{Rss, Steering};
+
+    /// Echo every packet back (a MacSwap-free forwarder).
+    struct Echo {
+        work: u64,
+    }
+
+    impl QueueApp for Echo {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, comp: &RxCompletion) -> Verdict {
+            ctx.m.advance(ctx.core, self.work);
+            Verdict::Tx(TxDesc {
+                mbuf: comp.mbuf,
+                data_pa: comp.data_pa,
+                len: comp.len,
+            })
+        }
+    }
+
+    fn setup(queues: usize, depth: usize) -> (Machine, MbufPool, Port) {
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+        let pool = MbufPool::create(&mut m, (4 * queues * depth) as u32, 128, 2048).unwrap();
+        let port = Port::new(0, Steering::Rss(Rss::new(queues)), depth);
+        (m, pool, port)
+    }
+
+    fn flow(i: u32) -> FlowTuple {
+        FlowTuple::tcp(0x0a00_0000 + i, 1000 + (i as u16), 0xc0a8_0001, 80)
+    }
+
+    #[test]
+    fn echo_delivers_everything_at_low_rate() {
+        let (mut m, mut pool, mut port) = setup(2, 64);
+        let mut policy = rte::nic::FixedHeadroom(128);
+        let mut hw = Hw {
+            m: &mut m,
+            port: &mut port,
+            pool: &mut pool,
+            policy: &mut policy,
+        };
+        let mut eng = Engine::new(
+            Echo { work: 300 },
+            EngineConfig {
+                workers: WorkerSpec::run_to_completion(2),
+                queue_depth: 64,
+                burst: 16,
+                faults: FaultPlan::none(),
+            },
+            &mut hw,
+        );
+        for i in 0..500u32 {
+            let t = i as f64 * 10_000.0; // 100 kpps: everyone keeps up.
+            eng.offer(&mut hw, &flow(i % 32), &[0u8; 64], t).unwrap();
+        }
+        eng.drain(&mut hw);
+        let (rep, _) = eng.finish(&mut hw);
+        assert_eq!(rep.offered, 500);
+        assert_eq!(rep.delivered, 500);
+        assert_eq!(rep.nic.total() + rep.app_drops, 0);
+        assert_eq!(rep.in_flight, 0);
+        assert!(rep.duration_ns >= 500.0 * 10_000.0 * 0.9);
+        // Per-queue ledgers partition the aggregate.
+        let sum: u64 = rep.per_queue.iter().map(|l| l.delivered).sum();
+        assert_eq!(sum, rep.delivered);
+        assert!(rep.per_queue.iter().all(|l| l.delivered > 0));
+    }
+
+    #[test]
+    fn overload_drops_but_conserves() {
+        let (mut m, mut pool, mut port) = setup(1, 32);
+        let mut policy = rte::nic::FixedHeadroom(128);
+        let mut hw = Hw {
+            m: &mut m,
+            port: &mut port,
+            pool: &mut pool,
+            policy: &mut policy,
+        };
+        let mut eng = Engine::new(
+            Echo { work: 10_000 }, // ~3 µs/pkt service.
+            EngineConfig {
+                workers: WorkerSpec::run_to_completion(1),
+                queue_depth: 32,
+                burst: 8,
+                faults: FaultPlan::none(),
+            },
+            &mut hw,
+        );
+        for i in 0..2_000u32 {
+            let t = i as f64 * 50.0; // 20 Mpps: hopeless.
+            let _ = eng.offer(&mut hw, &flow(i % 8), &[0u8; 64], t);
+        }
+        eng.drain(&mut hw);
+        let (rep, _) = eng.finish(&mut hw);
+        assert!(rep.nic.nodesc > 0, "overload must exhaust descriptors");
+        assert!(rep.delivered > 0, "the loop still makes progress");
+        assert_eq!(rep.offered, rep.delivered + rep.nic.total() + rep.app_drops);
+    }
+
+    #[test]
+    fn tx_stall_window_sheds_processed_frames() {
+        let (mut m, mut pool, mut port) = setup(1, 64);
+        let mut policy = rte::nic::FixedHeadroom(128);
+        let mut hw = Hw {
+            m: &mut m,
+            port: &mut port,
+            pool: &mut pool,
+            policy: &mut policy,
+        };
+        let mut eng = Engine::new(
+            Echo { work: 100 },
+            EngineConfig {
+                workers: WorkerSpec::run_to_completion(1),
+                queue_depth: 64,
+                burst: 8,
+                faults: FaultPlan::none().with_tx_stall(rte::fault::Window::new(100_000, 300_000)),
+            },
+            &mut hw,
+        );
+        let before = hw.pool.available();
+        for i in 0..100u32 {
+            let t = i as f64 * 5_000.0; // 0..500 µs, spanning the window.
+            eng.offer(&mut hw, &flow(3), &[0u8; 64], t).unwrap();
+        }
+        eng.drain(&mut hw);
+        let (rep, _) = eng.finish(&mut hw);
+        assert!(rep.nic.tx_stall > 0, "the stall window must bite");
+        assert_eq!(rep.delivered + rep.nic.tx_stall, 100);
+        assert_eq!(
+            hw.pool.available(),
+            before,
+            "stalled frames' buffers are recycled, not leaked"
+        );
+    }
+
+    #[test]
+    fn per_queue_stall_degrades_only_its_queue() {
+        let (mut m, mut pool, mut port) = setup(4, 64);
+        let mut policy = rte::nic::FixedHeadroom(128);
+        let mut hw = Hw {
+            m: &mut m,
+            port: &mut port,
+            pool: &mut pool,
+            policy: &mut policy,
+        };
+        let mut eng = Engine::new(
+            Echo { work: 200 },
+            EngineConfig {
+                workers: WorkerSpec::run_to_completion(4),
+                queue_depth: 64,
+                burst: 16,
+                faults: FaultPlan::none()
+                    .with_queue_rx_stall(1, rte::fault::Window::new(0, u64::MAX)),
+            },
+            &mut hw,
+        );
+        for i in 0..800u32 {
+            let t = i as f64 * 2_000.0;
+            let _ = eng.offer(&mut hw, &flow(i), &[0u8; 64], t);
+        }
+        eng.drain(&mut hw);
+        let (rep, _) = eng.finish(&mut hw);
+        assert!(rep.per_queue[1].offered > 0, "RSS spreads to queue 1");
+        assert_eq!(
+            rep.per_queue[1].nic.rx_stall, rep.per_queue[1].offered,
+            "queue 1 loses everything"
+        );
+        assert_eq!(rep.per_queue[1].delivered, 0);
+        for q in [0, 2, 3] {
+            assert_eq!(
+                rep.per_queue[q].delivered, rep.per_queue[q].offered,
+                "queue {q} must be untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn clock_is_monotone_across_offers() {
+        let (mut m, mut pool, mut port) = setup(1, 32);
+        let mut policy = rte::nic::FixedHeadroom(128);
+        let mut hw = Hw {
+            m: &mut m,
+            port: &mut port,
+            pool: &mut pool,
+            policy: &mut policy,
+        };
+        let mut eng = Engine::new(
+            Echo { work: 500 },
+            EngineConfig {
+                workers: WorkerSpec::run_to_completion(1),
+                queue_depth: 32,
+                burst: 8,
+                faults: FaultPlan::none(),
+            },
+            &mut hw,
+        );
+        let mut prev = 0.0;
+        for i in 0..300u32 {
+            let t = i as f64 * 700.0;
+            let _ = eng.offer(&mut hw, &flow(1), &[0u8; 64], t);
+            let now = eng.now_ns();
+            assert!(now >= prev, "clock went backwards: {now} < {prev}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "polled by two workers")]
+    fn double_polling_a_queue_is_rejected() {
+        let (mut m, mut pool, mut port) = setup(1, 32);
+        let mut policy = rte::nic::FixedHeadroom(128);
+        let mut hw = Hw {
+            m: &mut m,
+            port: &mut port,
+            pool: &mut pool,
+            policy: &mut policy,
+        };
+        let _ = Engine::new(
+            Echo { work: 1 },
+            EngineConfig {
+                workers: vec![
+                    WorkerSpec {
+                        core: 0,
+                        queue: Some(0),
+                    },
+                    WorkerSpec {
+                        core: 1,
+                        queue: Some(0),
+                    },
+                ],
+                queue_depth: 32,
+                burst: 8,
+                faults: FaultPlan::none(),
+            },
+            &mut hw,
+        );
+    }
+}

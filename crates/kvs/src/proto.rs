@@ -70,6 +70,8 @@ pub struct RequestGen {
     get_permille: u32,
     mix: trafficgen::Rng64,
     client_flow: FlowTuple,
+    key_stride: u32,
+    key_offset: u32,
 }
 
 impl RequestGen {
@@ -85,7 +87,37 @@ impl RequestGen {
             get_permille,
             mix: trafficgen::Rng64::seed_from_u64(seed),
             client_flow: FlowTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 11211),
+            key_stride: 1,
+            key_offset: 0,
         }
+    }
+
+    /// The same generator emitting from a different client 5-tuple. The
+    /// multi-queue server uses one flow per RX queue (see
+    /// [`crate::server::flow_for_queue`]) so each generator feeds
+    /// exactly one serving core.
+    #[must_use]
+    pub fn with_flow(mut self, flow: FlowTuple) -> Self {
+        self.client_flow = flow;
+        self
+    }
+
+    /// Restricts keys to the arithmetic class `rank × stride + offset`:
+    /// the per-core key partition of the multi-queue server, where core
+    /// *i* of *N* uses stride *N*, offset *i* — matching
+    /// [`crate::store::Placement::Striped`], which homes key class *i*
+    /// in core *i*'s closest slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stride` is 0 or `offset ≥ stride`.
+    #[must_use]
+    pub fn with_key_partition(mut self, stride: u32, offset: u32) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(offset < stride, "offset must be below the stride");
+        self.key_stride = stride;
+        self.key_offset = offset;
+        self
     }
 
     /// The client's 5-tuple.
@@ -102,7 +134,7 @@ impl RequestGen {
         };
         KvRequest {
             op,
-            key: self.keygen.next_rank() as u32,
+            key: self.keygen.next_rank() as u32 * self.key_stride + self.key_offset,
         }
     }
 }

@@ -1,18 +1,25 @@
-//! The single-core KVS server loop and its throughput measurement.
+//! The multi-queue KVS server loop and its throughput measurement.
 //!
 //! Fig. 8 measures server-side transactions per second with the client
 //! saturating the server ("a client sends requests ... at high rate to
 //! stress the server. We measured the performance ... on the server side
 //! so that we could ignore the networking bottlenecks"). The server here
-//! runs closed-loop: the NIC queue is kept stocked with requests and TPS
-//! is requests served over the serving core's busy time.
+//! runs closed-loop on the shared [`engine::Engine`]: every RX queue is
+//! kept stocked with requests by its own client generator, one worker
+//! core polls each queue, and TPS is requests served over the serving
+//! cores' busy time. With one queue this is exactly the paper's Fig. 8
+//! setup; with N queues it is the §8 multi-core extension, where
+//! [`crate::store::Placement::Striped`] homes each core's key class in
+//! that core's closest slice.
 
 use crate::proto::{read_request, write_request, KvOp, RequestGen, REQUEST_SIZE, VALUE_OFF};
 use crate::store::KvStore;
+use engine::{Ctx, Engine, EngineConfig, Hw, NicDrops, QueueApp, Verdict, WorkerSpec};
 use llc_sim::machine::Machine;
-use rte::fault::{FaultPlan, FaultState};
+use rte::fault::FaultPlan;
 use rte::mempool::MbufPool;
-use rte::nic::{DropReason, HeadroomPolicy, Port, TxDesc};
+use rte::nic::{DropReason, HeadroomPolicy, Port, RxCompletion, TxDesc};
+use trafficgen::FlowTuple;
 
 /// Frame offset where the KVS payload begins (after Ethernet/IPv4/TCP).
 pub const PAYLOAD_OFF: usize = 54;
@@ -25,13 +32,13 @@ pub const SERVE_WORK: u64 = 15;
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Serving core.
-    pub core: usize,
-    /// Requests to serve.
+    /// Serving cores: core *i* polls RX queue *i*, for `0 ≤ i < cores`.
+    pub cores: usize,
+    /// Requests to serve (across all cores).
     pub requests: usize,
     /// PMD burst size.
     pub burst: usize,
-    /// RX descriptor ring depth.
+    /// RX descriptor ring depth (per queue).
     pub queue_depth: usize,
     /// GET ratio in permille (1000 = 100 % GET).
     pub get_permille: u32,
@@ -42,10 +49,10 @@ pub struct ServerConfig {
 }
 
 impl ServerConfig {
-    /// Fig. 8 defaults: core 0, bursts of 32, no faults.
+    /// Fig. 8 defaults: one core, bursts of 32, no faults.
     pub fn fig8(requests: usize, get_permille: u32, seed: u64) -> Self {
         Self {
-            core: 0,
+            cores: 1,
             requests,
             burst: 32,
             queue_depth: 256,
@@ -53,6 +60,14 @@ impl ServerConfig {
             seed,
             faults: FaultPlan::none(),
         }
+    }
+
+    /// The same configuration serving on `cores` cores (queue *i* on
+    /// core *i*).
+    #[must_use]
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
     }
 
     /// The same configuration with a fault plan applied.
@@ -63,21 +78,13 @@ impl ServerConfig {
     }
 }
 
-/// Per-cause drop accounting for a server run.
+/// Per-cause drop accounting for a server run: the shared NIC/driver
+/// ledger plus the KVS's software-level causes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerDrops {
-    /// Requests lost to frame corruption or runt truncation (NIC CRC).
-    pub crc: u64,
-    /// Requests lost while the link was down.
-    pub link_down: u64,
-    /// Requests lost while the RX engine was stalled.
-    pub rx_stall: u64,
-    /// Requests dropped for lack of RX descriptors (ring, not pool).
-    pub nodesc: u64,
-    /// Requests dropped because the mbuf pool was exhausted or in outage.
-    pub pool_starved: u64,
-    /// Requests dropped by the NIC packet-rate ceiling.
-    pub overrun: u64,
+    /// NIC/driver drops (descriptor exhaustion, pool starvation, CRC,
+    /// link, stalls, TX-path faults), as accounted by the engine.
+    pub nic: NicDrops,
     /// Requests delivered but rejected by the parser (bad opcode).
     pub malformed: u64,
     /// Requests delivered but too short to carry opcode/key/value.
@@ -87,14 +94,7 @@ pub struct ServerDrops {
 impl ServerDrops {
     /// Every request dropped, across all causes.
     pub fn total(&self) -> u64 {
-        self.crc
-            + self.link_down
-            + self.rx_stall
-            + self.nodesc
-            + self.pool_starved
-            + self.overrun
-            + self.malformed
-            + self.truncated
+        self.nic.total() + self.malformed + self.truncated
     }
 }
 
@@ -102,183 +102,297 @@ impl std::fmt::Display for ServerDrops {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "crc={} link_down={} rx_stall={} nodesc={} pool_starved={} \
-             overrun={} malformed={} truncated={}",
-            self.crc,
-            self.link_down,
-            self.rx_stall,
-            self.nodesc,
-            self.pool_starved,
-            self.overrun,
-            self.malformed,
-            self.truncated
+            "{} malformed={} truncated={}",
+            self.nic, self.malformed, self.truncated
         )
     }
 }
 
-/// What a server run reports.
+/// One RX queue's share of a server run. The per-queue reports of a
+/// [`ServerReport`] partition the aggregate exactly: summing any counter
+/// over the queues reproduces the aggregate value.
 #[derive(Debug, Clone, Copy)]
-pub struct ServerReport {
-    /// Requests the client offered this run.
+pub struct QueueReport {
+    /// The queue (and its serving core).
+    pub queue: usize,
+    /// Requests offered to this queue this run.
     pub offered: u64,
-    /// Requests served.
+    /// Completions a previous run left in this queue's ready ring.
+    pub carried: u64,
+    /// Requests served (responses transmitted) by this queue's core.
     pub served: u64,
-    /// GETs among them.
+    /// GETs among the processed requests.
+    pub gets: u64,
+    /// Per-cause drop accounting for this queue.
+    pub drops: ServerDrops,
+    /// Requests still sitting in this queue's RX ring at the end.
+    pub in_flight: u64,
+    /// Busy cycles on this queue's serving core.
+    pub busy_cycles: u64,
+    /// This core's transactions per second.
+    pub tps: f64,
+}
+
+/// What a server run reports.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Requests the clients offered this run.
+    pub offered: u64,
+    /// Completions carried in from a previous run on the same port.
+    pub carried: u64,
+    /// Requests served (responses transmitted).
+    pub served: u64,
+    /// GETs among the processed requests.
     pub gets: u64,
     /// Per-cause drop accounting (`offered + carried == served +
     /// drops.total() + in_flight` — asserted before this report is built).
     pub drops: ServerDrops,
-    /// Requests still sitting in the RX ring when the run ended.
+    /// Requests still sitting in the RX rings when the run ended.
     pub in_flight: u64,
-    /// Busy cycles on the serving core.
+    /// Busy cycles on the busiest serving core (the run's wall time).
     pub busy_cycles: u64,
-    /// Transactions per second at the machine's frequency.
+    /// Transactions per second at the machine's frequency (aggregate
+    /// over all cores, measured over the busiest core's time).
     pub tps: f64,
-    /// Mean cycles per request.
+    /// Mean cycles per request on the busiest core.
     pub cycles_per_request: f64,
+    /// The per-queue breakdown; counters sum exactly to the aggregate.
+    pub per_queue: Vec<QueueReport>,
+}
+
+/// Finds a client 5-tuple (varying the source port upward from `base`)
+/// that the port's steering maps to `queue`. The multi-queue closed
+/// loop uses one such flow per queue so each request generator feeds
+/// exactly one serving core.
+///
+/// # Panics
+///
+/// Panics when no source port steers to `queue` (impossible for RSS
+/// over a power-of-two queue count).
+pub fn flow_for_queue(port: &mut Port, base: FlowTuple, queue: usize) -> FlowTuple {
+    for p in 0..=u16::MAX {
+        let f = FlowTuple {
+            src_port: base.src_port.wrapping_add(p),
+            ..base
+        };
+        if port.route(&f).0 == queue {
+            return f;
+        }
+    }
+    panic!("no source port steers to queue {queue}")
+}
+
+/// The KVS as a [`QueueApp`]: parse → store access → response, with
+/// per-queue served/GET/parse-failure counters.
+struct KvApp<'s> {
+    store: &'s mut KvStore,
+    served: Vec<u64>,
+    gets: Vec<u64>,
+    malformed: Vec<u64>,
+    truncated: Vec<u64>,
+}
+
+impl QueueApp for KvApp<'_> {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, comp: &RxCompletion) -> Verdict {
+        let q = ctx.queue.expect("every KVS worker polls a queue");
+        // Parse the request: opcode + key live in the frame's first
+        // 64 B line, the one CacheDirector places. Never read past the
+        // (possibly truncated) frame.
+        let wire_len = usize::from(comp.len);
+        let mut req_bytes = [0u8; 64];
+        let readable = wire_len.min(req_bytes.len());
+        ctx.m
+            .read_bytes(ctx.core, comp.data_pa, &mut req_bytes[..readable]);
+        let Some(req) = read_request(&req_bytes[..readable]) else {
+            if wire_len < crate::proto::KEY_OFF + 4 {
+                self.truncated[q] += 1;
+            } else {
+                self.malformed[q] += 1;
+            }
+            return Verdict::Drop;
+        };
+        if req.op == KvOp::Set && wire_len < VALUE_OFF + 64 {
+            // A SET whose value was cut off on the wire.
+            self.truncated[q] += 1;
+            return Verdict::Drop;
+        }
+        ctx.m.advance(ctx.core, SERVE_WORK);
+        match req.op {
+            KvOp::Get => {
+                let mut value = [0u8; 64];
+                self.store.get(ctx.m, ctx.core, req.key, &mut value);
+                // Write the value into the response payload.
+                ctx.m
+                    .write_bytes(ctx.core, comp.data_pa.add(PAYLOAD_OFF as u64 + 6), &value);
+                self.gets[q] += 1;
+            }
+            KvOp::Set => {
+                let mut data = [0u8; 64];
+                ctx.m
+                    .read_bytes(ctx.core, comp.data_pa.add(VALUE_OFF as u64), &mut data);
+                self.store.set(ctx.m, ctx.core, req.key, &data);
+            }
+        }
+        self.served[q] += 1;
+        Verdict::Tx(TxDesc {
+            mbuf: comp.mbuf,
+            data_pa: comp.data_pa,
+            len: comp.len,
+        })
+    }
 }
 
 /// Runs the closed-loop server benchmark.
 ///
-/// `keygen` supplies the key distribution; requests are DMA-ed into mbufs
-/// through the normal NIC path (DDIO), served from `store`, and responses
-/// transmitted back.
+/// `gens` supplies one client generator per RX queue (each must steer
+/// to its own queue — see [`flow_for_queue`]); requests are DMA-ed into
+/// mbufs through the normal NIC path (DDIO), served from `store` by one
+/// worker core per queue, and responses transmitted back. Completions a
+/// previous run left in the ready rings are served this run without
+/// being offered this run; the engine's conservation invariant carries
+/// them in.
+///
+/// # Panics
+///
+/// Panics when `gens.len() != cfg.cores`, the port's queue count does
+/// not match, or a generator's flow steers to the wrong queue.
 pub fn run_server(
     m: &mut Machine,
     store: &mut KvStore,
     pool: &mut MbufPool,
     port: &mut Port,
     policy: &mut dyn HeadroomPolicy,
-    gen: &mut RequestGen,
+    gens: &mut [RequestGen],
     cfg: &ServerConfig,
 ) -> ServerReport {
-    let core = cfg.core;
+    let cores = cfg.cores;
+    assert!(cores > 0, "no serving cores");
+    assert_eq!(gens.len(), cores, "one request generator per queue");
+    assert_eq!(port.num_queues(), cores, "one RX queue per serving core");
+    for (i, g) in gens.iter().enumerate() {
+        assert_eq!(
+            port.route(&g.flow()).0,
+            i,
+            "generator {i}'s flow must steer to queue {i} (see flow_for_queue)"
+        );
+    }
+    let app = KvApp {
+        store,
+        served: vec![0; cores],
+        gets: vec![0; cores],
+        malformed: vec![0; cores],
+        truncated: vec![0; cores],
+    };
+    let ecfg = EngineConfig {
+        workers: WorkerSpec::run_to_completion(cores),
+        queue_depth: cfg.queue_depth,
+        burst: cfg.burst,
+        faults: cfg.faults.clone(),
+    };
+    let mut hw = Hw {
+        m,
+        port,
+        pool,
+        policy,
+    };
+    let mut eng = Engine::new(app, ecfg, &mut hw);
+    let starts: Vec<u64> = (0..cores).map(|c| hw.m.now(c)).collect();
     let mut frame = vec![0u8; REQUEST_SIZE];
-    let mut value = [0u8; 64];
-    let mut served = 0u64;
-    let mut gets = 0u64;
-    let mut faults = FaultState::new(cfg.faults.clone());
-    let mut drops = ServerDrops::default();
-    // Completions a previous run left in the ready ring: they are served
-    // this run without being offered this run, so the conservation
-    // invariant must carry them in.
-    let carried = port.ready_count(0) as u64;
-    // The RX ring's slots are shared by posted descriptors and any
-    // completions left over from a previous run.
-    let initial = cfg.queue_depth - port.ready_count(0);
-    port.refill(m, pool, 0, core, policy, initial);
-    let start = m.now(core);
-    while (served as usize) < cfg.requests {
-        // The client keeps the queue saturated (closed loop): top the
-        // queue up with fresh requests before each poll. The attempt cap
-        // bounds the loop when the fault plan rejects every frame (e.g.
-        // a long stall window, where no offer consumes a descriptor).
-        let mut attempts = 0;
-        while port.posted_count(0) > 0 && attempts < 2 * cfg.queue_depth {
-            attempts += 1;
-            let req = gen.next_request();
-            nfv::packet::encode_frame(&mut frame, &gen.flow(), REQUEST_SIZE, 0.0, served);
-            write_request(&mut frame, &req);
-            let fault = faults.next_frame();
-            pool.set_outage(fault.pool_blocked);
-            match port.deliver_faulty(m, &frame, &gen.flow(), 0.0, fault) {
-                Ok(_) => {}
-                Err(DropReason::NoDescriptor) => {
-                    if pool.in_outage() || pool.available() == 0 {
-                        drops.pool_starved += 1;
-                    } else {
-                        drops.nodesc += 1;
-                    }
-                    break;
+    let mut seq = 0u64;
+    // A generous ceiling on total offers: under pathological fault plans
+    // that reject or shed nearly every frame (so `served` cannot reach
+    // the target), the loop still terminates with conservation intact.
+    let offer_cap = (cfg.requests as u64)
+        .saturating_mul(16)
+        .saturating_add(16 * (cfg.queue_depth * cores) as u64);
+    // The clients keep every queue saturated (closed loop): top each
+    // queue up with fresh requests before each poll round. The attempt
+    // cap bounds a top-up when the fault plan rejects every frame (e.g.
+    // a stall window, where no offer consumes a descriptor).
+    while (eng.delivered() as usize) < cfg.requests && eng.offered() < offer_cap {
+        let t = eng.now_ns();
+        let mut progressed = false;
+        for (q, gen) in gens.iter_mut().enumerate() {
+            let mut attempts = 0;
+            while hw.port.posted_count(q) > 0 && attempts < 2 * cfg.queue_depth {
+                attempts += 1;
+                let req = gen.next_request();
+                nfv::packet::encode_frame(&mut frame, &gen.flow(), REQUEST_SIZE, t, seq);
+                seq += 1;
+                write_request(&mut frame, &req);
+                match eng.offer(&mut hw, &gen.flow(), &frame, t) {
+                    Ok(_) => progressed = true,
+                    Err(DropReason::NoDescriptor) => break,
+                    Err(_) => {}
                 }
-                Err(DropReason::Overrun) => drops.overrun += 1,
-                Err(DropReason::CrcError) => drops.crc += 1,
-                Err(DropReason::LinkDown) => drops.link_down += 1,
-                Err(DropReason::RxStall) => drops.rx_stall += 1,
             }
         }
-        let (batch, _c) = port.rx_burst(m, pool, 0, core, cfg.burst);
-        if batch.is_empty() {
+        if eng.step(&mut hw) > 0 {
+            progressed = true;
+        }
+        if !progressed {
+            // Wedged: every queue rejected its offers and no worker had
+            // anything to poll (e.g. an unbounded stall window).
             break;
         }
-        let mut tx = Vec::with_capacity(batch.len());
-        for comp in &batch {
-            // Parse the request: opcode + key live in the frame's first
-            // 64 B line, the one CacheDirector places. Never read past
-            // the (possibly truncated) frame.
-            let wire_len = usize::from(comp.len);
-            let mut req_bytes = [0u8; 64];
-            let readable = wire_len.min(req_bytes.len());
-            m.read_bytes(core, comp.data_pa, &mut req_bytes[..readable]);
-            let Some(req) = read_request(&req_bytes[..readable]) else {
-                if wire_len < crate::proto::KEY_OFF + 4 {
-                    drops.truncated += 1;
-                } else {
-                    drops.malformed += 1;
-                }
-                pool.put(comp.mbuf);
-                continue;
-            };
-            if req.op == KvOp::Set && wire_len < VALUE_OFF + 64 {
-                // A SET whose value was cut off on the wire.
-                drops.truncated += 1;
-                pool.put(comp.mbuf);
-                continue;
-            }
-            m.advance(core, SERVE_WORK);
-            match req.op {
-                KvOp::Get => {
-                    store.get(m, core, req.key, &mut value);
-                    // Write the value into the response payload.
-                    m.write_bytes(core, comp.data_pa.add(PAYLOAD_OFF as u64 + 6), &value);
-                    gets += 1;
-                }
-                KvOp::Set => {
-                    let mut data = [0u8; 64];
-                    m.read_bytes(core, comp.data_pa.add(VALUE_OFF as u64), &mut data);
-                    store.set(m, core, req.key, &data);
-                }
-            }
-            served += 1;
-            tx.push(TxDesc {
-                mbuf: comp.mbuf,
-                data_pa: comp.data_pa,
-                len: comp.len,
-            });
-        }
-        port.tx_burst(m, pool, core, &tx);
-        let free = cfg.queue_depth - port.ready_count(0);
-        port.refill(m, pool, 0, core, policy, free);
     }
-    // Leave the pool usable for whoever runs next on this machine.
-    pool.set_outage(false);
-    let offered = faults.frame_index();
-    let in_flight = port.ready_count(0) as u64;
-    assert_eq!(
-        offered + carried,
-        served + drops.total() + in_flight,
-        "request conservation: offered {offered} + carried {carried} != served {served} \
-         + drops [{drops}] + in_flight {in_flight}"
-    );
-    let busy_cycles = m.now(core) - start;
-    let tps = if busy_cycles == 0 {
+    // Closed-loop runs legitimately end with requests in flight; the
+    // engine asserts conservation per queue, globally, and against the
+    // NIC's counters.
+    let (rep, app) = eng.finish(&mut hw);
+    let freq_hz = hw.m.config().freq_ghz * 1e9;
+    let mut busy_max = 0u64;
+    let mut per_queue = Vec::with_capacity(cores);
+    for (q, l) in rep.per_queue.iter().enumerate() {
+        let busy = hw.m.now(q) - starts[q];
+        busy_max = busy_max.max(busy);
+        per_queue.push(QueueReport {
+            queue: q,
+            offered: l.offered,
+            carried: l.carried,
+            served: l.delivered,
+            gets: app.gets[q],
+            drops: ServerDrops {
+                nic: l.nic,
+                malformed: app.malformed[q],
+                truncated: app.truncated[q],
+            },
+            in_flight: l.in_flight,
+            busy_cycles: busy,
+            tps: if busy == 0 {
+                0.0
+            } else {
+                l.delivered as f64 / (busy as f64 / freq_hz)
+            },
+        });
+    }
+    let drops = ServerDrops {
+        nic: rep.nic,
+        malformed: app.malformed.iter().sum(),
+        truncated: app.truncated.iter().sum(),
+    };
+    debug_assert_eq!(rep.app_drops, drops.malformed + drops.truncated);
+    let served = rep.delivered;
+    let tps = if busy_max == 0 {
         0.0
     } else {
-        served as f64 / (busy_cycles as f64 / (m.config().freq_ghz * 1e9))
+        served as f64 / (busy_max as f64 / freq_hz)
     };
     ServerReport {
-        offered,
+        offered: rep.offered,
+        carried: rep.carried,
         served,
-        gets,
+        gets: app.gets.iter().sum(),
         drops,
-        in_flight,
-        busy_cycles,
+        in_flight: rep.in_flight,
+        busy_cycles: busy_max,
         tps,
         cycles_per_request: if served == 0 {
             0.0
         } else {
-            busy_cycles as f64 / served as f64
+            busy_max as f64 / served as f64
         },
+        per_queue,
     }
 }
 
@@ -319,7 +433,7 @@ mod tests {
     fn run(bench: &mut Bench, get_permille: u32, theta: f64, requests: usize) -> ServerReport {
         let n = bench.store.len() as u64;
         let keygen = ZipfGen::new(n, theta, 99);
-        let mut gen = RequestGen::new(keygen, get_permille, 7);
+        let mut gens = [RequestGen::new(keygen, get_permille, 7)];
         let mut policy = FixedHeadroom(128);
         let cfg = ServerConfig::fig8(requests, get_permille, 1);
         run_server(
@@ -328,7 +442,7 @@ mod tests {
             &mut bench.pool,
             &mut bench.port,
             &mut policy,
-            &mut gen,
+            &mut gens,
             &cfg,
         )
     }
@@ -394,10 +508,10 @@ mod tests {
         let mut b = build(4096, Placement::Normal, 16);
         let n = b.store.len() as u64;
         let keygen = ZipfGen::new(n, 0.99, 99);
-        let mut gen = RequestGen::new(keygen, 500, 7);
+        let mut gens = [RequestGen::new(keygen, 500, 7)];
         let mut policy = FixedHeadroom(128);
         let cfg = ServerConfig::fig8(2000, 500, 1).with_faults(
-            FaultPlan::none()
+            FaultPlan::frame_indexed()
                 .with_seed(3)
                 .with_corrupt_prob(0.10)
                 .with_truncate_prob(0.05)
@@ -409,21 +523,88 @@ mod tests {
             &mut b.pool,
             &mut b.port,
             &mut policy,
-            &mut gen,
+            &mut gens,
             &cfg,
         );
         // Despite the lossy client, the server still reaches its target
         // and every offered request is accounted for (the conservation
         // assert inside run_server already enforced it; restate here).
         assert!(rep.served >= 2000, "served {}", rep.served);
-        assert!(rep.drops.crc > 0, "corruption must surface as CRC drops");
-        assert_eq!(rep.drops.link_down, 50, "flap window covers 50 frames");
+        assert!(
+            rep.drops.nic.crc > 0,
+            "corruption must surface as CRC drops"
+        );
+        assert_eq!(rep.drops.nic.link_down, 50, "flap window covers 50 frames");
         assert!(rep.drops.truncated > 0, "mid-length cuts reach the parser");
         assert_eq!(
-            rep.offered,
+            rep.offered + rep.carried,
             rep.served + rep.drops.total() + rep.in_flight,
             "conservation restated from the report"
         );
+    }
+
+    #[test]
+    fn four_core_queue_reports_partition_the_aggregate() {
+        // The §8 multi-core extension: four serving cores, RSS over four
+        // queues, each core's key class homed in its closest slice. The
+        // per-queue reports must partition every aggregate counter
+        // exactly.
+        let cores = 4;
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20));
+        let region = m.mem_mut().alloc(32 << 20, 1 << 20).unwrap();
+        let h = XorSliceHash::haswell_8slice();
+        let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
+        let slices: Vec<usize> = (0..cores).map(|c| m.closest_slice(c)).collect();
+        let mut store =
+            KvStore::build(&mut m, &mut alloc, 4096, Placement::Striped { slices }).unwrap();
+        let mut pool = MbufPool::create(&mut m, 4096, 128, 2048).unwrap();
+        let mut port = Port::new(0, Steering::Rss(Rss::new(cores)), 256);
+        let base = trafficgen::FlowTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 11211);
+        let mut gens: Vec<RequestGen> = (0..cores)
+            .map(|q| {
+                let flow = flow_for_queue(&mut port, base, q);
+                let keygen = ZipfGen::new(4096 / cores as u64, 0.99, 11 + q as u64);
+                RequestGen::new(keygen, 900, 7 + q as u64)
+                    .with_flow(flow)
+                    .with_key_partition(cores as u32, q as u32)
+            })
+            .collect();
+        let mut policy = FixedHeadroom(128);
+        let cfg = ServerConfig::fig8(8000, 900, 1).with_cores(cores);
+        let rep = run_server(
+            &mut m,
+            &mut store,
+            &mut pool,
+            &mut port,
+            &mut policy,
+            &mut gens,
+            &cfg,
+        );
+        assert!(rep.served >= 8000, "served {}", rep.served);
+        assert_eq!(rep.per_queue.len(), cores);
+        let (mut off, mut car, mut srv, mut gets, mut inf, mut drp) = (0, 0, 0, 0, 0, 0);
+        for qr in &rep.per_queue {
+            assert!(qr.served > 0, "queue {} served nothing", qr.queue);
+            assert!(qr.busy_cycles > 0 && qr.tps > 0.0, "queue {}", qr.queue);
+            assert_eq!(
+                qr.offered + qr.carried,
+                qr.served + qr.drops.total() + qr.in_flight,
+                "queue {} conservation",
+                qr.queue
+            );
+            off += qr.offered;
+            car += qr.carried;
+            srv += qr.served;
+            gets += qr.gets;
+            inf += qr.in_flight;
+            drp += qr.drops.total();
+        }
+        assert_eq!(off, rep.offered, "offered must partition");
+        assert_eq!(car, rep.carried, "carried must partition");
+        assert_eq!(srv, rep.served, "served must partition");
+        assert_eq!(gets, rep.gets, "gets must partition");
+        assert_eq!(inf, rep.in_flight, "in_flight must partition");
+        assert_eq!(drp, rep.drops.total(), "drops must partition");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use llc_sim::CACHE_LINE;
 use slice_aware::alloc::{AllocError, SliceAllocator, SliceBuffer};
 
 /// Where value slots are placed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Placement {
     /// Contiguous allocation: values spread over all slices (baseline).
     Normal,
@@ -28,6 +28,15 @@ pub enum Placement {
         slice: usize,
         /// Number of hot slots (≈ half a slice's lines is a good fit).
         hot_count: usize,
+    },
+    /// Slot `k` maps to `slices[k % slices.len()]`: the multi-queue
+    /// server's per-core partition (§8 applied across cores). Core *i*
+    /// of *N* serves the key class `k ≡ i (mod N)`, so giving
+    /// `slices[i] = closest_slice(i)` homes every value a core serves
+    /// in that core's closest slice.
+    Striped {
+        /// One target slice per serving core, in core order.
+        slices: Vec<usize>,
     },
 }
 
@@ -58,13 +67,35 @@ impl KvStore {
         n: usize,
         placement: Placement,
     ) -> Result<Self, BuildError> {
-        let slots = match placement {
+        let slots = match &placement {
             Placement::Normal => alloc.alloc_contiguous_lines(n)?,
-            Placement::SliceAware { slice } => alloc.alloc_lines_exclusive(slice, n)?,
+            Placement::SliceAware { slice } => alloc.alloc_lines_exclusive(*slice, n)?,
             Placement::HotSliceAware { slice, hot_count } => {
-                let hot = hot_count.min(n);
-                let mut lines = alloc.alloc_lines(slice, hot)?.lines().to_vec();
+                let hot = (*hot_count).min(n);
+                let mut lines = alloc.alloc_lines(*slice, hot)?.lines().to_vec();
                 lines.extend_from_slice(alloc.alloc_contiguous_lines(n - hot)?.lines());
+                SliceBuffer::from_lines(lines)
+            }
+            Placement::Striped { slices } => {
+                assert!(!slices.is_empty(), "striped placement needs a slice list");
+                let s = slices.len();
+                // Per-residue line pools: class r holds the slots
+                // k ∈ [0, n) with k ≡ r (mod s).
+                let mut per: Vec<std::vec::IntoIter<PhysAddr>> = Vec::with_capacity(s);
+                for (r, &slice) in slices.iter().enumerate() {
+                    let count = if r < n { (n - r).div_ceil(s) } else { 0 };
+                    per.push(
+                        alloc
+                            .alloc_lines(slice, count)?
+                            .lines()
+                            .to_vec()
+                            .into_iter(),
+                    );
+                }
+                let mut lines = Vec::with_capacity(n);
+                for k in 0..n {
+                    lines.push(per[k % s].next().expect("pool sized per residue"));
+                }
                 SliceBuffer::from_lines(lines)
             }
         };
@@ -94,8 +125,8 @@ impl KvStore {
     }
 
     /// The configured placement.
-    pub fn placement(&self) -> Placement {
-        self.placement
+    pub fn placement(&self) -> &Placement {
+        &self.placement
     }
 
     /// Timed index lookup: one memory access into the index array.
@@ -239,6 +270,29 @@ mod tests {
         for key in [0u32, 1, 100, 2047] {
             let pa = kv.value_pa(&mut m, key);
             assert_eq!(m.slice_of(pa), 0, "key {key}");
+        }
+    }
+
+    #[test]
+    fn striped_values_follow_their_residue_class() {
+        let (mut m, mut a) = setup(16);
+        let slices = vec![0usize, 2, 4, 6];
+        let kv = KvStore::build(
+            &mut m,
+            &mut a,
+            1024,
+            Placement::Striped {
+                slices: slices.clone(),
+            },
+        )
+        .unwrap();
+        for k in 0..128u32 {
+            let pa = kv.value_pa(&mut m, k);
+            assert_eq!(
+                m.slice_of(pa),
+                slices[(k % 4) as usize],
+                "key {k} must live in its core's slice"
+            );
         }
     }
 

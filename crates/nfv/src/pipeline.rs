@@ -16,7 +16,9 @@ use crate::element::{Action, Ctx, Pkt, ServiceChain};
 use crate::elements::{LoadBalancer, MacSwap, Napt};
 use crate::runtime::{mem_err, SetupError};
 use cache_director::{CacheDirector, CACHEDIRECTOR_HEADROOM};
+use engine::{Ctx as PollCtx, Engine, EngineConfig, Hw, QueueApp, Verdict, WorkerSpec};
 use llc_sim::machine::{Machine, MachineConfig};
+use rte::fault::FaultPlan;
 use rte::mempool::MbufPool;
 use rte::nic::{FixedHeadroom, HeadroomPolicy, Port, RxCompletion, TxDesc};
 use rte::ring::Ring;
@@ -91,6 +93,74 @@ struct Handoff {
     comp: RxCompletion,
 }
 
+/// The two-stage pipeline as a [`QueueApp`]: the queue-polling worker
+/// (stage 1) touches the header and hands the packet across cores on a
+/// ring; the queue-less worker (stage 2) drains the ring in its
+/// [`QueueApp::pump`] hook, runs the stateful elements, and transmits.
+struct PipelineApp {
+    stage1: ServiceChain,
+    stage2: ServiceChain,
+    handoff: Ring<Handoff>,
+    stage_cycles: u64,
+    burst: usize,
+}
+
+impl QueueApp for PipelineApp {
+    fn on_packet(&mut self, ctx: &mut PollCtx<'_>, comp: &RxCompletion) -> Verdict {
+        let mut pkt = Pkt::from_completion(comp);
+        {
+            let mut ec = Ctx {
+                m: &mut *ctx.m,
+                core: ctx.core,
+            };
+            // The stage-1 header touch + element.
+            let _ = pkt.flow(&mut ec);
+            let _ = self.stage1.process(&mut ec, &mut pkt);
+        }
+        ctx.m.advance(ctx.core, self.stage_cycles);
+        if let Err(h) = self.handoff.enqueue(Handoff { comp: *comp }) {
+            // Ring full: backpressure. The ring counted the drop; the
+            // engine counts it as an application drop and recycles.
+            ctx.drop_packet(h.comp.mbuf);
+        }
+        Verdict::Consumed
+    }
+
+    fn pump(&mut self, ctx: &mut PollCtx<'_>, tx: &mut Vec<TxDesc>) -> usize {
+        if ctx.queue.is_some() {
+            // Only the queue-less stage-2 worker drains the handoff ring.
+            return 0;
+        }
+        let batch = self.handoff.dequeue_burst(self.burst);
+        for h in &batch {
+            let mut pkt = Pkt::from_completion(&h.comp);
+            let action = {
+                let mut ec = Ctx {
+                    m: &mut *ctx.m,
+                    core: ctx.core,
+                };
+                // Stage 2 re-touches the shared header line.
+                let _ = pkt.flow(&mut ec);
+                self.stage2.process(&mut ec, &mut pkt).0
+            };
+            ctx.m.advance(ctx.core, self.stage_cycles);
+            match action {
+                Action::Forward => tx.push(TxDesc {
+                    mbuf: h.comp.mbuf,
+                    data_pa: h.comp.data_pa,
+                    len: h.comp.len,
+                }),
+                Action::Drop(_) => ctx.drop_packet(h.comp.mbuf),
+            }
+        }
+        batch.len()
+    }
+
+    fn has_backlog(&self, worker: usize) -> bool {
+        worker == 1 && !self.handoff.is_empty()
+    }
+}
+
 /// Runs `n` packets through the two-stage pipeline at `pps`.
 ///
 /// # Errors
@@ -135,136 +205,63 @@ pub fn run_pipeline(
         }
     };
     let mut port = Port::new(0, Steering::Rss(Rss::new(1)), cfg.queue_depth);
-    port.refill(&mut m, &mut pool, 0, c1, policy.as_mut(), cfg.queue_depth);
-    let mut handoff: Ring<Handoff> = Ring::new(cfg.queue_depth);
     // Stage 1: header-touching element; stage 2: the stateful pair.
-    let mut stage1 = ServiceChain::new().push(Box::new(MacSwap::new()));
+    let stage1 = ServiceChain::new().push(Box::new(MacSwap::new()));
     let napt = Napt::new(&mut m, 1 << 13).map_err(mem_err("NAPT table"))?;
     let lb = LoadBalancer::new(&mut m, 1 << 13, vec![0x0a64_0001, 0x0a64_0002])
         .map_err(mem_err("LB table"))?;
-    let mut stage2 = ServiceChain::new().push(Box::new(napt)).push(Box::new(lb));
+    let stage2 = ServiceChain::new().push(Box::new(napt)).push(Box::new(lb));
+
+    let app = PipelineApp {
+        stage1,
+        stage2,
+        handoff: Ring::new(cfg.queue_depth),
+        stage_cycles: cfg.stage_cycles,
+        burst: cfg.burst,
+    };
+    let ecfg = EngineConfig {
+        // Worker 0 polls the single RX queue on stage 1's core; worker 1
+        // is queue-less and pumps the handoff ring on stage 2's core.
+        workers: vec![
+            WorkerSpec {
+                core: c1,
+                queue: Some(0),
+            },
+            WorkerSpec {
+                core: c2,
+                queue: None,
+            },
+        ],
+        queue_depth: cfg.queue_depth,
+        burst: cfg.burst,
+        faults: FaultPlan::none(),
+    };
+    let mut hw = Hw {
+        m: &mut m,
+        port: &mut port,
+        pool: &mut pool,
+        policy: policy.as_mut(),
+    };
+    let mut eng = Engine::new(app, ecfg, &mut hw);
+    let (s1_start, s2_start) = (hw.m.now(c1), hw.m.now(c2));
 
     let mut trace = CampusTrace::fixed_size(128, flows, cfg.seed);
     let mut sched = ArrivalSchedule::constant_pps(pps);
-    let ns_per_cycle = 1.0 / m.config().freq_ghz;
-    let mut free1 = 0.0f64;
-    let mut free2 = 0.0f64;
-    let mut delivered = 0u64;
     let mut frame = vec![0u8; 2048];
-    let (s1_start, s2_start) = (m.now(c1), m.now(c2));
-
-    // One stage-1 poll iteration.
-    macro_rules! run_stage1 {
-        () => {{
-            let t0 = m.now(c1);
-            let (batch, _) = port.rx_burst(&mut m, &pool, 0, c1, cfg.burst);
-            for comp in &batch {
-                let mut pkt = Pkt::from_completion(comp);
-                // The stage-1 header touch + element.
-                let _ = pkt.flow(&mut Ctx {
-                    m: &mut m,
-                    core: c1,
-                });
-                let mut ctx = Ctx {
-                    m: &mut m,
-                    core: c1,
-                };
-                let _ = stage1.process(&mut ctx, &mut pkt);
-                m.advance(c1, cfg.stage_cycles);
-                if let Err(h) = handoff.enqueue(Handoff { comp: *comp }) {
-                    // The ring counted the drop; just recycle the buffer.
-                    pool.put(h.comp.mbuf);
-                }
-            }
-            let free = cfg.queue_depth - port.ready_count(0);
-            port.refill(&mut m, &mut pool, 0, c1, policy.as_mut(), free);
-            (m.now(c1) - t0, batch.len())
-        }};
-    }
-    // One stage-2 poll iteration.
-    macro_rules! run_stage2 {
-        () => {{
-            let t0 = m.now(c2);
-            let batch = handoff.dequeue_burst(cfg.burst);
-            let mut tx = Vec::with_capacity(batch.len());
-            for h in &batch {
-                let mut pkt = Pkt::from_completion(&h.comp);
-                // Stage 2 re-touches the shared header line.
-                let _ = pkt.flow(&mut Ctx {
-                    m: &mut m,
-                    core: c2,
-                });
-                let mut ctx = Ctx {
-                    m: &mut m,
-                    core: c2,
-                };
-                let (action, _) = stage2.process(&mut ctx, &mut pkt);
-                m.advance(c2, cfg.stage_cycles);
-                match action {
-                    Action::Forward => {
-                        tx.push(TxDesc {
-                            mbuf: h.comp.mbuf,
-                            data_pa: h.comp.data_pa,
-                            len: h.comp.len,
-                        });
-                        delivered += 1;
-                    }
-                    Action::Drop(_) => pool.put(h.comp.mbuf),
-                }
-            }
-            port.tx_burst(&mut m, &mut pool, c2, &tx);
-            (m.now(c2) - t0, batch.len())
-        }};
-    }
-
     for _ in 0..n {
         let t = sched.next_arrival_ns();
-        // Let both stages catch up to the arrival.
-        while free1 < t || free2 < t {
-            if free1 < t {
-                if port.ready_count(0) == 0 {
-                    free1 = t;
-                } else {
-                    let (cyc, _) = run_stage1!();
-                    free1 += cyc as f64 * ns_per_cycle;
-                }
-            }
-            if free2 < t {
-                if handoff.is_empty() {
-                    free2 = free2.max(free1.min(t));
-                    if handoff.is_empty() {
-                        free2 = t;
-                    }
-                } else {
-                    let (cyc, _) = run_stage2!();
-                    free2 += cyc as f64 * ns_per_cycle;
-                }
-            }
-        }
         let spec = trace.next_packet();
         let len =
             crate::packet::encode_frame(&mut frame, &spec.flow, spec.size as usize, t, spec.seq);
-        let _ = port.deliver(&mut m, &frame[..len], &spec.flow, t);
+        let _ = eng.offer(&mut hw, &spec.flow, &frame[..len], t);
     }
-    // Drain.
-    loop {
-        let mut moved = 0;
-        if port.ready_count(0) > 0 {
-            moved += run_stage1!().1;
-        }
-        if !handoff.is_empty() {
-            moved += run_stage2!().1;
-        }
-        if moved == 0 {
-            break;
-        }
-    }
-    let stats = port.stats();
+    eng.drain(&mut hw);
+    let (rep, _app) = eng.finish(&mut hw);
     Ok(PipelineResult {
-        delivered,
-        dropped: stats.rx_nodesc + stats.rx_overrun + handoff.drops(),
-        stage1_cycles: m.now(c1) - s1_start,
-        stage2_cycles: m.now(c2) - s2_start,
+        delivered: rep.delivered,
+        dropped: rep.nic.total() + rep.app_drops,
+        stage1_cycles: hw.m.now(c1) - s1_start,
+        stage2_cycles: hw.m.now(c2) - s2_start,
         compromise_slice: compromise,
     })
 }

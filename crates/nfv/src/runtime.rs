@@ -18,16 +18,17 @@
 //! cycles — and therefore latency — respond to where packet headers sit
 //! in the LLC, which is the effect CacheDirector exists to exploit.
 
-use crate::element::{Action, Ctx, DropCause, Pkt, ServiceChain};
+use crate::element::{Action, DropCause, Pkt, ServiceChain};
 use crate::elements::{LoadBalancer, MacSwap, Napt, Router};
 use crate::lpm::{synth_routes, Lpm};
 use crate::packet::encode_frame;
 use cache_director::{CacheDirector, CACHEDIRECTOR_HEADROOM};
+use engine::{Engine, EngineConfig, Hw, NicDrops, QueueApp, Verdict, WorkerSpec};
 use llc_sim::machine::{Machine, MachineConfig};
 use llc_sim::mem::MemError;
-use rte::fault::{FaultPlan, FaultState};
+use rte::fault::FaultPlan;
 use rte::mempool::MbufPool;
-use rte::nic::{DropReason, FixedHeadroom, HeadroomPolicy, Port, TxDesc};
+use rte::nic::{FixedHeadroom, HeadroomPolicy, Port, RxCompletion, TxDesc};
 use rte::steering::{FdirAction, FlowDirector, Rss, Steering};
 use std::collections::HashSet;
 use std::rc::Rc;
@@ -71,22 +72,17 @@ pub(crate) fn mem_err(what: &'static str) -> impl FnOnce(MemError) -> SetupError
 
 /// Per-cause drop accounting for a run. The conservation invariant
 /// `offered == delivered + total()` holds for every finished run; the
-/// runtime asserts it in [`Testbed::finish`].
+/// engine asserts it (per queue and globally) when [`Testbed::finish`]
+/// closes the run.
+///
+/// The NIC/driver causes are the shared [`engine::NicDrops`] core; the
+/// chain-level causes are the NFV-specific software vocabulary stacked
+/// on top.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DropStats {
-    /// NIC: no posted descriptor (queue backlogged).
-    pub nodesc: u64,
-    /// NIC: no posted descriptor *because the mbuf pool was starved*
-    /// (refills were failing when the frame arrived).
-    pub pool_starved: u64,
-    /// NIC: packet-rate ceiling exceeded.
-    pub overrun: u64,
-    /// NIC: hardware CRC failure (corrupt frame or runt).
-    pub crc: u64,
-    /// NIC: link down at arrival.
-    pub link_down: u64,
-    /// NIC: RX engine stalled.
-    pub rx_stall: u64,
+    /// NIC/driver drops (descriptor exhaustion, pool starvation, CRC,
+    /// link, stalls, TX-path faults), as accounted by the engine.
+    pub nic: NicDrops,
     /// Chain: header parse failure (truncated/malformed frame).
     pub parse: u64,
     /// Chain: no route for the destination.
@@ -100,25 +96,12 @@ pub struct DropStats {
 impl DropStats {
     /// Sum over every cause.
     pub fn total(&self) -> u64 {
-        self.nodesc
-            + self.pool_starved
-            + self.overrun
-            + self.crc
-            + self.link_down
-            + self.rx_stall
-            + self.parse
-            + self.no_route
-            + self.table_exhausted
-            + self.policy
+        self.nic.total() + self.chain_total()
     }
 
-    fn count_chain(&mut self, cause: DropCause) {
-        match cause {
-            DropCause::Parse => self.parse += 1,
-            DropCause::NoRoute => self.no_route += 1,
-            DropCause::TableExhausted => self.table_exhausted += 1,
-            DropCause::Policy => self.policy += 1,
-        }
+    /// Sum over the chain-level (software) causes only.
+    pub fn chain_total(&self) -> u64 {
+        self.parse + self.no_route + self.table_exhausted + self.policy
     }
 }
 
@@ -126,18 +109,8 @@ impl std::fmt::Display for DropStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "nodesc={} pool_starved={} overrun={} crc={} link_down={} rx_stall={} \
-             parse={} no_route={} table_exhausted={} policy={}",
-            self.nodesc,
-            self.pool_starved,
-            self.overrun,
-            self.crc,
-            self.link_down,
-            self.rx_stall,
-            self.parse,
-            self.no_route,
-            self.table_exhausted,
-            self.policy
+            "{} parse={} no_route={} table_exhausted={} policy={}",
+            self.nic, self.parse, self.no_route, self.table_exhausted, self.policy
         )
     }
 }
@@ -294,26 +267,73 @@ impl Policy {
     }
 }
 
-/// The assembled DuT + LoadGen.
+/// The per-packet half of the testbed: one [`ServiceChain`] per worker,
+/// run under the engine's polling loop. Latency and chain-cause drop
+/// accounting live here; the NIC-side ledger lives in the engine.
+struct ChainApp {
+    chains: Vec<ServiceChain>,
+    framework_cycles: u64,
+    latencies: Vec<f64>,
+    parse: u64,
+    no_route: u64,
+    table_exhausted: u64,
+    policy: u64,
+}
+
+impl ChainApp {
+    fn count_chain(&mut self, cause: DropCause) {
+        match cause {
+            DropCause::Parse => self.parse += 1,
+            DropCause::NoRoute => self.no_route += 1,
+            DropCause::TableExhausted => self.table_exhausted += 1,
+            DropCause::Policy => self.policy += 1,
+        }
+    }
+}
+
+impl QueueApp for ChainApp {
+    fn on_packet(&mut self, ctx: &mut engine::Ctx<'_>, comp: &RxCompletion) -> Verdict {
+        let mut pkt = Pkt::from_completion(comp);
+        let action = {
+            let mut ec = crate::element::Ctx {
+                m: &mut *ctx.m,
+                core: ctx.core,
+            };
+            let (action, _c) = self.chains[ctx.worker].process(&mut ec, &mut pkt);
+            action
+        };
+        ctx.m.advance(ctx.core, self.framework_cycles);
+        match action {
+            Action::Forward => {
+                // Per-packet completion time, attributed as processing
+                // ends.
+                self.latencies.push(ctx.wall_ns() - comp.arrival_ns);
+                Verdict::Tx(TxDesc {
+                    mbuf: comp.mbuf,
+                    data_pa: comp.data_pa,
+                    len: comp.len,
+                })
+            }
+            Action::Drop(cause) => {
+                self.count_chain(cause);
+                Verdict::Drop
+            }
+        }
+    }
+}
+
+/// The assembled DuT + LoadGen: hardware state plus an
+/// [`engine::Engine`] running one [`ChainApp`] worker per core.
 pub struct Testbed {
     cfg: RunConfig,
     m: Machine,
     pool: MbufPool,
     port: Port,
-    chains: Vec<ServiceChain>,
     policy: Policy,
+    engine: Engine<ChainApp>,
     lpm: Option<Rc<Lpm>>,
     installed_flows: HashSet<FlowTuple>,
     fdir_rr: usize,
-    core_free_ns: Vec<f64>,
-    ns_per_cycle: f64,
-    latencies: Vec<f64>,
-    drops: DropStats,
-    faults: FaultState,
-    tx_wire_bits: u64,
-    offered_wire_bits: u64,
-    offered: u64,
-    last_arrival_ns: f64,
     seq: u64,
     scratch: Vec<u8>,
 }
@@ -340,7 +360,6 @@ impl Testbed {
             "bad core count"
         );
         assert!(cfg.burst > 0 && cfg.queue_depth > 0, "bad queue geometry");
-        let ns_per_cycle = 1.0 / m.config().freq_ghz;
         let mbufs = if cfg.mbufs == 0 {
             (2 * cfg.cores * cfg.queue_depth) as u32
         } else {
@@ -350,7 +369,7 @@ impl Testbed {
             HeadroomMode::Stock => rte::mbuf::DEFAULT_HEADROOM,
             HeadroomMode::CacheDirector { .. } => CACHEDIRECTOR_HEADROOM,
         };
-        let pool = MbufPool::create(&mut m, mbufs, headroom_cap, rte::mbuf::DEFAULT_DATAROOM)
+        let mut pool = MbufPool::create(&mut m, mbufs, headroom_cap, rte::mbuf::DEFAULT_DATAROOM)
             .map_err(mem_err("mbuf pool"))?;
         let policy = match cfg.headroom {
             HeadroomMode::Stock => Policy::Fixed(FixedHeadroom(rte::mbuf::DEFAULT_HEADROOM)),
@@ -399,35 +418,45 @@ impl Testbed {
                 (chains, Some(lpm))
             }
         };
-        let mut tb = Self {
-            core_free_ns: vec![0.0; cfg.cores],
-            ns_per_cycle,
+        let app = ChainApp {
+            chains,
+            framework_cycles: cfg.framework_cycles,
             latencies: Vec::new(),
-            drops: DropStats::default(),
-            faults: FaultState::new(cfg.faults.clone()),
-            tx_wire_bits: 0,
-            offered_wire_bits: 0,
-            offered: 0,
-            last_arrival_ns: 0.0,
+            parse: 0,
+            no_route: 0,
+            table_exhausted: 0,
+            policy: 0,
+        };
+        let ecfg = EngineConfig {
+            workers: WorkerSpec::run_to_completion(cfg.cores),
+            queue_depth: cfg.queue_depth,
+            burst: cfg.burst,
+            faults: cfg.faults.clone(),
+        };
+        let mut policy = policy;
+        // The engine performs the initial descriptor posting.
+        let engine = {
+            let mut hw = Hw {
+                m: &mut m,
+                port: &mut port,
+                pool: &mut pool,
+                policy: policy.as_dyn(),
+            };
+            Engine::new(app, ecfg, &mut hw)
+        };
+        Ok(Self {
             seq: 0,
             scratch: vec![0u8; 2048],
             installed_flows: HashSet::new(),
             fdir_rr: 0,
             cfg,
             pool,
-            chains,
             policy,
+            engine,
             lpm,
             m,
             port,
-        };
-        // Initial descriptor posting.
-        for q in 0..tb.cfg.cores {
-            let depth = tb.cfg.queue_depth;
-            tb.port
-                .refill(&mut tb.m, &mut tb.pool, q, q, tb.policy.as_dyn(), depth);
-        }
-        Ok(tb)
+        })
     }
 
     /// The simulated machine (inspection).
@@ -437,15 +466,9 @@ impl Testbed {
 
     /// Offers one frame at `t_ns`; drops count toward the result.
     pub fn offer(&mut self, flow: &FlowTuple, size: u16, t_ns: f64) {
-        // Draw this frame's faults first: a pool-exhaustion window must
-        // already be in force while the cores catch up (their refills
-        // are what the outage starves).
-        let fault = self.faults.next_frame();
-        self.pool.set_outage(fault.pool_blocked);
-        // Let the DuT catch up to the present before the frame arrives.
-        self.run_cores_until(t_ns);
         // Metron's controller: install the FlowDirector rule with the
-        // routing decision as mark (control plane, untimed).
+        // routing decision as mark (control plane, untimed). This runs
+        // before the engine routes the frame so the rule applies to it.
         if let ChainSpec::RouterNaptLb { offload: true, .. } = self.cfg.chain {
             if matches!(self.cfg.steering, SteeringKind::FlowDirector)
                 && !self.installed_flows.contains(flow)
@@ -470,178 +493,61 @@ impl Testbed {
         }
         let len = encode_frame(&mut self.scratch, flow, size as usize, t_ns, self.seq);
         self.seq += 1;
-        self.offered += 1;
-        self.offered_wire_bits += trafficgen::arrival::wire_bits(size);
-        self.last_arrival_ns = self.last_arrival_ns.max(t_ns);
-        // NIC delivery; every failure is classified into the per-cause
-        // drop accounting so `offered == delivered + drops.total()`.
-        match self
-            .port
-            .deliver_faulty(&mut self.m, &self.scratch[..len], flow, t_ns, fault)
-        {
-            Ok(_) => {}
-            Err(DropReason::NoDescriptor) => {
-                // The NIC only sees the ring; the runtime knows whether
-                // descriptors were missing because the *pool* was dry.
-                if self.pool.in_outage() || self.pool.available() == 0 {
-                    self.drops.pool_starved += 1;
-                } else {
-                    self.drops.nodesc += 1;
-                }
-            }
-            Err(DropReason::Overrun) => self.drops.overrun += 1,
-            Err(DropReason::CrcError) => self.drops.crc += 1,
-            Err(DropReason::LinkDown) => self.drops.link_down += 1,
-            Err(DropReason::RxStall) => self.drops.rx_stall += 1,
-        }
-    }
-
-    /// Runs every core's polling loop until simulated time `until_ns`.
-    fn run_cores_until(&mut self, until_ns: f64) {
-        for c in 0..self.cfg.cores {
-            self.run_core_until(c, until_ns);
-        }
-    }
-
-    fn run_core_until(&mut self, core: usize, until_ns: f64) {
-        loop {
-            if self.core_free_ns[core] >= until_ns {
-                return;
-            }
-            if self.port.ready_count(core) == 0 {
-                // An idle PMD still re-arms its RX ring. Without this, a
-                // transient pool outage that drains the posted ring would
-                // leave the queue dry forever once the pool recovers.
-                if self.port.posted_count(core) < self.cfg.queue_depth {
-                    self.port.refill(
-                        &mut self.m,
-                        &mut self.pool,
-                        core,
-                        core,
-                        self.policy.as_dyn(),
-                        self.cfg.queue_depth,
-                    );
-                }
-                // Idle-poll forward to the horizon.
-                self.core_free_ns[core] = until_ns;
-                return;
-            }
-            self.poll_once(core);
-        }
-    }
-
-    /// One PMD iteration: rx_burst → chain → tx → refill.
-    fn poll_once(&mut self, core: usize) {
-        let start_cycles = self.m.now(core);
-        let start_ns = self.core_free_ns[core];
-        let (batch, _c) = self
-            .port
-            .rx_burst(&mut self.m, &self.pool, core, core, self.cfg.burst);
-        if batch.is_empty() {
-            return;
-        }
-        let mut tx = Vec::with_capacity(batch.len());
-        for comp in &batch {
-            let mut pkt = Pkt::from_completion(comp);
-            let action = {
-                let mut ctx = Ctx {
-                    m: &mut self.m,
-                    core,
-                };
-                let (action, _c) = self.chains[core].process(&mut ctx, &mut pkt);
-                action
-            };
-            self.m.advance(core, self.cfg.framework_cycles);
-            match action {
-                Action::Forward => {
-                    tx.push(TxDesc {
-                        mbuf: comp.mbuf,
-                        data_pa: comp.data_pa,
-                        len: comp.len,
-                    });
-                    self.tx_wire_bits += trafficgen::arrival::wire_bits(comp.len);
-                }
-                Action::Drop(cause) => {
-                    self.drops.count_chain(cause);
-                    self.pool.put(comp.mbuf);
-                }
-            }
-            // Per-packet completion time, attributed as processing ends.
-            let done_ns = start_ns + (self.m.now(core) - start_cycles) as f64 * self.ns_per_cycle;
-            if action == Action::Forward {
-                self.latencies.push(done_ns - comp.arrival_ns);
-            }
-        }
-        self.port.tx_burst(&mut self.m, &mut self.pool, core, &tx);
-        // A real RX ring has `depth` slots shared by posted descriptors
-        // and not-yet-harvested completions; refill only the slots this
-        // burst freed.
-        let target = self.cfg.queue_depth - self.port.ready_count(core);
-        self.port.refill(
-            &mut self.m,
-            &mut self.pool,
-            core,
-            core,
-            self.policy.as_dyn(),
-            target,
-        );
-        let busy = (self.m.now(core) - start_cycles) as f64 * self.ns_per_cycle;
-        self.core_free_ns[core] = start_ns + busy;
+        // The engine draws the frame's faults, runs the workers to the
+        // present, delivers through the NIC, and classifies any failure
+        // into its per-queue ledger.
+        let mut hw = Hw {
+            m: &mut self.m,
+            port: &mut self.port,
+            pool: &mut self.pool,
+            policy: self.policy.as_dyn(),
+        };
+        let _ = self.engine.offer(&mut hw, flow, &self.scratch[..len], t_ns);
     }
 
     /// Drains all queues to completion and produces the result.
-    pub fn finish(mut self) -> RunResult {
-        // Process everything still queued.
-        loop {
-            let mut any = false;
-            for c in 0..self.cfg.cores {
-                if self.port.ready_count(c) > 0 {
-                    self.poll_once(c);
-                    any = true;
-                }
-            }
-            if !any {
-                break;
-            }
-        }
-        let duration_ns = self
-            .core_free_ns
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max)
-            .max(1.0);
+    pub fn finish(self) -> RunResult {
+        let Testbed {
+            cfg,
+            mut m,
+            mut pool,
+            mut port,
+            mut policy,
+            mut engine,
+            ..
+        } = self;
+        let mut hw = Hw {
+            m: &mut m,
+            port: &mut port,
+            pool: &mut pool,
+            policy: policy.as_dyn(),
+        };
+        // Process everything still queued, then close the ledgers (the
+        // engine asserts conservation per queue, globally, and against
+        // the NIC's own counters).
+        engine.drain(&mut hw);
+        let (rep, app) = engine.finish(&mut hw);
+        assert_eq!(rep.in_flight, 0, "drain left packets in flight");
+        let drops = DropStats {
+            nic: rep.nic,
+            parse: app.parse,
+            no_route: app.no_route,
+            table_exhausted: app.table_exhausted,
+            policy: app.policy,
+        };
+        debug_assert_eq!(rep.app_drops, drops.chain_total());
         // Offered rate is measured over the LoadGen's sending window;
         // achieved over the full run (including the drain tail).
-        let offered_window = self.last_arrival_ns.max(1.0);
-        let stats = self.port.stats();
-        let delivered = stats.tx_pkts;
-        let dropped = self.drops.total();
-        // Conservation: every offered frame is either transmitted back
-        // or accounted to exactly one drop cause. Cross-check the
-        // runtime classification against the NIC's own counters.
-        assert_eq!(
-            self.offered,
-            delivered + dropped,
-            "conservation violated: offered {} != delivered {} + drops [{}]",
-            self.offered,
-            delivered,
-            self.drops
-        );
-        assert_eq!(
-            self.drops.nodesc + self.drops.pool_starved,
-            stats.rx_nodesc,
-            "descriptor-drop classification must partition rx_nodesc"
-        );
         RunResult {
-            offered: self.offered,
-            delivered,
-            dropped,
-            drops: self.drops,
-            offered_gbps: self.offered_wire_bits as f64 / offered_window,
-            achieved_gbps: self.tx_wire_bits as f64 / duration_ns,
-            duration_ns,
-            loopback_ns: self.cfg.loopback_ns,
-            latencies_ns: self.latencies,
+            offered: rep.offered,
+            delivered: rep.delivered,
+            dropped: drops.total(),
+            drops,
+            offered_gbps: rep.offered_wire_bits as f64 / rep.last_arrival_ns.max(1.0),
+            achieved_gbps: rep.tx_wire_bits as f64 / rep.duration_ns,
+            duration_ns: rep.duration_ns,
+            loopback_ns: cfg.loopback_ns,
+            latencies_ns: app.latencies,
         }
     }
 }
@@ -823,7 +729,7 @@ mod tests {
     fn faulty_runs_are_deterministic_and_conserve() {
         let mk = || {
             let mut cfg = small_cfg(ChainSpec::MacSwap, HeadroomMode::Stock, SteeringKind::Rss);
-            cfg.faults = FaultPlan::none()
+            cfg.faults = FaultPlan::frame_indexed()
                 .with_seed(11)
                 .with_corrupt_prob(0.1)
                 .with_truncate_prob(0.1)
@@ -835,8 +741,8 @@ mod tests {
         let a = mk();
         let b = mk();
         assert_eq!(a.drops, b.drops, "fault injection is seeded");
-        assert!(a.drops.crc > 0, "corruption fired");
-        assert_eq!(a.drops.link_down, 30, "flap window is exact");
+        assert!(a.drops.nic.crc > 0, "corruption fired");
+        assert_eq!(a.drops.nic.link_down, 30, "flap window is exact");
         assert_eq!(a.offered, a.delivered + a.drops.total());
     }
 }

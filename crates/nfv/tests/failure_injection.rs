@@ -62,9 +62,9 @@ fn frame_corruption_dies_at_the_nic() {
     conserve(&res);
     let expected = PACKETS as f64 * 0.2;
     assert!(
-        (res.drops.crc as f64) > expected * 0.7 && (res.drops.crc as f64) < expected * 1.3,
+        (res.drops.nic.crc as f64) > expected * 0.7 && (res.drops.nic.crc as f64) < expected * 1.3,
         "crc drops {} should track the 20% corruption rate",
-        res.drops.crc
+        res.drops.nic.crc
     );
     assert!(res.delivered > 0, "most frames still flow");
 }
@@ -84,7 +84,7 @@ fn truncation_splits_between_nic_and_parser() {
     );
     conserve(&res);
     assert!(
-        res.drops.crc > 0,
+        res.drops.nic.crc > 0,
         "runt cuts must hit the MAC: {}",
         res.drops
     );
@@ -104,24 +104,27 @@ fn macswap_forwards_parseable_truncations() {
     let plan = FaultPlan::none().with_seed(9).with_truncate_prob(0.25);
     let res = run(ChainSpec::MacSwap, plan);
     conserve(&res);
-    assert!(res.drops.crc > 0, "{}", res.drops);
+    assert!(res.drops.nic.crc > 0, "{}", res.drops);
     assert_eq!(res.drops.parse, 0, "{}", res.drops);
-    assert_eq!(res.delivered, res.offered - res.drops.crc);
+    assert_eq!(res.delivered, res.offered - res.drops.nic.crc);
 }
 
 #[test]
 fn pool_exhaustion_window_starves_descriptors() {
     // A long outage: refills fail, the posted ring drains, and arrivals
     // inside the window die as pool-starved descriptor misses.
-    let plan = FaultPlan::none().with_pool_exhaustion(Window::new(500, 1500));
+    let plan = FaultPlan::frame_indexed().with_pool_exhaustion(Window::new(500, 1500));
     let res = run(ChainSpec::MacSwap, plan);
     conserve(&res);
     assert!(
-        res.drops.pool_starved > 0,
+        res.drops.nic.pool_starved > 0,
         "outage must surface as pool_starved: {}",
         res.drops
     );
-    assert_eq!(res.drops.crc + res.drops.link_down + res.drops.rx_stall, 0);
+    assert_eq!(
+        res.drops.nic.crc + res.drops.nic.link_down + res.drops.nic.rx_stall,
+        0
+    );
     assert!(
         res.delivered > res.offered / 2,
         "service recovers after the outage ({} of {})",
@@ -132,11 +135,11 @@ fn pool_exhaustion_window_starves_descriptors() {
 
 #[test]
 fn rx_stall_window_loses_exactly_its_span() {
-    let plan = FaultPlan::none().with_rx_stall(Window::new(1000, 1200));
+    let plan = FaultPlan::frame_indexed().with_rx_stall(Window::new(1000, 1200));
     let res = run(ChainSpec::MacSwap, plan);
     conserve(&res);
     assert_eq!(
-        res.drops.rx_stall, 200,
+        res.drops.nic.rx_stall, 200,
         "every frame inside the stall window is lost: {}",
         res.drops
     );
@@ -145,17 +148,17 @@ fn rx_stall_window_loses_exactly_its_span() {
 
 #[test]
 fn link_flap_window_loses_exactly_its_span() {
-    let plan = FaultPlan::none().with_link_flap(Window::new(100, 350));
+    let plan = FaultPlan::frame_indexed().with_link_flap(Window::new(100, 350));
     let res = run(ChainSpec::MacSwap, plan);
     conserve(&res);
-    assert_eq!(res.drops.link_down, 250, "{}", res.drops);
+    assert_eq!(res.drops.nic.link_down, 250, "{}", res.drops);
     assert_eq!(res.delivered, res.offered - 250);
 }
 
 #[test]
 fn combined_faults_conserve_and_are_deterministic() {
     let plan = || {
-        FaultPlan::none()
+        FaultPlan::frame_indexed()
             .with_seed(42)
             .with_corrupt_prob(0.05)
             .with_truncate_prob(0.05)
@@ -180,7 +183,7 @@ fn combined_faults_conserve_and_are_deterministic() {
     conserve(&a);
     assert_eq!(a.drops, b.drops, "same plan, same seed, same drops");
     assert_eq!(a.delivered, b.delivered);
-    assert!(a.drops.crc > 0);
-    assert!(a.drops.rx_stall > 0);
-    assert!(a.drops.link_down > 0);
+    assert!(a.drops.nic.crc > 0);
+    assert!(a.drops.nic.rx_stall > 0);
+    assert!(a.drops.nic.link_down > 0);
 }

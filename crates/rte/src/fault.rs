@@ -6,8 +6,14 @@
 //! if the dataplane degrades gracefully under those conditions instead
 //! of panicking or silently losing accounting. This module provides a
 //! [`FaultPlan`] — a declarative, reproducible schedule of faults over
-//! the *offered-frame index* — and a [`FaultState`] that rolls the plan
-//! forward one frame at a time with a seeded [`trafficgen::Rng64`].
+//! either *simulated time* ([`Axis::TimeNs`], the default) or the
+//! *offered-frame index* ([`Axis::Frame`], via
+//! [`FaultPlan::frame_indexed`]) — and a [`FaultState`] that rolls the
+//! plan forward one frame at a time with a seeded [`trafficgen::Rng64`].
+//! Time-indexed windows compose naturally with bursty
+//! `trafficgen::ArrivalSchedule`s (a 100 µs outage is a 100 µs outage at
+//! any offered rate) and apply uniformly across RX queues; the frame
+//! axis is kept for byte-exact replay of older experiments.
 //!
 //! Fault kinds:
 //!
@@ -26,9 +32,19 @@
 //!   as [`crate::nic::DropReason::RxStall`].
 //! * **Link flap windows** (`link_flap`): carrier loss; arrivals are
 //!   dropped as [`crate::nic::DropReason::LinkDown`].
+//! * **Per-queue RX stall windows** (`queue_rx_stall`): a single RX
+//!   queue stops draining while the others keep going — the failure
+//!   mode that multi-queue isolation tests care about.
+//! * **Ready-ring overrun windows** (`ready_overrun`): the completion
+//!   ring backs up as if the application stopped polling; arrivals are
+//!   dropped as [`crate::nic::DropReason::ReadyOverrun`].
+//! * **TX stall windows** (`tx_stall`): the TX descriptor path wedges;
+//!   frames that were fully processed cannot leave the box and the PMD
+//!   must recycle their buffers. Queried with [`FaultState::tx_stalled`]
+//!   at transmit time.
 //!
-//! Everything is a pure function of `(seed, frame index)`, so a failing
-//! run replays exactly.
+//! Everything is a pure function of `(seed, frame index, clock)`, so a
+//! failing run replays exactly.
 //!
 //! # Examples
 //!
@@ -53,12 +69,14 @@
 
 use trafficgen::Rng64;
 
-/// A half-open `[start, end)` interval over the offered-frame index.
+/// A half-open `[start, end)` interval over the plan's [`Axis`]:
+/// nanoseconds for [`Axis::TimeNs`], offered-frame indices for
+/// [`Axis::Frame`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Window {
-    /// First frame index affected.
+    /// First index (ns or frame) affected.
     pub start: u64,
-    /// First frame index no longer affected.
+    /// First index (ns or frame) no longer affected.
     pub end: u64,
 }
 
@@ -79,6 +97,20 @@ impl Window {
     }
 }
 
+/// What a [`Window`]'s coordinates mean.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Axis {
+    /// Windows span offered-frame indices (frame 0 is the first offer).
+    /// The historical axis; kept for byte-exact replay of older
+    /// experiments via [`FaultPlan::frame_indexed`].
+    Frame,
+    /// Windows span simulated nanoseconds since the run started. The
+    /// default: outages have a duration, not a packet count, so they
+    /// compose with bursty arrival schedules and multi-queue dispatch.
+    #[default]
+    TimeNs,
+}
+
 fn any_contains(windows: &[Window], idx: u64) -> bool {
     windows.iter().any(|w| w.contains(idx))
 }
@@ -86,10 +118,13 @@ fn any_contains(windows: &[Window], idx: u64) -> bool {
 /// A declarative, reproducible schedule of injected faults.
 ///
 /// The default plan injects nothing; builder methods add fault kinds.
-/// Probabilities are per offered frame; windows are over the offered
-/// frame index (frame 0 is the first call to `offer`).
+/// Probabilities are per offered frame; windows are over the plan's
+/// [`Axis`] — simulated nanoseconds by default, offered-frame indices
+/// for plans built with [`FaultPlan::frame_indexed`].
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
+    /// What the window coordinates mean (ns or frame index).
+    pub axis: Axis,
     /// Seed for the per-frame random draws (corruption, truncation).
     pub seed: u64,
     /// Probability that a frame arrives with a bad FCS.
@@ -102,12 +137,32 @@ pub struct FaultPlan {
     pub rx_stall: Vec<Window>,
     /// Windows during which the link is down.
     pub link_flap: Vec<Window>,
+    /// Windows during which one specific RX queue stalls while the rest
+    /// of the port keeps draining.
+    pub queue_rx_stall: Vec<(usize, Window)>,
+    /// Windows during which the completion (ready) ring backs up as if
+    /// the application stopped polling.
+    pub ready_overrun: Vec<Window>,
+    /// Windows during which the TX descriptor path is wedged; processed
+    /// frames cannot be transmitted.
+    pub tx_stall: Vec<Window>,
 }
 
 impl FaultPlan {
-    /// The empty plan: no faults, ever.
+    /// The empty plan: no faults, ever. Windows added to it are
+    /// time-indexed (ns).
     pub fn none() -> Self {
         Self::default()
+    }
+
+    /// An empty plan whose windows span offered-frame indices — the
+    /// compatibility constructor for pre-time-axis experiments, which
+    /// counted frames instead of nanoseconds.
+    pub fn frame_indexed() -> Self {
+        Self {
+            axis: Axis::Frame,
+            ..Self::default()
+        }
     }
 
     /// Whether the plan can ever inject anything.
@@ -117,6 +172,9 @@ impl FaultPlan {
             && self.pool_exhaust.is_empty()
             && self.rx_stall.is_empty()
             && self.link_flap.is_empty()
+            && self.queue_rx_stall.is_empty()
+            && self.ready_overrun.is_empty()
+            && self.tx_stall.is_empty()
     }
 
     /// Sets the RNG seed for probabilistic faults.
@@ -164,6 +222,24 @@ impl FaultPlan {
         self.link_flap.push(w);
         self
     }
+
+    /// Adds an RX stall window that only affects queue `q`.
+    pub fn with_queue_rx_stall(mut self, q: usize, w: Window) -> Self {
+        self.queue_rx_stall.push((q, w));
+        self
+    }
+
+    /// Adds a completion-ring (ready ring) overrun window.
+    pub fn with_ready_overrun(mut self, w: Window) -> Self {
+        self.ready_overrun.push(w);
+        self
+    }
+
+    /// Adds a TX descriptor-stall window.
+    pub fn with_tx_stall(mut self, w: Window) -> Self {
+        self.tx_stall.push(w);
+        self
+    }
 }
 
 /// The faults affecting one offered frame.
@@ -179,6 +255,9 @@ pub struct FrameFault {
     pub stall: bool,
     /// The mbuf pool refuses allocations while this frame is in flight.
     pub pool_blocked: bool,
+    /// The completion ring refuses this frame, as if the application
+    /// stopped polling (ready-ring overrun under backpressure).
+    pub ready_blocked: bool,
 }
 
 impl FrameFault {
@@ -212,17 +291,56 @@ impl FaultState {
         &self.plan
     }
 
-    /// Index of the next frame to be drawn.
+    /// Index of the next frame to be drawn (equals frames drawn so far).
     pub fn frame_index(&self) -> u64 {
         self.next_idx
     }
 
-    /// Draws the faults for the next offered frame.
+    /// Resolves a window coordinate for the plan's axis: the frame
+    /// counter for [`Axis::Frame`], the clock for [`Axis::TimeNs`].
+    fn window_index(&self, t_ns: f64) -> u64 {
+        match self.plan.axis {
+            Axis::Frame => self.next_idx,
+            Axis::TimeNs => t_ns.max(0.0) as u64,
+        }
+    }
+
+    /// Draws the faults for the next offered frame, with windows
+    /// evaluated at the offered-frame index regardless of the plan's
+    /// axis. Prefer [`FaultState::draw`] in clocked code; this entry
+    /// point serves frame-counted harnesses and keeps pre-time-axis
+    /// sequences byte-identical.
     ///
     /// Exactly two RNG draws happen per frame regardless of the plan, so
     /// window edits never shift the corruption/truncation sequence.
     pub fn next_frame(&mut self) -> FrameFault {
         let idx = self.next_idx;
+        self.eval(idx, None)
+    }
+
+    /// Draws the faults for the next offered frame arriving at `t_ns`,
+    /// evaluating windows on the plan's axis. Per-queue stalls are not
+    /// applied (the queue is unknown); use [`FaultState::draw_for_queue`]
+    /// when steering has already picked one.
+    pub fn draw(&mut self, t_ns: f64) -> FrameFault {
+        let idx = self.window_index(t_ns);
+        self.eval(idx, None)
+    }
+
+    /// Like [`FaultState::draw`], but also applies stall windows scoped
+    /// to RX queue `q`.
+    pub fn draw_for_queue(&mut self, t_ns: f64, q: usize) -> FrameFault {
+        let idx = self.window_index(t_ns);
+        self.eval(idx, Some(q))
+    }
+
+    /// Whether the TX descriptor path is wedged at `t_ns`. Pure (no RNG
+    /// draw), so PMD transmit paths can query it at will.
+    pub fn tx_stalled(&self, t_ns: f64) -> bool {
+        any_contains(&self.plan.tx_stall, self.window_index(t_ns))
+    }
+
+    fn eval(&mut self, idx: u64, queue: Option<usize>) -> FrameFault {
         self.next_idx += 1;
         let corrupt_draw = self.rng.gen_f64();
         let trunc_draw = self.rng.next_u64();
@@ -236,12 +354,19 @@ impl FaultState {
         } else {
             None
         };
+        let queue_stalled = queue.is_some_and(|q| {
+            self.plan
+                .queue_rx_stall
+                .iter()
+                .any(|(sq, w)| *sq == q && w.contains(idx))
+        });
         FrameFault {
             corrupt,
             truncate_to,
             link_down: any_contains(&self.plan.link_flap, idx),
-            stall: any_contains(&self.plan.rx_stall, idx),
+            stall: any_contains(&self.plan.rx_stall, idx) || queue_stalled,
             pool_blocked: any_contains(&self.plan.pool_exhaust, idx),
+            ready_blocked: any_contains(&self.plan.ready_overrun, idx),
         }
     }
 }
@@ -342,5 +467,88 @@ mod tests {
             assert_eq!(f.stall, i == 2, "frame {i}");
             assert_eq!(f.link_down, i == 0 || i == 9, "frame {i}");
         }
+    }
+
+    #[test]
+    fn time_axis_evaluates_windows_by_clock() {
+        // Default axis is ns: a [1000, 2000) window hits by arrival
+        // time, independent of how many frames were drawn before.
+        let plan = FaultPlan::none().with_link_flap(Window::new(1000, 2000));
+        assert_eq!(plan.axis, Axis::TimeNs);
+        let mut st = FaultState::new(plan);
+        assert!(!st.draw(999.9).link_down);
+        assert!(st.draw(1000.0).link_down);
+        assert!(st.draw(1999.0).link_down);
+        assert!(!st.draw(2000.0).link_down);
+        assert_eq!(st.frame_index(), 4, "every draw advances the counter");
+    }
+
+    #[test]
+    fn frame_axis_ignores_the_clock() {
+        let plan = FaultPlan::frame_indexed().with_rx_stall(Window::new(2, 4));
+        let mut st = FaultState::new(plan);
+        // Arrival times are wild, but the window spans frames 2 and 3.
+        for (i, t) in [1e9, 0.0, 5.0, 7e12, 3.0].into_iter().enumerate() {
+            assert_eq!(st.draw(t).stall, (2..4).contains(&i), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn frame_indexed_draw_matches_next_frame() {
+        // The compatibility constructor replays a pre-time-axis plan
+        // byte-for-byte: draw(t) and next_frame() agree for any t.
+        let mk = || {
+            FaultPlan::frame_indexed()
+                .with_seed(11)
+                .with_corrupt_prob(0.3)
+                .with_truncate_prob(0.2)
+                .with_link_flap(Window::new(10, 30))
+                .with_pool_exhaustion(Window::new(50, 60))
+        };
+        let mut a = FaultState::new(mk());
+        let mut b = FaultState::new(mk());
+        for i in 0..100 {
+            assert_eq!(a.draw(i as f64 * 321.5), b.next_frame());
+        }
+    }
+
+    #[test]
+    fn per_queue_stall_hits_only_its_queue() {
+        let plan = FaultPlan::frame_indexed().with_queue_rx_stall(2, Window::new(0, 100));
+        let mut st = FaultState::new(plan);
+        assert!(!st.draw_for_queue(0.0, 0).stall);
+        assert!(st.draw_for_queue(0.0, 2).stall);
+        assert!(!st.draw(0.0).stall, "queue-agnostic draw skips it");
+        // A global stall window still hits every queue.
+        let plan = FaultPlan::frame_indexed().with_rx_stall(Window::new(0, 100));
+        let mut st = FaultState::new(plan);
+        assert!(st.draw_for_queue(0.0, 7).stall);
+    }
+
+    #[test]
+    fn tx_stall_is_pure_and_axis_aware() {
+        let plan = FaultPlan::none().with_tx_stall(Window::new(500, 700));
+        let st = FaultState::new(plan);
+        assert!(!st.tx_stalled(499.0));
+        assert!(st.tx_stalled(500.0));
+        assert!(st.tx_stalled(699.9));
+        assert!(!st.tx_stalled(700.0));
+        // Frame axis: resolved against the frame counter.
+        let plan = FaultPlan::frame_indexed().with_tx_stall(Window::new(2, 3));
+        let mut st = FaultState::new(plan);
+        assert!(!st.tx_stalled(1e9));
+        st.next_frame();
+        st.next_frame();
+        assert!(st.tx_stalled(0.0), "after two frames the counter is 2");
+    }
+
+    #[test]
+    fn ready_overrun_window_sets_ready_blocked() {
+        let plan = FaultPlan::none().with_ready_overrun(Window::new(100, 200));
+        assert!(!plan.is_none());
+        let mut st = FaultState::new(plan);
+        assert!(!st.draw(50.0).ready_blocked);
+        assert!(st.draw(150.0).ready_blocked);
+        assert!(!st.draw(250.0).ready_blocked);
     }
 }

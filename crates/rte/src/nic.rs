@@ -100,6 +100,10 @@ pub enum DropReason {
     LinkDown,
     /// The RX engine was stalled (not draining descriptors).
     RxStall,
+    /// The completion (ready) ring was backed up: descriptors were
+    /// posted, but the application was not polling completions fast
+    /// enough and the frame had nowhere to land.
+    ReadyOverrun,
 }
 
 impl std::fmt::Display for DropReason {
@@ -110,6 +114,7 @@ impl std::fmt::Display for DropReason {
             Self::CrcError => "bad CRC / runt",
             Self::LinkDown => "link down",
             Self::RxStall => "rx engine stalled",
+            Self::ReadyOverrun => "completion ring overrun",
         };
         f.write_str(s)
     }
@@ -132,6 +137,9 @@ pub struct PortStats {
     pub rx_linkdown: u64,
     /// Frames lost while the RX engine was stalled.
     pub rx_stall: u64,
+    /// Frames lost because the completion ring was backed up while
+    /// descriptors were still posted (application not polling).
+    pub rx_ready_overrun: u64,
     /// Frames transmitted.
     pub tx_pkts: u64,
     /// Bytes transmitted.
@@ -141,7 +149,12 @@ pub struct PortStats {
 impl PortStats {
     /// Every frame the NIC dropped, across all causes.
     pub fn rx_dropped(&self) -> u64 {
-        self.rx_nodesc + self.rx_overrun + self.rx_crc + self.rx_linkdown + self.rx_stall
+        self.rx_nodesc
+            + self.rx_overrun
+            + self.rx_crc
+            + self.rx_linkdown
+            + self.rx_stall
+            + self.rx_ready_overrun
     }
 }
 
@@ -311,10 +324,20 @@ impl Port {
         self.deliver_faulty(m, frame, flow, arrival_ns, FrameFault::clean())
     }
 
+    /// NIC: steers `flow` to `(queue, mark)` without delivering anything.
+    ///
+    /// Splitting steering from delivery lets a caller learn the target
+    /// queue first (e.g. to draw queue-scoped faults) and then complete
+    /// the delivery with [`Port::deliver_routed`]. Mutable because
+    /// FlowDirector auto-insertion may install a rule.
+    pub fn route(&mut self, flow: &FlowTuple) -> (usize, Option<u32>) {
+        self.steering.steer(flow)
+    }
+
     /// [`Port::deliver`] with an injected [`FrameFault`] applied, in the
     /// order the hardware would: carrier loss first, then the MAC's
     /// packet-rate ceiling, then the (possibly stalled) RX engine, then
-    /// the CRC/runt check, then steering and descriptor consumption.
+    /// the CRC/runt check, then descriptor consumption.
     /// Truncated-but-parseable frames are delivered at their shortened
     /// length; rejecting them is software's job.
     pub fn deliver_faulty(
@@ -325,6 +348,23 @@ impl Port {
         arrival_ns: f64,
         fault: FrameFault,
     ) -> Result<usize, DropReason> {
+        let (q, mark) = self.route(flow);
+        self.deliver_routed(m, frame, q, mark, arrival_ns, fault)
+            .map(|()| q)
+    }
+
+    /// Delivery once steering has already picked queue `q` (see
+    /// [`Port::route`]): consumes a posted descriptor and DMA-writes the
+    /// frame through DDIO.
+    pub fn deliver_routed(
+        &mut self,
+        m: &mut Machine,
+        frame: &[u8],
+        q: usize,
+        mark: Option<u32>,
+        arrival_ns: f64,
+        fault: FrameFault,
+    ) -> Result<(), DropReason> {
         if fault.link_down {
             self.stats.rx_linkdown += 1;
             return Err(DropReason::LinkDown);
@@ -355,14 +395,19 @@ impl Port {
             return Err(DropReason::CrcError);
         }
         let frame = &frame[..wire_len];
-        let (q, mark) = self.steering.steer(flow);
-        if self.queues[q].ready.is_full() {
-            // Completion ring backed up (application not polling): the
-            // frame is lost but the descriptor stays posted.
+        if self.queues[q].posted.is_empty() {
             self.stats.rx_nodesc += 1;
             return Err(DropReason::NoDescriptor);
         }
+        if fault.ready_blocked || self.queues[q].ready.is_full() {
+            // Completion ring backed up (application not polling): the
+            // frame is lost but the descriptor stays posted.
+            self.stats.rx_ready_overrun += 1;
+            return Err(DropReason::ReadyOverrun);
+        }
         let Some(desc) = self.queues[q].posted.dequeue() else {
+            // Unreachable after the is_empty check, but degrade by
+            // counting rather than panicking.
             self.stats.rx_nodesc += 1;
             return Err(DropReason::NoDescriptor);
         };
@@ -378,13 +423,13 @@ impl Port {
             // Unreachable after the is_full check; degrade by re-posting
             // the descriptor and counting the loss.
             let _ = self.queues[q].posted.enqueue(desc);
-            self.stats.rx_nodesc += 1;
-            return Err(DropReason::NoDescriptor);
+            self.stats.rx_ready_overrun += 1;
+            return Err(DropReason::ReadyOverrun);
         }
         self.queues[q].rx_pkts += 1;
         self.stats.rx_pkts += 1;
         self.stats.rx_bytes += frame.len() as u64;
-        Ok(q)
+        Ok(())
     }
 
     /// PMD: harvests up to `max` completions from queue `q` and fills the
@@ -707,6 +752,56 @@ mod fault_tests {
         assert_eq!(ok, 16);
         assert_eq!(dropped, 24);
         assert_eq!(port.stats().rx_nodesc, 24);
+    }
+
+    #[test]
+    fn ready_overrun_when_polling_stops_but_descriptors_remain() {
+        // Fill the completion ring, then restock the posted ring without
+        // ever polling: the next arrival has a descriptor but nowhere to
+        // complete — that is ReadyOverrun, distinct from NoDescriptor.
+        let (mut m, mut pool, mut port) = setup();
+        let mut policy = FixedHeadroom(128);
+        port.refill(&mut m, &mut pool, 0, 0, &mut policy, 16);
+        for i in 0..16 {
+            port.deliver(&mut m, &[0u8; 64], &flow(), i as f64).unwrap();
+        }
+        port.refill(&mut m, &mut pool, 0, 0, &mut policy, 16);
+        assert_eq!(port.posted_count(0), 16);
+        let err = port.deliver(&mut m, &[0u8; 64], &flow(), 20.0).unwrap_err();
+        assert_eq!(err, DropReason::ReadyOverrun);
+        assert_eq!(port.stats().rx_ready_overrun, 1);
+        assert_eq!(port.posted_count(0), 16, "the descriptor stays posted");
+    }
+
+    #[test]
+    fn injected_ready_block_counts_as_overrun() {
+        let (mut m, mut pool, mut port) = setup();
+        let mut policy = FixedHeadroom(128);
+        port.refill(&mut m, &mut pool, 0, 0, &mut policy, 8);
+        let fault = FrameFault {
+            ready_blocked: true,
+            ..FrameFault::clean()
+        };
+        let err = port
+            .deliver_faulty(&mut m, &[0u8; 64], &flow(), 0.0, fault)
+            .unwrap_err();
+        assert_eq!(err, DropReason::ReadyOverrun);
+        assert_eq!(port.stats().rx_ready_overrun, 1);
+        assert_eq!(port.posted_count(0), 8, "no descriptor consumed");
+        assert_eq!(port.ready_count(0), 0);
+    }
+
+    #[test]
+    fn route_then_deliver_routed_matches_deliver() {
+        let (mut m, mut pool, mut port) = setup();
+        let mut policy = FixedHeadroom(128);
+        port.refill(&mut m, &mut pool, 0, 0, &mut policy, 8);
+        let (q, mark) = port.route(&flow());
+        port.deliver_routed(&mut m, &[0u8; 64], q, mark, 0.0, FrameFault::clean())
+            .unwrap();
+        let (batch, _) = port.rx_burst(&mut m, &pool, q, 0, 8);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].len, 64);
     }
 }
 

@@ -28,7 +28,11 @@ fn serve(placement: Placement, requests: usize) -> Result<(f64, f64), Box<dyn st
     let mut store = KvStore::build(&mut m, &mut alloc, N_VALUES, placement)?;
     let mut pool = MbufPool::create(&mut m, 1024, 128, 2048)?;
     let mut port = Port::new(0, Steering::Rss(Rss::new(1)), 256);
-    let mut gen = RequestGen::new(ZipfGen::new(N_VALUES as u64, 0.99, 1), 950, 2);
+    let mut gens = [RequestGen::new(
+        ZipfGen::new(N_VALUES as u64, 0.99, 1),
+        950,
+        2,
+    )];
     let mut policy = FixedHeadroom(128);
     // Warm, then measure.
     let warm = ServerConfig::fig8(requests / 4, 950, 0);
@@ -38,7 +42,7 @@ fn serve(placement: Placement, requests: usize) -> Result<(f64, f64), Box<dyn st
         &mut pool,
         &mut port,
         &mut policy,
-        &mut gen,
+        &mut gens,
         &warm,
     );
     let cfg = ServerConfig::fig8(requests, 950, 0);
@@ -48,7 +52,7 @@ fn serve(placement: Placement, requests: usize) -> Result<(f64, f64), Box<dyn st
         &mut pool,
         &mut port,
         &mut policy,
-        &mut gen,
+        &mut gens,
         &cfg,
     );
     Ok((rep.tps / 1e6, rep.cycles_per_request))

@@ -3,9 +3,35 @@
 # network access: no crates.io dependencies, no rustup downloads.
 #
 #   scripts/ci.sh         # fmt + clippy + tests (debug)
-#   scripts/ci.sh full    # ...plus release build and bench-harness check
+#   scripts/ci.sh full    # ...plus release build, bench-harness check,
+#                         # and a --smoke run of every figure binary
+#   scripts/ci.sh smoke   # only the figure-binary smoke runs
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Every experiment binary, run end to end at --smoke scale (one run,
+# tiny packet counts, shrunken stores). Proves the figures still
+# *execute* after a refactor; EXPERIMENTS.md records full-scale numbers.
+smoke() {
+    echo "==> figure-binary smoke runs (--smoke)"
+    cargo build --release -q -p bench
+    local bins=(
+        table01_cachespec fig04_hash fig05_latency fig06_speedup
+        fig07_ops fig08_kvs fig12_lowrate fig13_forward fig14_chain
+        fig15_knee fig16_table4_skylake fig17_isolation
+        ext_pipeline headroom_dist kvs_probe skylake_nfv calibrate
+    )
+    for bin in "${bins[@]}"; do
+        echo "    -> ${bin}"
+        "./target/release/${bin}" --smoke > /dev/null
+    done
+}
+
+if [[ "${1:-}" == "smoke" ]]; then
+    smoke
+    echo "CI OK"
+    exit 0
+fi
 
 echo "==> rustfmt (check only)"
 cargo fmt --all --check
@@ -22,6 +48,7 @@ if [[ "${1:-}" == "full" ]]; then
     echo "==> bench harness compiles (not run)"
     cargo clippy --workspace --all-targets --features bench-harness -q -- -D warnings
     cargo bench -p bench --features bench-harness --no-run -q
+    smoke
 fi
 
 echo "CI OK"

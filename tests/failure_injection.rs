@@ -188,7 +188,7 @@ fn every_injected_fault_kind_degrades_gracefully() {
     cfg.cores = 2;
     cfg.queue_depth = 128;
     cfg.mbufs = 512;
-    cfg.faults = FaultPlan::none()
+    cfg.faults = FaultPlan::frame_indexed()
         .with_seed(7)
         .with_corrupt_prob(0.05)
         .with_truncate_prob(0.10)
@@ -200,20 +200,20 @@ fn every_injected_fault_kind_degrades_gracefully() {
     let res = run_experiment(cfg, &mut trace, &mut sched, 4000).expect("config fits");
     assert_eq!(res.offered, res.delivered + res.dropped, "conservation");
     assert_eq!(res.drops.total(), res.dropped, "causes partition the loss");
-    assert!(res.drops.crc > 0, "corruption: {}", res.drops);
+    assert!(res.drops.nic.crc > 0, "corruption: {}", res.drops);
     assert!(
         res.drops.parse > 0,
         "truncation reaches the parser: {}",
         res.drops
     );
-    assert!(res.drops.pool_starved > 0, "pool outage: {}", res.drops);
+    assert!(res.drops.nic.pool_starved > 0, "pool outage: {}", res.drops);
     assert_eq!(
-        res.drops.rx_stall, 100,
+        res.drops.nic.rx_stall, 100,
         "stall loses its span: {}",
         res.drops
     );
     assert_eq!(
-        res.drops.link_down, 150,
+        res.drops.nic.link_down, 150,
         "flap loses its span: {}",
         res.drops
     );
