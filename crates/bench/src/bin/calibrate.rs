@@ -9,7 +9,16 @@ use trafficgen::{ArrivalSchedule, CampusTrace, SizeMix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let packets: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let parallel = args.iter().any(|a| a == "--parallel");
+    let default_packets = if args.iter().any(|a| a == "--smoke") {
+        2_000
+    } else {
+        100_000
+    };
+    let packets: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_packets);
     let fw: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(950);
     let skew: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.9);
     let cap: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(13.9);
@@ -37,6 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut cfg = RunConfig::paper_defaults(chain, steering, headroom);
             cfg.framework_cycles = fw;
             cfg.nic_rate_mpps = Some(cap);
+            cfg.execution = engine::Execution::from_flag(parallel, cfg.cores);
             let mut trace =
                 CampusTrace::new(SizeMix::campus(), 10_000, 42).with_flow_skew(skew, 42);
             // Mean campus frame ≈ 670 B.

@@ -6,8 +6,9 @@
 //! here is 2^21 (128 MB — still 6.4x the LLC, preserving the hit-rate
 //! structure); pass a third argument `24` to run the full-size store.
 
+use engine::Execution;
 use kvs::proto::RequestGen;
-use kvs::server::{run_server, ServerConfig};
+use kvs::server::{flow_for_queue, run_server, ServerConfig};
 use kvs::store::{KvStore, Placement};
 use llc_sim::hash::{SliceHash, XorSliceHash};
 use llc_sim::machine::{Machine, MachineConfig};
@@ -15,7 +16,7 @@ use rte::mempool::MbufPool;
 use rte::nic::{FixedHeadroom, Port};
 use rte::steering::{Rss, Steering};
 use slice_aware::alloc::SliceAllocator;
-use trafficgen::ZipfGen;
+use trafficgen::{FlowTuple, ZipfGen};
 use xstats::report::{f, Table};
 
 fn run_config(
@@ -24,6 +25,8 @@ fn run_config(
     theta: f64,
     get_permille: u32,
     requests: usize,
+    cores: usize,
+    execution: Execution,
 ) -> Result<f64, Box<dyn std::error::Error>> {
     // The slice-aware carving needs ~slices x the store's footprint.
     let store_bytes = n_values * 64;
@@ -35,27 +38,46 @@ fn run_config(
     let region = m.mem_mut().alloc(region_bytes, 1 << 20)?;
     let hash = XorSliceHash::haswell_8slice();
     let mut alloc = SliceAllocator::new(region, move |pa| hash.slice_of(pa));
-    let mut store = KvStore::build(&mut m, &mut alloc, n_values, placement.clone())?;
-    let mut pool = MbufPool::create(&mut m, 1024, 128, 2048)?;
-    let mut port = Port::new(0, Steering::Rss(Rss::new(1)), 256);
-    let keygen = ZipfGen::new(n_values as u64, theta, 4242);
-    let mut gens = [RequestGen::new(keygen, get_permille, 77)];
+    let store = KvStore::build(&mut m, &mut alloc, n_values, placement.clone())?;
+    let mut pool = MbufPool::create(&mut m, (1024 * cores) as u32, 128, 2048)?;
+    let mut port = Port::new(0, Steering::Rss(Rss::new(cores)), 256);
+    let mut gens: Vec<RequestGen> = if cores == 1 {
+        let keygen = ZipfGen::new(n_values as u64, theta, 4242);
+        vec![RequestGen::new(keygen, get_permille, 77)]
+    } else {
+        // Multi-queue (§8): each queue's client draws from its own key
+        // class so concurrent workers' SETs stay disjoint.
+        let base = FlowTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 11211);
+        (0..cores)
+            .map(|q| {
+                let flow = flow_for_queue(&mut port, base, q);
+                let keygen = ZipfGen::new((n_values / cores) as u64, theta, 4242 + q as u64);
+                RequestGen::new(keygen, get_permille, 77 + q as u64)
+                    .with_flow(flow)
+                    .with_key_partition(cores as u32, q as u32)
+            })
+            .collect()
+    };
     let mut policy = FixedHeadroom(128);
     // Warm-up pass (the paper averages many runs on a hot server).
-    let warm = ServerConfig::fig8(requests / 4, get_permille, 1);
+    let warm = ServerConfig::fig8(requests / 4, get_permille, 1)
+        .with_cores(cores)
+        .with_execution(execution);
     run_server(
         &mut m,
-        &mut store,
+        &store,
         &mut pool,
         &mut port,
         &mut policy,
         &mut gens,
         &warm,
     );
-    let cfg = ServerConfig::fig8(requests, get_permille, 1);
+    let cfg = ServerConfig::fig8(requests, get_permille, 1)
+        .with_cores(cores)
+        .with_execution(execution);
     let rep = run_server(
         &mut m,
-        &mut store,
+        &store,
         &mut pool,
         &mut port,
         &mut policy,
@@ -80,8 +102,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(default_log2);
     let n_values = 1usize << log2_n;
+    let cores: usize = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--cores=").and_then(|v| v.parse().ok()))
+        .unwrap_or(1);
+    let execution = scale.execution(cores);
+    // NOTE: --parallel deliberately does not change this banner — the
+    // golden-figure regression diffs serial and parallel stdout against
+    // the same snapshot (bit-identical output is the contract).
     println!(
-        "Fig. 8 — emulated KVS, 1 core, 2^{log2_n} x 64 B values, {} requests/point\n",
+        "Fig. 8 — emulated KVS, {cores} core(s), 2^{log2_n} x 64 B values, {} requests/point\n",
         scale.packets
     );
     // Hot set sized to half a slice (the §3 rule of thumb).
@@ -108,7 +138,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (hot.clone(), 0.0),
             (Placement::Normal, 0.0),
         ] {
-            let tps = run_config(n_values, placement, theta, permille, scale.packets)?;
+            let tps = run_config(
+                n_values,
+                placement,
+                theta,
+                permille,
+                scale.packets,
+                cores,
+                execution,
+            )?;
             by_cfg.push(tps);
             cells.push(f(tps, 3));
         }

@@ -15,11 +15,24 @@
 //!   busy worker leaves arrivals in the descriptor ring, and when the
 //!   ring's posted descriptors run out the NIC drops (`rx_nodesc`) — the
 //!   throughput ceiling of Table 3.
-//! * **The polling loop.** `rx_burst → on_packet → tx_burst → refill`,
-//!   with the idle re-arm that keeps RX rings stocked across transient
-//!   pool outages. This is the only PMD loop in the workspace; the NFV
+//! * **The polling loop.** `rx_burst → on_packet → tx → refill`, with
+//!   the idle re-arm that keeps RX rings stocked across transient pool
+//!   outages. This is the only PMD loop in the workspace; the NFV
 //!   testbed, the pipelined chain, and the multi-queue KVS are all thin
 //!   [`QueueApp`]s over it.
+//! * **Epoch execution, serial or parallel.** Workers advance in
+//!   *epochs*: each active worker runs its polling loop against a
+//!   disjoint machine shard ([`llc_sim::epoch`]) and its own RX-queue
+//!   view, then the coordinator merges cross-worker effects (LLC event
+//!   logs, TX completions, buffer recycling, refills) in canonical
+//!   worker order. [`Execution::Serial`] runs the workers inline;
+//!   [`Execution::Parallel`] runs the *same* epoch algorithm on a
+//!   persistent pool of OS threads (spawned once, dispatched per
+//!   epoch — see `pool.rs`) — results are bit-identical by
+//!   construction because every cross-worker decision is made at the
+//!   worker-ordered merge, never at a thread-scheduling-dependent
+//!   moment. The differential test suite (`tests/differential.rs`)
+//!   keeps that claim honest.
 //! * **Drop accounting.** A per-queue [`NicDrops`] ledger plus a
 //!   per-queue count of application drops. The engine owns the
 //!   conservation invariant
@@ -37,13 +50,15 @@
 //! which Fig. 8's warm-then-measure methodology depends on.
 
 pub mod drops;
+mod pool;
 
 pub use drops::NicDrops;
 
+use llc_sim::epoch::{CoreMem, EpochShard, LlcOp};
 use llc_sim::machine::Machine;
 use rte::fault::{FaultPlan, FaultState};
 use rte::mempool::MbufPool;
-use rte::nic::{DropReason, HeadroomPolicy, Port, RxCompletion, TxDesc};
+use rte::nic::{DropReason, HeadroomPolicy, Port, RxCompletion, RxView, TxDesc};
 use trafficgen::FlowTuple;
 
 /// A borrowed view of the hardware the engine drives. The engine owns
@@ -84,6 +99,40 @@ impl WorkerSpec {
     }
 }
 
+/// How worker epochs execute: inline on the calling thread, or fanned
+/// out over OS threads. Both modes run the *same* shard/merge algorithm
+/// and produce bit-identical results (see the module docs); `Serial` is
+/// the reference implementation and the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// Workers run inline, in worker order, on the calling thread.
+    #[default]
+    Serial,
+    /// Workers are distributed round-robin over a persistent pool of
+    /// `threads` OS threads (`threads` is clamped to at least 1; the
+    /// pool is spawned lazily at the first multi-worker epoch). The
+    /// merge is still performed by the calling thread in worker order.
+    Parallel {
+        /// Number of pool worker threads.
+        threads: usize,
+    },
+}
+
+impl Execution {
+    /// `Parallel` with one thread per worker when `parallel` is set,
+    /// else `Serial` — the shape the figure binaries' `--parallel` flag
+    /// wants.
+    pub fn from_flag(parallel: bool, workers: usize) -> Self {
+        if parallel {
+            Execution::Parallel {
+                threads: workers.max(1),
+            }
+        } else {
+            Execution::Serial
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -95,13 +144,15 @@ pub struct EngineConfig {
     pub burst: usize,
     /// Injected faults.
     pub faults: FaultPlan,
+    /// Serial (reference) or parallel epoch execution.
+    pub execution: Execution,
 }
 
 /// What an application decides about one received packet.
 #[derive(Debug, Clone, Copy)]
 pub enum Verdict {
     /// Transmit this descriptor (the engine counts it as delivered and
-    /// recycles the buffer through `tx_burst`).
+    /// recycles the buffer at the epoch merge).
     Tx(TxDesc),
     /// Drop: the engine recycles the buffer and counts one application
     /// drop on the worker's queue. Cause-level accounting is the app's
@@ -113,14 +164,13 @@ pub enum Verdict {
     Consumed,
 }
 
-/// Per-poll context handed to the application. Wraps the machine and
-/// pool (reborrowed from [`Hw`]) plus the worker's identity and the
-/// wall-clock anchor of the current poll iteration.
+/// Per-poll context handed to the application: the worker's machine
+/// shard plus its identity and the wall-clock anchor of the current
+/// poll iteration.
 pub struct Ctx<'a> {
-    /// The simulated machine.
-    pub m: &'a mut Machine,
-    /// The mbuf pool (for recycling consumed buffers).
-    pub pool: &'a mut MbufPool,
+    /// The worker's timed-memory view (a per-core machine shard during
+    /// engine epochs; a whole [`Machine`] in direct/unit-test use).
+    pub m: &'a mut (dyn CoreMem + 'a),
     /// The worker's core.
     pub core: usize,
     /// The worker's index in [`EngineConfig::workers`].
@@ -131,6 +181,7 @@ pub struct Ctx<'a> {
     start_ns: f64,
     ns_per_cycle: f64,
     dropped: u64,
+    freed: &'a mut Vec<u32>,
 }
 
 impl Ctx<'_> {
@@ -140,17 +191,25 @@ impl Ctx<'_> {
         self.start_ns + (self.m.now(self.core) - self.start_cycles) as f64 * self.ns_per_cycle
     }
 
-    /// Recycles `mbuf` and counts one application drop on this worker's
-    /// queue — the explicit form of [`Verdict::Drop`] for packets the
-    /// app previously [`Verdict::Consumed`] (e.g. a full handoff ring).
+    /// Recycles `mbuf` (at the epoch merge, in canonical order) and
+    /// counts one application drop on this worker's queue — the
+    /// explicit form of [`Verdict::Drop`] for packets the app
+    /// previously [`Verdict::Consumed`] (e.g. a full handoff ring).
     pub fn drop_packet(&mut self, mbuf: u32) {
-        self.pool.put(mbuf);
+        self.freed.push(mbuf);
         self.dropped += 1;
     }
 }
 
 /// A queue application: the per-packet half of the polling loop.
-pub trait QueueApp {
+///
+/// One instance exists *per worker* (the engine takes a `Vec<A>`), so
+/// instances own their worker's state outright and can run on worker
+/// threads — hence the `Send` bound. Cross-worker state (a shared KVS
+/// index, routing tables) must be `Sync`-shared and read-only during
+/// epochs; cross-worker *transfers* (pipeline handoff) go through the
+/// epoch hook ([`Engine::set_epoch_hook`]).
+pub trait QueueApp: Send {
     /// Processes one received packet on `ctx.worker` and decides its
     /// fate. Runs timed work against `ctx.m` on `ctx.core`.
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, comp: &RxCompletion) -> Verdict;
@@ -158,21 +217,43 @@ pub trait QueueApp {
     /// Non-RX work for this worker (e.g. draining a handoff ring).
     /// Push transmissions into `tx`; recycle drops with
     /// [`Ctx::drop_packet`]. Returns how many packets moved — it MUST
-    /// make progress whenever [`QueueApp::has_backlog`] is true for this
-    /// worker, or the engine's drain loop cannot terminate.
+    /// make progress whenever [`QueueApp::has_backlog`] is true, or the
+    /// engine's drain loop cannot terminate.
     fn pump(&mut self, _ctx: &mut Ctx<'_>, _tx: &mut Vec<TxDesc>) -> usize {
         0
     }
 
-    /// Whether worker `w` has non-RX work pending (see
+    /// Whether this worker has non-RX work pending (see
     /// [`QueueApp::pump`]).
-    fn has_backlog(&self, _worker: usize) -> bool {
+    fn has_backlog(&self) -> bool {
         false
     }
 }
 
+/// Coordinator-side context handed to the epoch hook (between epochs,
+/// with the machine merged and the pool live).
+pub struct MergeCtx<'a> {
+    /// The mbuf pool (for recycling buffers the hook drops).
+    pub pool: &'a mut MbufPool,
+    app_drops: &'a mut [u64],
+}
+
+impl MergeCtx<'_> {
+    /// Recycles `mbuf` and counts one application drop on `queue`.
+    pub fn drop_packet(&mut self, queue: usize, mbuf: u32) {
+        self.pool.put(mbuf);
+        self.app_drops[queue] += 1;
+    }
+}
+
+/// The cross-worker transfer hook, run by the coordinator after every
+/// epoch merge: move items between the per-worker apps (e.g. a pipeline
+/// stage-1 outbox into stage-2's inbox). Returns how many items moved,
+/// which keeps [`Engine::drain`] honest.
+pub type EpochHook<A> = Box<dyn FnMut(&mut [A], &mut MergeCtx<'_>) -> usize>;
+
 /// Per-queue slice of the final [`EngineReport`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueLedger {
     /// Frames the load generator offered that steered to this queue.
     pub offered: u64,
@@ -192,7 +273,7 @@ pub struct QueueLedger {
 /// `offered + carried == delivered + nic.total() + app_drops +
 /// in_flight`, and each [`QueueLedger`] satisfies the same per queue
 /// (both asserted in [`Engine::finish`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineReport {
     /// Frames offered.
     pub offered: u64,
@@ -218,11 +299,163 @@ pub struct EngineReport {
     pub tx_wire_bits: u64,
 }
 
+// ---------------------------------------------------------------------
+// Epoch worker tasks.
+// ---------------------------------------------------------------------
+
+/// Everything one worker needs for one epoch. Crosses the thread
+/// boundary in parallel mode, hence the `Send` assertion below.
+struct WorkerTask<'a, A: QueueApp> {
+    worker: usize,
+    core: usize,
+    queue: Option<usize>,
+    shard: EpochShard<'a>,
+    view: Option<RxView<'a>>,
+    app: &'a mut A,
+    faults: &'a FaultState,
+    pool: &'a MbufPool,
+    burst: usize,
+    ns_per_cycle: f64,
+    free_ns: f64,
+    /// Poll horizon; `f64::INFINITY` in single-poll (`step`) mode.
+    horizon: f64,
+    single_poll: bool,
+}
+
+/// One poll iteration's deferred cross-worker effects.
+struct PollOutcome {
+    tx: Vec<TxDesc>,
+    /// The TX path was stalled at transmit time: frames are shed
+    /// (recycled + counted) instead of committed.
+    tx_stalled: bool,
+    dropped: u64,
+    freed: Vec<u32>,
+}
+
+/// What a worker task hands back to the coordinator.
+struct TaskOutcome {
+    worker: usize,
+    polls: Vec<PollOutcome>,
+    free_ns: f64,
+    ended_idle: bool,
+    moved: usize,
+    log: Vec<LlcOp>,
+}
+
+// Compile-time guarantees that everything crossing the thread boundary
+// is `Send` (the parallel dispatcher relies on it; keep these in sync
+// with the differential suite's assertions).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    struct ProbeApp;
+    impl QueueApp for ProbeApp {
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: &RxCompletion) -> Verdict {
+            Verdict::Drop
+        }
+    }
+    assert_send::<WorkerTask<'_, ProbeApp>>();
+    assert_send::<TaskOutcome>();
+    assert_send::<EpochShard<'_>>();
+    assert_send::<RxView<'_>>();
+};
+
+/// Runs one worker's polling loop for one epoch, entirely against its
+/// shard. Identical code in serial and parallel mode — the *only*
+/// difference between the modes is which thread this runs on.
+fn run_task<A: QueueApp>(mut t: WorkerTask<'_, A>) -> TaskOutcome {
+    let mut polls = Vec::new();
+    let mut moved_total = 0usize;
+    let mut free = t.free_ns;
+    let mut ended_idle = false;
+    loop {
+        if !t.single_poll && free >= t.horizon {
+            break;
+        }
+        let has_rx = t.view.as_ref().is_some_and(|v| v.ready_len() > 0);
+        if !has_rx && !t.app.has_backlog() {
+            ended_idle = true;
+            if !t.single_poll {
+                // Idle-poll forward to the horizon; the idle re-arm
+                // refill happens at the merge.
+                free = t.horizon;
+            }
+            break;
+        }
+        let start_cycles = t.shard.now(t.core);
+        let start_ns = free;
+        let batch = match t.view.as_mut() {
+            Some(v) => v.rx_burst(&mut t.shard, t.pool, t.core, t.burst).0,
+            None => Vec::new(),
+        };
+        let mut moved = batch.len();
+        let mut tx: Vec<TxDesc> = Vec::with_capacity(batch.len());
+        let mut freed: Vec<u32> = Vec::new();
+        let dropped;
+        {
+            let mut ctx = Ctx {
+                m: &mut t.shard,
+                core: t.core,
+                worker: t.worker,
+                queue: t.queue,
+                start_cycles,
+                start_ns,
+                ns_per_cycle: t.ns_per_cycle,
+                dropped: 0,
+                freed: &mut freed,
+            };
+            for comp in &batch {
+                match t.app.on_packet(&mut ctx, comp) {
+                    Verdict::Tx(desc) => tx.push(desc),
+                    Verdict::Drop => ctx.drop_packet(comp.mbuf),
+                    Verdict::Consumed => {}
+                }
+            }
+            moved += t.app.pump(&mut ctx, &mut tx);
+            dropped = ctx.dropped;
+        }
+        let mut tx_stalled = false;
+        if !tx.is_empty() {
+            let t_tx = start_ns + (t.shard.now(t.core) - start_cycles) as f64 * t.ns_per_cycle;
+            if t.faults.tx_stalled(t_tx) {
+                // The TX descriptor path is wedged: fully processed
+                // frames cannot leave the box; the merge recycles them.
+                tx_stalled = true;
+            } else {
+                rte::nic::tx_wire(&mut t.shard, t.core, &tx);
+            }
+        }
+        let busy = (t.shard.now(t.core) - start_cycles) as f64 * t.ns_per_cycle;
+        free = start_ns + busy;
+        moved_total += moved;
+        polls.push(PollOutcome {
+            tx,
+            tx_stalled,
+            dropped,
+            freed,
+        });
+        if t.single_poll {
+            break;
+        }
+    }
+    TaskOutcome {
+        worker: t.worker,
+        polls,
+        free_ns: free,
+        ended_idle,
+        moved: moved_total,
+        log: t.shard.into_log(),
+    }
+}
+
 /// The engine: clocks, fault state, and drop ledgers around one
-/// [`QueueApp`].
+/// [`QueueApp`] instance per worker.
 pub struct Engine<A: QueueApp> {
-    app: A,
+    apps: Vec<A>,
+    epoch_hook: Option<EpochHook<A>>,
     cfg: EngineConfig,
+    /// Persistent threads for [`Execution::Parallel`], spawned lazily
+    /// at the first multi-worker epoch (never in serial mode).
+    thread_pool: Option<pool::WorkerPool>,
     free_ns: Vec<f64>,
     ns_per_cycle: f64,
     faults: FaultState,
@@ -240,7 +473,8 @@ pub struct Engine<A: QueueApp> {
 }
 
 impl<A: QueueApp> Engine<A> {
-    /// Assembles the engine around `app` and performs the initial
+    /// Assembles the engine around one app instance per worker
+    /// (`apps[w]` belongs to `cfg.workers[w]`) and performs the initial
     /// descriptor posting (each queue topped up to `queue_depth` minus
     /// any completions carried over from a previous run — the ring's
     /// slots are shared by posted descriptors and unharvested
@@ -248,16 +482,28 @@ impl<A: QueueApp> Engine<A> {
     ///
     /// # Panics
     ///
-    /// Panics on degenerate geometry: no workers, zero burst/depth, a
-    /// worker queue outside the port, a queue polled by two workers, or
-    /// a port queue no worker polls.
-    pub fn new(app: A, cfg: EngineConfig, hw: &mut Hw<'_>) -> Self {
+    /// Panics on degenerate geometry: no workers, an app count that
+    /// differs from the worker count, zero burst/depth, a worker queue
+    /// outside the port, a queue polled by two workers, two workers on
+    /// one core (they could not run as disjoint shards), or a port
+    /// queue no worker polls.
+    pub fn new(apps: Vec<A>, cfg: EngineConfig, hw: &mut Hw<'_>) -> Self {
         assert!(!cfg.workers.is_empty(), "no workers");
+        assert_eq!(
+            apps.len(),
+            cfg.workers.len(),
+            "one QueueApp instance per worker"
+        );
         assert!(cfg.burst > 0 && cfg.queue_depth > 0, "bad queue geometry");
         let queues = hw.port.num_queues();
         let mut polled = vec![false; queues];
-        for w in &cfg.workers {
+        for (i, w) in cfg.workers.iter().enumerate() {
             assert!(w.core < hw.m.config().cores, "worker core off-machine");
+            assert!(
+                !cfg.workers[..i].iter().any(|o| o.core == w.core),
+                "core {} driven by two workers",
+                w.core
+            );
             if let Some(q) = w.queue {
                 assert!(q < queues, "worker polls a queue the port lacks");
                 assert!(!polled[q], "queue {q} polled by two workers");
@@ -286,8 +532,10 @@ impl<A: QueueApp> Engine<A> {
             tx_wire_bits: 0,
             last_arrival_ns: 0.0,
             base_stats,
-            app,
+            apps,
+            epoch_hook: None,
             cfg,
+            thread_pool: None,
         };
         for w in 0..eng.cfg.workers.len() {
             if let Some(q) = eng.cfg.workers[w].queue {
@@ -299,14 +547,25 @@ impl<A: QueueApp> Engine<A> {
         eng
     }
 
-    /// The application (inspection).
-    pub fn app(&self) -> &A {
-        &self.app
+    /// Installs the cross-worker transfer hook, run after every epoch
+    /// merge (see [`EpochHook`]).
+    pub fn set_epoch_hook(&mut self, hook: EpochHook<A>) {
+        self.epoch_hook = Some(hook);
     }
 
-    /// The application (mutation between polls).
-    pub fn app_mut(&mut self) -> &mut A {
-        &mut self.app
+    /// Worker `w`'s application (inspection).
+    pub fn app(&self, w: usize) -> &A {
+        &self.apps[w]
+    }
+
+    /// All per-worker applications (inspection).
+    pub fn apps(&self) -> &[A] {
+        &self.apps
+    }
+
+    /// Worker `w`'s application (mutation between polls).
+    pub fn app_mut(&mut self, w: usize) -> &mut A {
+        &mut self.apps[w]
     }
 
     /// The global simulated clock: the latest worker free-at time.
@@ -373,21 +632,196 @@ impl<A: QueueApp> Engine<A> {
         }
     }
 
-    /// Runs every worker's polling loop until simulated time `until_ns`.
+    /// Runs every worker's polling loop until simulated time `until_ns`
+    /// — one epoch: workers run on disjoint shards to the horizon, then
+    /// the coordinator merges in worker order. Cross-worker handoff
+    /// (the epoch hook) is applied once, after the merge, so pipeline
+    /// stages see each other's output with epoch granularity.
     pub fn run_until(&mut self, hw: &mut Hw<'_>, until_ns: f64) {
-        for w in 0..self.cfg.workers.len() {
-            self.run_worker_until(hw, w, until_ns);
-        }
+        self.run_epoch(hw, until_ns, false);
     }
 
-    fn run_worker_until(&mut self, hw: &mut Hw<'_>, w: usize, until_ns: f64) {
-        loop {
-            if self.free_ns[w] >= until_ns {
-                return;
-            }
+    /// One poll round over every worker with pending work, then a clock
+    /// sync: all workers advance to the latest free-at time. Closed-loop
+    /// callers alternate `offer(.., now_ns())` top-ups with `step`, and
+    /// the sync guarantees those offers never trigger catch-up
+    /// processing mid-top-up. Returns how many packets moved; zero means
+    /// the engine is drained (or wedged by faults) and the caller should
+    /// stop.
+    pub fn step(&mut self, hw: &mut Hw<'_>) -> usize {
+        let moved = self.run_epoch(hw, f64::INFINITY, true);
+        let now = self.now_ns();
+        for f in &mut self.free_ns {
+            *f = now;
+        }
+        moved
+    }
+
+    /// Polls until no worker moves a packet (open-loop tail drain).
+    pub fn drain(&mut self, hw: &mut Hw<'_>) {
+        while self.step(hw) > 0 {}
+    }
+
+    /// One epoch: partition, run (inline or on threads), merge.
+    ///
+    /// In horizon mode (`single_poll == false`) every worker behind
+    /// `horizon_ns` participates and polls until it runs dry or reaches
+    /// the horizon. In single-poll mode (`step`) every worker with
+    /// pending work polls exactly once. Returns packets moved.
+    fn run_epoch(&mut self, hw: &mut Hw<'_>, horizon_ns: f64, single_poll: bool) -> usize {
+        // Partition the workers: `active` get shards and run the loop;
+        // `idle` (behind the horizon with nothing to do) only get the
+        // idle re-arm refill at the merge.
+        let mut active: Vec<usize> = Vec::new();
+        let mut idle: Vec<usize> = Vec::new();
+        for w in 0..self.cfg.workers.len() {
             let spec = self.cfg.workers[w];
-            let has_rx = spec.queue.is_some_and(|q| hw.port.ready_count(q) > 0);
-            if !has_rx && !self.app.has_backlog(w) {
+            let busy = spec.queue.is_some_and(|q| hw.port.ready_count(q) > 0)
+                || self.apps[w].has_backlog();
+            if busy && (single_poll || self.free_ns[w] < horizon_ns) {
+                active.push(w);
+            } else if !single_poll && self.free_ns[w] < horizon_ns {
+                idle.push(w);
+            }
+        }
+        let outcomes: Vec<TaskOutcome> = if active.is_empty() {
+            Vec::new()
+        } else {
+            let cores: Vec<usize> = active.iter().map(|&w| self.cfg.workers[w].core).collect();
+            let shards = hw.m.epoch_shards(&cores);
+            let mut views: Vec<Option<RxView<'_>>> =
+                hw.port.rx_views().into_iter().map(Some).collect();
+            let mut apps: Vec<Option<&mut A>> = self.apps.iter_mut().map(Some).collect();
+            let faults = &self.faults;
+            let pool: &MbufPool = hw.pool;
+            let tasks: Vec<WorkerTask<'_, A>> = active
+                .iter()
+                .zip(shards)
+                .map(|(&w, shard)| {
+                    let spec = self.cfg.workers[w];
+                    WorkerTask {
+                        worker: w,
+                        core: spec.core,
+                        queue: spec.queue,
+                        shard,
+                        view: spec.queue.and_then(|q| views[q].take()),
+                        app: apps[w].take().expect("worker split"),
+                        faults,
+                        pool,
+                        burst: self.cfg.burst,
+                        ns_per_cycle: self.ns_per_cycle,
+                        free_ns: self.free_ns[w],
+                        horizon: horizon_ns,
+                        single_poll,
+                    }
+                })
+                .collect();
+            match self.cfg.execution {
+                Execution::Serial => tasks.into_iter().map(run_task).collect(),
+                Execution::Parallel { threads } => {
+                    let n = threads.max(1).min(tasks.len());
+                    if n == 1 {
+                        // A single active worker (or a one-thread
+                        // request) gains nothing from dispatch; run it
+                        // inline. Where a task runs never changes its
+                        // outcome, so this is invisible in the results.
+                        tasks.into_iter().map(run_task).collect()
+                    } else {
+                        // Round-robin by *position in the active list*
+                        // — a pure function of worker indices, never of
+                        // thread scheduling — and reassemble outcomes
+                        // by position, so any thread count yields the
+                        // same merge order.
+                        let mut buckets: Vec<Vec<(usize, WorkerTask<'_, A>)>> =
+                            (0..n).map(|_| Vec::new()).collect();
+                        for (i, t) in tasks.into_iter().enumerate() {
+                            buckets[i % n].push((i, t));
+                        }
+                        let pool = self
+                            .thread_pool
+                            .get_or_insert_with(|| pool::WorkerPool::new(threads));
+                        let (res_tx, res_rx) = std::sync::mpsc::channel();
+                        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = buckets
+                            .into_iter()
+                            .map(|bucket| {
+                                let res_tx = res_tx.clone();
+                                Box::new(move || {
+                                    for (i, t) in bucket {
+                                        let _ = res_tx.send((i, run_task(t)));
+                                    }
+                                }) as Box<dyn FnOnce() + Send + '_>
+                            })
+                            .collect();
+                        pool.run(jobs);
+                        drop(res_tx);
+                        let mut slots: Vec<Option<TaskOutcome>> =
+                            active.iter().map(|_| None).collect();
+                        for (i, o) in res_rx {
+                            slots[i] = Some(o);
+                        }
+                        slots
+                            .into_iter()
+                            .map(|o| o.expect("every task produces an outcome"))
+                            .collect()
+                    }
+                }
+            }
+        };
+        // Merge, in canonical worker order (ascending worker index;
+        // `active` and `idle` are each ascending and disjoint, so one
+        // merged walk preserves it).
+        let mut moved = 0usize;
+        let mut oi = 0usize;
+        let mut ii = 0usize;
+        for w in 0..self.cfg.workers.len() {
+            if oi < outcomes.len() && outcomes[oi].worker == w {
+                let o = &outcomes[oi];
+                oi += 1;
+                let spec = self.cfg.workers[w];
+                let aq = spec.queue.unwrap_or(0);
+                // 1. The worker's deferred LLC effects.
+                hw.m.replay_llc(spec.core, &o.log);
+                // 2. Per poll, in order: app drops, then the TX fate.
+                for p in &o.polls {
+                    for &mb in &p.freed {
+                        hw.pool.put(mb);
+                    }
+                    self.app_drops[aq] += p.dropped;
+                    if p.tx_stalled {
+                        for d in &p.tx {
+                            hw.pool.put(d.mbuf);
+                        }
+                        self.nic[aq].tx_stall += p.tx.len() as u64;
+                    } else if !p.tx.is_empty() {
+                        hw.port.tx_commit(hw.pool, &p.tx);
+                        self.delivered += p.tx.len() as u64;
+                        self.delivered_q[aq] += p.tx.len() as u64;
+                        for d in &p.tx {
+                            self.tx_wire_bits += trafficgen::arrival::wire_bits(d.len);
+                        }
+                    }
+                }
+                moved += o.moved;
+                self.free_ns[w] = o.free_ns;
+                // 3. Refill the worker's queue. A real RX ring has
+                // `depth` slots shared by posted descriptors and
+                // not-yet-harvested completions; top up only the slots
+                // this epoch freed.
+                if let Some(q) = spec.queue {
+                    let target = self.cfg.queue_depth.saturating_sub(hw.port.ready_count(q));
+                    let (_, cycles) = hw
+                        .port
+                        .refill(hw.m, hw.pool, q, spec.core, hw.policy, target);
+                    if !o.ended_idle {
+                        // Busy workers pay the refill on their schedule
+                        // clock; idle workers already idled to the
+                        // horizon (the refill hides in the idle time).
+                        self.free_ns[w] += cycles as f64 * self.ns_per_cycle;
+                    }
+                }
+            } else if ii < idle.len() && idle[ii] == w {
+                ii += 1;
+                let spec = self.cfg.workers[w];
                 // An idle PMD still re-arms its RX ring. Without this, a
                 // transient pool outage that drains the posted ring would
                 // leave the queue dry forever once the pool recovers.
@@ -403,116 +837,26 @@ impl<A: QueueApp> Engine<A> {
                         );
                     }
                 }
-                // Idle-poll forward to the horizon.
-                self.free_ns[w] = until_ns;
-                return;
-            }
-            self.poll_worker(hw, w);
-        }
-    }
-
-    /// One poll round over every worker with pending work, then a clock
-    /// sync: all workers advance to the latest free-at time. Closed-loop
-    /// callers alternate `offer(.., now_ns())` top-ups with `step`, and
-    /// the sync guarantees those offers never trigger catch-up
-    /// processing mid-top-up. Returns how many packets moved; zero means
-    /// the engine is drained (or wedged by faults) and the caller should
-    /// stop.
-    pub fn step(&mut self, hw: &mut Hw<'_>) -> usize {
-        let mut moved = 0;
-        for w in 0..self.cfg.workers.len() {
-            let spec = self.cfg.workers[w];
-            let has_rx = spec.queue.is_some_and(|q| hw.port.ready_count(q) > 0);
-            if has_rx || self.app.has_backlog(w) {
-                moved += self.poll_worker(hw, w);
+                self.free_ns[w] = horizon_ns;
             }
         }
-        let now = self.now_ns();
-        for f in &mut self.free_ns {
-            *f = now;
-        }
-        moved
-    }
-
-    /// Polls until no worker moves a packet (open-loop tail drain).
-    pub fn drain(&mut self, hw: &mut Hw<'_>) {
-        while self.step(hw) > 0 {}
-    }
-
-    /// One full PMD iteration for worker `w`:
-    /// `rx_burst → on_packet* → pump → tx_burst → refill`, with the
-    /// worker's clock advanced by the cycles burned. Returns packets
-    /// moved.
-    fn poll_worker(&mut self, hw: &mut Hw<'_>, w: usize) -> usize {
-        let spec = self.cfg.workers[w];
-        let core = spec.core;
-        let start_cycles = hw.m.now(core);
-        let start_ns = self.free_ns[w];
-        let aq = spec.queue.unwrap_or(0);
-        let batch = match spec.queue {
-            Some(q) => hw.port.rx_burst(hw.m, hw.pool, q, core, self.cfg.burst).0,
-            None => Vec::new(),
-        };
-        let mut moved = batch.len();
-        let mut tx: Vec<TxDesc> = Vec::with_capacity(batch.len());
-        {
-            let mut ctx = Ctx {
-                m: hw.m,
+        // 4. Cross-worker handoff, with the machine fully merged.
+        if let Some(hook) = self.epoch_hook.as_mut() {
+            let mut mc = MergeCtx {
                 pool: hw.pool,
-                core,
-                worker: w,
-                queue: spec.queue,
-                start_cycles,
-                start_ns,
-                ns_per_cycle: self.ns_per_cycle,
-                dropped: 0,
+                app_drops: &mut self.app_drops,
             };
-            for comp in &batch {
-                match self.app.on_packet(&mut ctx, comp) {
-                    Verdict::Tx(desc) => tx.push(desc),
-                    Verdict::Drop => ctx.drop_packet(comp.mbuf),
-                    Verdict::Consumed => {}
-                }
-            }
-            moved += self.app.pump(&mut ctx, &mut tx);
-            self.app_drops[aq] += ctx.dropped;
+            moved += hook(&mut self.apps, &mut mc);
         }
-        if !tx.is_empty() {
-            let t_tx = start_ns + (hw.m.now(core) - start_cycles) as f64 * self.ns_per_cycle;
-            if self.faults.tx_stalled(t_tx) {
-                // The TX descriptor path is wedged: fully processed
-                // frames cannot leave the box; the PMD recycles them.
-                for d in &tx {
-                    hw.pool.put(d.mbuf);
-                }
-                self.nic[aq].tx_stall += tx.len() as u64;
-            } else {
-                hw.port.tx_burst(hw.m, hw.pool, core, &tx);
-                self.delivered += tx.len() as u64;
-                self.delivered_q[aq] += tx.len() as u64;
-                for d in &tx {
-                    self.tx_wire_bits += trafficgen::arrival::wire_bits(d.len);
-                }
-            }
-        }
-        if let Some(q) = spec.queue {
-            // A real RX ring has `depth` slots shared by posted
-            // descriptors and not-yet-harvested completions; refill only
-            // the slots this burst freed.
-            let target = self.cfg.queue_depth - hw.port.ready_count(q);
-            hw.port.refill(hw.m, hw.pool, q, core, hw.policy, target);
-        }
-        let busy = (hw.m.now(core) - start_cycles) as f64 * self.ns_per_cycle;
-        self.free_ns[w] = start_ns + busy;
         moved
     }
 
     /// Ends the run: clears any pool outage, asserts conservation
     /// (globally, per queue, and against the port's own counters), and
-    /// returns the report plus the application. Does *not* drain —
-    /// open-loop callers should [`Engine::drain`] first; closed-loop
-    /// callers end with requests legitimately in flight.
-    pub fn finish(self, hw: &mut Hw<'_>) -> (EngineReport, A) {
+    /// returns the report plus the per-worker applications. Does *not*
+    /// drain — open-loop callers should [`Engine::drain`] first;
+    /// closed-loop callers end with requests legitimately in flight.
+    pub fn finish(self, hw: &mut Hw<'_>) -> (EngineReport, Vec<A>) {
         hw.pool.set_outage(false);
         let queues = self.nic.len();
         let per_queue: Vec<QueueLedger> = (0..queues)
@@ -583,7 +927,7 @@ impl<A: QueueApp> Engine<A> {
             offered_wire_bits: self.offered_wire_bits,
             tx_wire_bits: self.tx_wire_bits,
         };
-        (report, self.app)
+        (report, self.apps)
     }
 }
 
@@ -594,6 +938,7 @@ mod tests {
     use rte::steering::{Rss, Steering};
 
     /// Echo every packet back (a MacSwap-free forwarder).
+    #[derive(Clone)]
     struct Echo {
         work: u64,
     }
@@ -620,8 +965,11 @@ mod tests {
         FlowTuple::tcp(0x0a00_0000 + i, 1000 + (i as u16), 0xc0a8_0001, 80)
     }
 
-    #[test]
-    fn echo_delivers_everything_at_low_rate() {
+    fn echo_apps(work: u64, workers: usize) -> Vec<Echo> {
+        vec![Echo { work }; workers]
+    }
+
+    fn run_echo(execution: Execution) -> EngineReport {
         let (mut m, mut pool, mut port) = setup(2, 64);
         let mut policy = rte::nic::FixedHeadroom(128);
         let mut hw = Hw {
@@ -631,12 +979,13 @@ mod tests {
             policy: &mut policy,
         };
         let mut eng = Engine::new(
-            Echo { work: 300 },
+            echo_apps(300, 2),
             EngineConfig {
                 workers: WorkerSpec::run_to_completion(2),
                 queue_depth: 64,
                 burst: 16,
                 faults: FaultPlan::none(),
+                execution,
             },
             &mut hw,
         );
@@ -645,7 +994,12 @@ mod tests {
             eng.offer(&mut hw, &flow(i % 32), &[0u8; 64], t).unwrap();
         }
         eng.drain(&mut hw);
-        let (rep, _) = eng.finish(&mut hw);
+        eng.finish(&mut hw).0
+    }
+
+    #[test]
+    fn echo_delivers_everything_at_low_rate() {
+        let rep = run_echo(Execution::Serial);
         assert_eq!(rep.offered, 500);
         assert_eq!(rep.delivered, 500);
         assert_eq!(rep.nic.total() + rep.app_drops, 0);
@@ -655,6 +1009,15 @@ mod tests {
         let sum: u64 = rep.per_queue.iter().map(|l| l.delivered).sum();
         assert_eq!(sum, rep.delivered);
         assert!(rep.per_queue.iter().all(|l| l.delivered > 0));
+    }
+
+    #[test]
+    fn parallel_echo_matches_serial_exactly() {
+        let serial = run_echo(Execution::Serial);
+        for threads in [1, 2, 3] {
+            let par = run_echo(Execution::Parallel { threads });
+            assert_eq!(serial, par, "threads={threads} must match serial");
+        }
     }
 
     #[test]
@@ -668,12 +1031,13 @@ mod tests {
             policy: &mut policy,
         };
         let mut eng = Engine::new(
-            Echo { work: 10_000 }, // ~3 µs/pkt service.
+            echo_apps(10_000, 1), // ~3 µs/pkt service.
             EngineConfig {
                 workers: WorkerSpec::run_to_completion(1),
                 queue_depth: 32,
                 burst: 8,
                 faults: FaultPlan::none(),
+                execution: Execution::Serial,
             },
             &mut hw,
         );
@@ -699,12 +1063,13 @@ mod tests {
             policy: &mut policy,
         };
         let mut eng = Engine::new(
-            Echo { work: 100 },
+            echo_apps(100, 1),
             EngineConfig {
                 workers: WorkerSpec::run_to_completion(1),
                 queue_depth: 64,
                 burst: 8,
                 faults: FaultPlan::none().with_tx_stall(rte::fault::Window::new(100_000, 300_000)),
+                execution: Execution::Serial,
             },
             &mut hw,
         );
@@ -735,13 +1100,14 @@ mod tests {
             policy: &mut policy,
         };
         let mut eng = Engine::new(
-            Echo { work: 200 },
+            echo_apps(200, 4),
             EngineConfig {
                 workers: WorkerSpec::run_to_completion(4),
                 queue_depth: 64,
                 burst: 16,
                 faults: FaultPlan::none()
                     .with_queue_rx_stall(1, rte::fault::Window::new(0, u64::MAX)),
+                execution: Execution::Serial,
             },
             &mut hw,
         );
@@ -776,12 +1142,13 @@ mod tests {
             policy: &mut policy,
         };
         let mut eng = Engine::new(
-            Echo { work: 500 },
+            echo_apps(500, 1),
             EngineConfig {
                 workers: WorkerSpec::run_to_completion(1),
                 queue_depth: 32,
                 burst: 8,
                 faults: FaultPlan::none(),
+                execution: Execution::Serial,
             },
             &mut hw,
         );
@@ -807,7 +1174,7 @@ mod tests {
             policy: &mut policy,
         };
         let _ = Engine::new(
-            Echo { work: 1 },
+            echo_apps(1, 2),
             EngineConfig {
                 workers: vec![
                     WorkerSpec {
@@ -822,6 +1189,40 @@ mod tests {
                 queue_depth: 32,
                 burst: 8,
                 faults: FaultPlan::none(),
+                execution: Execution::Serial,
+            },
+            &mut hw,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "driven by two workers")]
+    fn sharing_a_core_is_rejected() {
+        let (mut m, mut pool, mut port) = setup(2, 32);
+        let mut policy = rte::nic::FixedHeadroom(128);
+        let mut hw = Hw {
+            m: &mut m,
+            port: &mut port,
+            pool: &mut pool,
+            policy: &mut policy,
+        };
+        let _ = Engine::new(
+            echo_apps(1, 2),
+            EngineConfig {
+                workers: vec![
+                    WorkerSpec {
+                        core: 0,
+                        queue: Some(0),
+                    },
+                    WorkerSpec {
+                        core: 0,
+                        queue: Some(1),
+                    },
+                ],
+                queue_depth: 32,
+                burst: 8,
+                faults: FaultPlan::none(),
+                execution: Execution::Serial,
             },
             &mut hw,
         );

@@ -1,0 +1,182 @@
+//! A persistent scoped worker pool for parallel epoch execution.
+//!
+//! `std::thread::scope` spawns fresh OS threads on every call. The
+//! engine runs one epoch per offered frame plus one per `step`, so a
+//! figure run dispatches hundreds of thousands of epochs — at that
+//! rate per-epoch thread spawn/join costs more than the parallelism
+//! wins back. This pool spawns its threads once (lazily, at the first
+//! multi-worker epoch) and parks them on channels; each epoch sends
+//! boxed jobs down the lanes and blocks until every job has signalled
+//! completion.
+//!
+//! Blocking-until-done is what makes the lifetime erasure in
+//! [`WorkerPool::run`] sound: no job can outlive the epoch-local
+//! borrows it captured, which is exactly the guarantee
+//! `std::thread::scope` provides — amortised over the pool's lifetime
+//! instead of paid per epoch.
+//!
+//! Determinism is unaffected by construction: the pool only changes
+//! *where* `run_task` executes, never its inputs, and the coordinator
+//! reassembles outcomes by task index before the canonical-order merge.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A dispatched job with its borrows erased to `'static`; only ever
+/// constructed inside [`WorkerPool::run`], which upholds the erasure's
+/// soundness contract.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed set of parked worker threads, one job lane each.
+pub(crate) struct WorkerPool {
+    lanes: Vec<Sender<Job>>,
+    done: Receiver<bool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `n.max(1)` parked worker threads.
+    pub(crate) fn new(n: usize) -> Self {
+        let n = n.max(1);
+        let (done_tx, done) = channel::<bool>();
+        let mut lanes = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::<Job>();
+            let done_tx = done_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for job in rx {
+                    // A panicking job must still signal completion, or
+                    // the coordinator would wait forever; the panic is
+                    // re-raised on the coordinator side.
+                    let ok = catch_unwind(AssertUnwindSafe(job)).is_ok();
+                    if done_tx.send(ok).is_err() {
+                        break; // coordinator gone: shut down
+                    }
+                }
+            }));
+            lanes.push(tx);
+        }
+        Self {
+            lanes,
+            done,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Runs `jobs` on the pool (job `i` on lane `i % len`) and blocks
+    /// until every one of them has finished. Panics if any job
+    /// panicked.
+    ///
+    /// The `'scope` borrows inside each job are erased to `'static` to
+    /// cross the channel. This is sound because the function does not
+    /// return until every dispatched job has signalled completion
+    /// (success or panic), so no job — and no thread executing one —
+    /// can observe the captured borrows after `'scope` ends.
+    pub(crate) fn run<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        let k = jobs.len();
+        for (i, job) in jobs.into_iter().enumerate() {
+            // SAFETY: lifetime-only erasure (`'scope` → `'static` on
+            // the trait object); the completion loop below keeps this
+            // call frame — and therefore every `'scope` borrow — alive
+            // until the job has finished running.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+            self.lanes[i % self.lanes.len()]
+                .send(job)
+                .expect("pool worker thread alive");
+        }
+        let mut panicked = false;
+        for _ in 0..k {
+            match self.done.recv() {
+                Ok(ok) => panicked |= !ok,
+                // All workers gone mid-epoch: treat as a panic.
+                Err(_) => panicked = true,
+            }
+        }
+        assert!(!panicked, "engine worker thread panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels makes every worker's `for job in rx`
+        // loop end; then reap the threads.
+        self.lanes.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_scoped_jobs_to_completion() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.len(), 3);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..10)
+            .map(|i| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(i, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 45);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_epochs() {
+        let pool = WorkerPool::new(2);
+        let mut data = [0u64; 8];
+        for epoch in 0..100 {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = data
+                .iter_mut()
+                .map(|slot| {
+                    Box::new(move || {
+                        *slot += epoch;
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        assert!(data.iter().all(|&v| v == (0..100).sum::<u64>()));
+    }
+
+    #[test]
+    fn job_panic_propagates_to_coordinator() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(|| {}),
+            Box::new(|| panic!("boom")),
+            Box::new(|| {}),
+        ];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(jobs)));
+        assert!(err.is_err(), "panic inside a job must re-raise");
+        // The pool survives a panicked job and keeps serving.
+        let ran = AtomicUsize::new(0);
+        pool.run(vec![Box::new(|| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        })]);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.len(), 1);
+    }
+}

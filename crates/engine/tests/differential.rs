@@ -1,0 +1,335 @@
+//! Differential determinism harness: every scenario in a grid of
+//! app behaviour × steering × queue geometry × fault plan is executed
+//! once under [`Execution::Serial`] and repeatedly under
+//! [`Execution::Parallel`] with several thread counts, and every run
+//! must produce a bit-identical [`EngineReport`].
+//!
+//! This is the proof obligation for the engine's parallel mode: both
+//! modes run the *same* frozen-LLC epoch algorithm (workers on disjoint
+//! shards, coordinator replays their LLC logs in canonical worker
+//! order), so equality is expected by construction — this suite is the
+//! regression tripwire that keeps it that way. The real applications
+//! (NFV chain, pipelined chain, KVS) get the same treatment in the
+//! workspace-level `tests/determinism.rs`.
+
+use engine::{
+    Ctx, Engine, EngineConfig, EngineReport, Execution, Hw, QueueApp, Verdict, WorkerSpec,
+};
+use llc_sim::machine::{Machine, MachineConfig};
+use rte::fault::{FaultPlan, Window};
+use rte::mempool::MbufPool;
+use rte::nic::{FixedHeadroom, Port, RxCompletion, TxDesc};
+use rte::steering::{FlowDirector, Rss, Steering};
+use trafficgen::{FlowTuple, Rng64};
+
+/// The app-behaviour axis of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AppKind {
+    /// Forward every packet with fixed work (the fast path).
+    Echo,
+    /// Seeded random forward/drop with variable work (adversarial).
+    Chaos,
+    /// Consume into a private backlog, re-emit from `pump` next epoch
+    /// (the pipeline-shaped path: Consumed + pump + has_backlog).
+    Backlog,
+}
+
+/// The steering axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SteerKind {
+    Rss,
+    FlowDirector,
+}
+
+/// One per-worker app instance covering all three behaviours.
+struct GridApp {
+    kind: AppKind,
+    rng: Rng64,
+    inbox: Vec<RxCompletion>,
+    burst: usize,
+}
+
+impl QueueApp for GridApp {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, comp: &RxCompletion) -> Verdict {
+        match self.kind {
+            AppKind::Echo => {
+                ctx.m.advance(ctx.core, 120);
+                Verdict::Tx(TxDesc {
+                    mbuf: comp.mbuf,
+                    data_pa: comp.data_pa,
+                    len: comp.len,
+                })
+            }
+            AppKind::Chaos => {
+                ctx.m
+                    .advance(ctx.core, 60 + self.rng.gen_range(0u32..300) as u64);
+                if self.rng.gen_range(0u32..1000) < 250 {
+                    Verdict::Drop
+                } else {
+                    Verdict::Tx(TxDesc {
+                        mbuf: comp.mbuf,
+                        data_pa: comp.data_pa,
+                        len: comp.len,
+                    })
+                }
+            }
+            AppKind::Backlog => {
+                ctx.m.advance(ctx.core, 80);
+                self.inbox.push(*comp);
+                Verdict::Consumed
+            }
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>, tx: &mut Vec<TxDesc>) -> usize {
+        if self.kind != AppKind::Backlog || self.inbox.is_empty() {
+            return 0;
+        }
+        let take = self.burst.min(self.inbox.len());
+        for c in self.inbox.drain(..take) {
+            ctx.m.advance(ctx.core, 90);
+            tx.push(TxDesc {
+                mbuf: c.mbuf,
+                data_pa: c.data_pa,
+                len: c.len,
+            });
+        }
+        take
+    }
+
+    fn has_backlog(&self) -> bool {
+        !self.inbox.is_empty()
+    }
+}
+
+/// A fault plan exercising frame faults and every outage window.
+fn mixed_plan(seed: u64, horizon_ns: u64, queues: usize) -> FaultPlan {
+    let third = horizon_ns / 3;
+    let mut plan = FaultPlan::frame_indexed()
+        .with_seed(seed)
+        .with_corrupt_prob(0.04)
+        .with_truncate_prob(0.06)
+        .with_rx_stall(Window::new(third / 2, third))
+        .with_tx_stall(Window::new(third, third + third / 2))
+        .with_pool_exhaustion(Window::new(2 * third, 2 * third + third / 3));
+    if queues > 1 {
+        plan = plan.with_queue_rx_stall(queues - 1, Window::new(third / 4, third / 2));
+    }
+    plan
+}
+
+/// Runs one grid scenario under `execution` and returns the report.
+/// Everything else — arrivals, flows, app decisions — is a pure
+/// function of the scenario, so any divergence between two calls is the
+/// execution mode's fault.
+fn run_scenario(
+    app: AppKind,
+    steer: SteerKind,
+    queues: usize,
+    depth: usize,
+    burst: usize,
+    faulty: bool,
+    execution: Execution,
+) -> EngineReport {
+    let seed = 0xd1f_0000
+        ^ (queues as u64) << 4
+        ^ (depth as u64) << 8
+        ^ (burst as u64) << 16
+        ^ (faulty as u64) << 24;
+    let offers = 400usize;
+    let gap_ns = 250.0f64;
+    let horizon = (offers as f64 * gap_ns) as u64;
+    let steering = match steer {
+        SteerKind::Rss => Steering::Rss(Rss::new(queues)),
+        SteerKind::FlowDirector => Steering::FlowDirector(FlowDirector::new(queues)),
+    };
+    let faults = if faulty {
+        mixed_plan(seed, horizon, queues)
+    } else {
+        FaultPlan::none()
+    };
+    let apps: Vec<GridApp> = (0..queues)
+        .map(|w| GridApp {
+            kind: app,
+            rng: Rng64::seed_from_u64(seed ^ 0x5eed ^ (w as u64).wrapping_mul(0x9e37)),
+            inbox: Vec::new(),
+            burst,
+        })
+        .collect();
+
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+    let mut pool = MbufPool::create(&mut m, (4 * queues * depth) as u32, 128, 2048).unwrap();
+    let mut port = Port::new(0, steering, depth);
+    let mut policy = FixedHeadroom(128);
+    let mut hw = Hw {
+        m: &mut m,
+        port: &mut port,
+        pool: &mut pool,
+        policy: &mut policy,
+    };
+    let cfg = EngineConfig {
+        workers: WorkerSpec::run_to_completion(queues),
+        queue_depth: depth,
+        burst,
+        faults,
+        execution,
+    };
+    let mut eng = Engine::new(apps, cfg, &mut hw);
+
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    let mut frame = vec![0u8; 128];
+    for i in 0..offers {
+        t += rng.gen_range(1u32..(2.0 * gap_ns) as u32) as f64;
+        let f = FlowTuple::tcp(
+            0x0a00_0000 + rng.gen_range(0u32..48),
+            2000 + rng.gen_range(0u32..48) as u16,
+            0xc0a8_0001,
+            443,
+        );
+        frame[0] = i as u8;
+        let _ = eng.offer(&mut hw, &f, &frame, t);
+        if rng.gen_range(0u32..5) == 0 {
+            eng.step(&mut hw);
+        }
+    }
+    eng.drain(&mut hw);
+    let (rep, _) = eng.finish(&mut hw);
+    rep
+}
+
+const GEOMETRIES: &[(usize, usize, usize)] = &[(1, 16, 8), (2, 64, 32), (4, 32, 1)];
+
+/// The headline grid: serial vs parallel at threads ∈ {1, 2, queues},
+/// bit-identical reports everywhere.
+#[test]
+fn grid_serial_and_parallel_reports_are_bit_identical() {
+    for app in [AppKind::Echo, AppKind::Chaos, AppKind::Backlog] {
+        for steer in [SteerKind::Rss, SteerKind::FlowDirector] {
+            for &(queues, depth, burst) in GEOMETRIES {
+                for faulty in [false, true] {
+                    let serial =
+                        run_scenario(app, steer, queues, depth, burst, faulty, Execution::Serial);
+                    for threads in [1usize, 2, queues] {
+                        let par = run_scenario(
+                            app,
+                            steer,
+                            queues,
+                            depth,
+                            burst,
+                            faulty,
+                            Execution::Parallel { threads },
+                        );
+                        assert_eq!(
+                            serial, par,
+                            "{app:?}/{steer:?} q={queues} d={depth} b={burst} \
+                             faulty={faulty}: parallel({threads}) diverged from serial"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parallel mode must also be deterministic against *itself*: repeated
+/// runs of the same scenario with the same thread count, and runs with
+/// different thread counts, all agree.
+#[test]
+fn parallel_is_self_deterministic_across_repeats_and_thread_counts() {
+    for app in [AppKind::Chaos, AppKind::Backlog] {
+        let reference = run_scenario(
+            app,
+            SteerKind::Rss,
+            4,
+            32,
+            8,
+            true,
+            Execution::Parallel { threads: 2 },
+        );
+        for repeat in 0..3 {
+            for threads in [1usize, 2, 4] {
+                let rep = run_scenario(
+                    app,
+                    SteerKind::Rss,
+                    4,
+                    32,
+                    8,
+                    true,
+                    Execution::Parallel { threads },
+                );
+                assert_eq!(
+                    reference, rep,
+                    "{app:?}: parallel run (repeat {repeat}, threads {threads}) \
+                     is not reproducible"
+                );
+            }
+        }
+    }
+}
+
+/// Stress: several *whole engines* running concurrently on OS threads
+/// (as a parallel test harness would run them) must each still produce
+/// the canonical report — no cross-engine interference through shared
+/// process state. Run this suite with `--test-threads=1` and with the
+/// default parallel harness; both must pass identically.
+#[test]
+fn concurrent_engines_do_not_interfere() {
+    let expected = run_scenario(
+        AppKind::Chaos,
+        SteerKind::FlowDirector,
+        4,
+        32,
+        8,
+        true,
+        Execution::Parallel { threads: 4 },
+    );
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(|| {
+                    run_scenario(
+                        AppKind::Chaos,
+                        SteerKind::FlowDirector,
+                        4,
+                        32,
+                        8,
+                        true,
+                        Execution::Parallel { threads: 4 },
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let rep = h.join().expect("engine thread panicked");
+            assert_eq!(expected, rep, "concurrent engines interfered");
+        }
+    });
+}
+
+/// Over-subscription: more threads than workers (and more threads than
+/// host cores would sensibly allow) still yields the canonical report.
+#[test]
+fn oversubscribed_thread_counts_are_harmless() {
+    let serial = run_scenario(
+        AppKind::Echo,
+        SteerKind::Rss,
+        2,
+        32,
+        8,
+        false,
+        Execution::Serial,
+    );
+    for threads in [3usize, 8, 64] {
+        let par = run_scenario(
+            AppKind::Echo,
+            SteerKind::Rss,
+            2,
+            32,
+            8,
+            false,
+            Execution::Parallel { threads },
+        );
+        assert_eq!(serial, par, "threads={threads} diverged");
+    }
+}

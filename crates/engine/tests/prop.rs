@@ -1,16 +1,22 @@
 //! Property test: the engine conserves every packet and its simulated
 //! clock never runs backwards, for *any* combination of app behaviour,
-//! steering mode, queue geometry, arrival pattern, and fault plan.
+//! steering mode, queue geometry, arrival pattern, fault plan — **and
+//! execution mode**. Every seeded iteration runs twice, once under
+//! [`Execution::Serial`] and once under [`Execution::Parallel`], and the
+//! two [`EngineReport`]s must be bit-identical.
 //!
 //! The engine already asserts the conservation invariant internally (per
 //! queue, globally, and against the NIC's own counters) inside
 //! [`Engine::finish`] — so this test's job is to drive it through a wide
 //! randomized space of configurations and make sure none of them trips
-//! an assert, loses a packet, or bends time. Randomness comes from the
-//! in-tree seeded [`trafficgen::Rng64`]; a failure prints its iteration
-//! seed and replays exactly.
+//! an assert, loses a packet, bends time, or diverges between execution
+//! modes. Randomness comes from the in-tree seeded
+//! [`trafficgen::Rng64`]; a failure prints its iteration seed and
+//! replays exactly.
 
-use engine::{Ctx, Engine, EngineConfig, Hw, QueueApp, Verdict, WorkerSpec};
+use engine::{
+    Ctx, Engine, EngineConfig, EngineReport, Execution, Hw, QueueApp, Verdict, WorkerSpec,
+};
 use llc_sim::machine::{Machine, MachineConfig};
 use rte::fault::{FaultPlan, Window};
 use rte::mempool::MbufPool;
@@ -21,6 +27,9 @@ use trafficgen::{FlowTuple, Rng64};
 /// A toy app that forwards, drops, or swallows packets at seeded random,
 /// with variable per-packet work — the adversarial superset of the real
 /// apps (NFV chains forward/drop; the pipeline consumes and re-emits).
+/// One instance per worker, seeded per worker, so its decision stream is
+/// a pure function of (iteration seed, worker, packet order) — identical
+/// under serial and parallel execution.
 struct ChaosApp {
     rng: Rng64,
     drop_permille: u32,
@@ -89,106 +98,131 @@ fn random_plan(rng: &mut Rng64, horizon_ns: u64, queues: usize) -> FaultPlan {
     plan
 }
 
-#[test]
-fn random_configs_conserve_packets_and_time() {
-    let mut meta = Rng64::seed_from_u64(0x9e37_79b9_7f4a_7c15);
-    for iter in 0..60u64 {
-        let seed = meta.next_u64();
-        let mut rng = Rng64::seed_from_u64(seed);
-        let queues = 1usize << rng.gen_range(0u32..3); // 1, 2 or 4.
-        let depth = [16usize, 32, 64][rng.gen_range(0u32..3) as usize];
-        let burst = [1usize, 8, 32][rng.gen_range(0u32..3) as usize];
-        let offers = 200 + rng.gen_range(0u32..300) as usize;
-        let gap_ns = [50.0f64, 400.0, 3000.0][rng.gen_range(0u32..3) as usize];
-        let horizon = ((offers as f64 * gap_ns) as u64).max(1);
-        let plan = random_plan(&mut rng, horizon, queues);
-        let steering = if rng.gen_range(0u32..2) == 0 {
-            Steering::Rss(Rss::new(queues))
-        } else {
-            Steering::FlowDirector(FlowDirector::new(queues))
-        };
-        let app = ChaosApp {
-            rng: Rng64::seed_from_u64(seed ^ 0xabcd),
-            drop_permille: rng.gen_range(0u32..400),
-            work: 50 + rng.gen_range(0u32..500) as u64,
-        };
+/// Replays iteration `seed` under the given execution mode and returns
+/// the final report. Everything — geometry, fault plan, app behaviour,
+/// arrivals, interleaved step calls — is a pure function of `seed`, so
+/// two calls with different `execution` run the exact same scenario.
+fn run_once(iter: u64, seed: u64, execution: Execution) -> EngineReport {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let queues = 1usize << rng.gen_range(0u32..3); // 1, 2 or 4.
+    let depth = [16usize, 32, 64][rng.gen_range(0u32..3) as usize];
+    let burst = [1usize, 8, 32][rng.gen_range(0u32..3) as usize];
+    let offers = 200 + rng.gen_range(0u32..300) as usize;
+    let gap_ns = [50.0f64, 400.0, 3000.0][rng.gen_range(0u32..3) as usize];
+    let horizon = ((offers as f64 * gap_ns) as u64).max(1);
+    let plan = random_plan(&mut rng, horizon, queues);
+    let steering = if rng.gen_range(0u32..2) == 0 {
+        Steering::Rss(Rss::new(queues))
+    } else {
+        Steering::FlowDirector(FlowDirector::new(queues))
+    };
+    let drop_permille = rng.gen_range(0u32..400);
+    let work = 50 + rng.gen_range(0u32..500) as u64;
+    let apps: Vec<ChaosApp> = (0..queues)
+        .map(|w| ChaosApp {
+            rng: Rng64::seed_from_u64(seed ^ 0xabcd ^ (w as u64).wrapping_mul(0x9e37)),
+            drop_permille,
+            work,
+        })
+        .collect();
 
-        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
-        let mut pool = MbufPool::create(&mut m, (4 * queues * depth) as u32, 128, 2048).unwrap();
-        let mut port = Port::new(0, steering, depth);
-        let mut policy = FixedHeadroom(128);
-        let mut hw = Hw {
-            m: &mut m,
-            port: &mut port,
-            pool: &mut pool,
-            policy: &mut policy,
-        };
-        let cfg = EngineConfig {
-            workers: WorkerSpec::run_to_completion(queues),
-            queue_depth: depth,
-            burst,
-            faults: plan,
-        };
-        let mut eng = Engine::new(app, cfg, &mut hw);
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+    let mut pool = MbufPool::create(&mut m, (4 * queues * depth) as u32, 128, 2048).unwrap();
+    let mut port = Port::new(0, steering, depth);
+    let mut policy = FixedHeadroom(128);
+    let mut hw = Hw {
+        m: &mut m,
+        port: &mut port,
+        pool: &mut pool,
+        policy: &mut policy,
+    };
+    let cfg = EngineConfig {
+        workers: WorkerSpec::run_to_completion(queues),
+        queue_depth: depth,
+        burst,
+        faults: plan,
+        execution,
+    };
+    let mut eng = Engine::new(apps, cfg, &mut hw);
 
-        let mut t = 0.0f64;
-        let mut clock_floor = eng.now_ns();
-        let mut frame = vec![0u8; 64];
-        for i in 0..offers {
-            t += rng.gen_range(0u32..(2.0 * gap_ns) as u32 + 1) as f64;
-            let f = FlowTuple::tcp(
-                0x0a00_0000 + rng.gen_range(0u32..64),
-                1000 + rng.gen_range(0u32..64) as u16,
-                0xc0a8_0001,
-                80,
-            );
-            frame[0] = i as u8;
-            // Offers may be shed by the NIC under the fault plan; every
-            // outcome must be accounted, so the Result itself is moot.
-            let _ = eng.offer(&mut hw, &f, &frame, t);
-            let now = eng.now_ns();
-            assert!(
-                now >= clock_floor,
-                "iter {iter} (seed {seed:#x}): clock ran backwards ({now} < {clock_floor})"
-            );
-            clock_floor = now;
-            if rng.gen_range(0u32..4) == 0 {
-                eng.step(&mut hw);
-                let now = eng.now_ns();
-                assert!(
-                    now >= clock_floor,
-                    "iter {iter} (seed {seed:#x}): step reversed time"
-                );
-                clock_floor = now;
-            }
-        }
-        eng.drain(&mut hw);
+    let mut t = 0.0f64;
+    let mut clock_floor = eng.now_ns();
+    let mut frame = vec![0u8; 64];
+    for i in 0..offers {
+        t += rng.gen_range(0u32..(2.0 * gap_ns) as u32 + 1) as f64;
+        let f = FlowTuple::tcp(
+            0x0a00_0000 + rng.gen_range(0u32..64),
+            1000 + rng.gen_range(0u32..64) as u16,
+            0xc0a8_0001,
+            80,
+        );
+        frame[0] = i as u8;
+        // Offers may be shed by the NIC under the fault plan; every
+        // outcome must be accounted, so the Result itself is moot.
+        let _ = eng.offer(&mut hw, &f, &frame, t);
         let now = eng.now_ns();
         assert!(
             now >= clock_floor,
-            "iter {iter} (seed {seed:#x}): drain reversed time"
+            "iter {iter} (seed {seed:#x}, {execution:?}): clock ran backwards ({now} < {clock_floor})"
         );
+        clock_floor = now;
+        if rng.gen_range(0u32..4) == 0 {
+            eng.step(&mut hw);
+            let now = eng.now_ns();
+            assert!(
+                now >= clock_floor,
+                "iter {iter} (seed {seed:#x}, {execution:?}): step reversed time"
+            );
+            clock_floor = now;
+        }
+    }
+    eng.drain(&mut hw);
+    let now = eng.now_ns();
+    assert!(
+        now >= clock_floor,
+        "iter {iter} (seed {seed:#x}, {execution:?}): drain reversed time"
+    );
 
-        // `finish` asserts conservation per queue, globally, and against
-        // the port's own counters; restate the global identity from the
-        // report so a regression in the report itself is also caught.
-        let (rep, _) = eng.finish(&mut hw);
-        assert_eq!(rep.offered, offers as u64, "iter {iter} (seed {seed:#x})");
+    // `finish` asserts conservation per queue, globally, and against
+    // the port's own counters; restate the global identity from the
+    // report so a regression in the report itself is also caught.
+    let (rep, _) = eng.finish(&mut hw);
+    assert_eq!(
+        rep.offered, offers as u64,
+        "iter {iter} (seed {seed:#x}, {execution:?})"
+    );
+    assert_eq!(
+        rep.offered + rep.carried,
+        rep.delivered + rep.nic.total() + rep.app_drops + rep.in_flight,
+        "iter {iter} (seed {seed:#x}, {execution:?}): conservation"
+    );
+    assert_eq!(
+        rep.in_flight, 0,
+        "iter {iter} (seed {seed:#x}, {execution:?}): drained open-loop runs leave nothing in flight"
+    );
+    assert_eq!(rep.per_queue.len(), queues);
+    let q_off: u64 = rep.per_queue.iter().map(|l| l.offered).sum();
+    assert_eq!(
+        q_off, rep.offered,
+        "iter {iter} (seed {seed:#x}, {execution:?}): queue partition"
+    );
+    assert!(rep.duration_ns > 0.0);
+    rep
+}
+
+#[test]
+fn random_configs_conserve_packets_and_time_in_both_modes() {
+    let mut meta = Rng64::seed_from_u64(0x9e37_79b9_7f4a_7c15);
+    for iter in 0..60u64 {
+        let seed = meta.next_u64();
+        let serial = run_once(iter, seed, Execution::Serial);
+        // Thread count varies with the iteration so the sweep covers
+        // under- and over-subscribed dispatch, including threads == 1.
+        let threads = 1 + (iter as usize % 3);
+        let parallel = run_once(iter, seed, Execution::Parallel { threads });
         assert_eq!(
-            rep.offered + rep.carried,
-            rep.delivered + rep.nic.total() + rep.app_drops + rep.in_flight,
-            "iter {iter} (seed {seed:#x}): conservation"
+            serial, parallel,
+            "iter {iter} (seed {seed:#x}): parallel({threads}) diverged from serial"
         );
-        assert_eq!(
-            rep.in_flight, 0,
-            "iter {iter} (seed {seed:#x}): drained open-loop runs leave nothing in flight"
-        );
-        assert_eq!(rep.per_queue.len(), queues);
-        let q_off: u64 = rep.per_queue.iter().map(|l| l.offered).sum();
-        assert_eq!(
-            q_off, rep.offered,
-            "iter {iter} (seed {seed:#x}): queue partition"
-        );
-        assert!(rep.duration_ns > 0.0);
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::proto::{read_request, write_request, KvOp, RequestGen, REQUEST_SIZE, VALUE_OFF};
 use crate::store::KvStore;
-use engine::{Ctx, Engine, EngineConfig, Hw, NicDrops, QueueApp, Verdict, WorkerSpec};
+use engine::{Ctx, Engine, EngineConfig, Execution, Hw, NicDrops, QueueApp, Verdict, WorkerSpec};
 use llc_sim::machine::Machine;
 use rte::fault::FaultPlan;
 use rte::mempool::MbufPool;
@@ -46,6 +46,9 @@ pub struct ServerConfig {
     pub seed: u64,
     /// Fault-injection plan applied to offered requests.
     pub faults: FaultPlan,
+    /// Serial (reference) or parallel worker execution; results are
+    /// bit-identical either way.
+    pub execution: Execution,
 }
 
 impl ServerConfig {
@@ -59,6 +62,7 @@ impl ServerConfig {
             get_permille,
             seed,
             faults: FaultPlan::none(),
+            execution: Execution::Serial,
         }
     }
 
@@ -74,6 +78,13 @@ impl ServerConfig {
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// The same configuration with the given execution mode.
+    #[must_use]
+    pub fn with_execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
         self
     }
 }
@@ -183,18 +194,20 @@ pub fn flow_for_queue(port: &mut Port, base: FlowTuple, queue: usize) -> FlowTup
 }
 
 /// The KVS as a [`QueueApp`]: parse → store access → response, with
-/// per-queue served/GET/parse-failure counters.
+/// served/GET/parse-failure counters. One instance exists per worker
+/// (queue); all instances share one read-only [`KvStore`] handle —
+/// SETs mutate simulated memory only, and the multi-queue key
+/// partition keeps concurrent workers' writes disjoint.
 struct KvApp<'s> {
-    store: &'s mut KvStore,
-    served: Vec<u64>,
-    gets: Vec<u64>,
-    malformed: Vec<u64>,
-    truncated: Vec<u64>,
+    store: &'s KvStore,
+    served: u64,
+    gets: u64,
+    malformed: u64,
+    truncated: u64,
 }
 
 impl QueueApp for KvApp<'_> {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, comp: &RxCompletion) -> Verdict {
-        let q = ctx.queue.expect("every KVS worker polls a queue");
         // Parse the request: opcode + key live in the frame's first
         // 64 B line, the one CacheDirector places. Never read past the
         // (possibly truncated) frame.
@@ -205,15 +218,15 @@ impl QueueApp for KvApp<'_> {
             .read_bytes(ctx.core, comp.data_pa, &mut req_bytes[..readable]);
         let Some(req) = read_request(&req_bytes[..readable]) else {
             if wire_len < crate::proto::KEY_OFF + 4 {
-                self.truncated[q] += 1;
+                self.truncated += 1;
             } else {
-                self.malformed[q] += 1;
+                self.malformed += 1;
             }
             return Verdict::Drop;
         };
         if req.op == KvOp::Set && wire_len < VALUE_OFF + 64 {
             // A SET whose value was cut off on the wire.
-            self.truncated[q] += 1;
+            self.truncated += 1;
             return Verdict::Drop;
         }
         ctx.m.advance(ctx.core, SERVE_WORK);
@@ -224,7 +237,7 @@ impl QueueApp for KvApp<'_> {
                 // Write the value into the response payload.
                 ctx.m
                     .write_bytes(ctx.core, comp.data_pa.add(PAYLOAD_OFF as u64 + 6), &value);
-                self.gets[q] += 1;
+                self.gets += 1;
             }
             KvOp::Set => {
                 let mut data = [0u8; 64];
@@ -233,7 +246,7 @@ impl QueueApp for KvApp<'_> {
                 self.store.set(ctx.m, ctx.core, req.key, &data);
             }
         }
-        self.served[q] += 1;
+        self.served += 1;
         Verdict::Tx(TxDesc {
             mbuf: comp.mbuf,
             data_pa: comp.data_pa,
@@ -258,7 +271,7 @@ impl QueueApp for KvApp<'_> {
 /// not match, or a generator's flow steers to the wrong queue.
 pub fn run_server(
     m: &mut Machine,
-    store: &mut KvStore,
+    store: &KvStore,
     pool: &mut MbufPool,
     port: &mut Port,
     policy: &mut dyn HeadroomPolicy,
@@ -276,18 +289,21 @@ pub fn run_server(
             "generator {i}'s flow must steer to queue {i} (see flow_for_queue)"
         );
     }
-    let app = KvApp {
-        store,
-        served: vec![0; cores],
-        gets: vec![0; cores],
-        malformed: vec![0; cores],
-        truncated: vec![0; cores],
-    };
+    let apps: Vec<KvApp<'_>> = (0..cores)
+        .map(|_| KvApp {
+            store,
+            served: 0,
+            gets: 0,
+            malformed: 0,
+            truncated: 0,
+        })
+        .collect();
     let ecfg = EngineConfig {
         workers: WorkerSpec::run_to_completion(cores),
         queue_depth: cfg.queue_depth,
         burst: cfg.burst,
         faults: cfg.faults.clone(),
+        execution: cfg.execution,
     };
     let mut hw = Hw {
         m,
@@ -295,7 +311,7 @@ pub fn run_server(
         pool,
         policy,
     };
-    let mut eng = Engine::new(app, ecfg, &mut hw);
+    let mut eng = Engine::new(apps, ecfg, &mut hw);
     let starts: Vec<u64> = (0..cores).map(|c| hw.m.now(c)).collect();
     let mut frame = vec![0u8; REQUEST_SIZE];
     let mut seq = 0u64;
@@ -339,7 +355,7 @@ pub fn run_server(
     // Closed-loop runs legitimately end with requests in flight; the
     // engine asserts conservation per queue, globally, and against the
     // NIC's counters.
-    let (rep, app) = eng.finish(&mut hw);
+    let (rep, apps) = eng.finish(&mut hw);
     let freq_hz = hw.m.config().freq_ghz * 1e9;
     let mut busy_max = 0u64;
     let mut per_queue = Vec::with_capacity(cores);
@@ -351,11 +367,11 @@ pub fn run_server(
             offered: l.offered,
             carried: l.carried,
             served: l.delivered,
-            gets: app.gets[q],
+            gets: apps[q].gets,
             drops: ServerDrops {
                 nic: l.nic,
-                malformed: app.malformed[q],
-                truncated: app.truncated[q],
+                malformed: apps[q].malformed,
+                truncated: apps[q].truncated,
             },
             in_flight: l.in_flight,
             busy_cycles: busy,
@@ -368,8 +384,8 @@ pub fn run_server(
     }
     let drops = ServerDrops {
         nic: rep.nic,
-        malformed: app.malformed.iter().sum(),
-        truncated: app.truncated.iter().sum(),
+        malformed: apps.iter().map(|a| a.malformed).sum(),
+        truncated: apps.iter().map(|a| a.truncated).sum(),
     };
     debug_assert_eq!(rep.app_drops, drops.malformed + drops.truncated);
     let served = rep.delivered;
@@ -382,7 +398,7 @@ pub fn run_server(
         offered: rep.offered,
         carried: rep.carried,
         served,
-        gets: app.gets.iter().sum(),
+        gets: apps.iter().map(|a| a.gets).sum(),
         drops,
         in_flight: rep.in_flight,
         busy_cycles: busy_max,
@@ -438,7 +454,7 @@ mod tests {
         let cfg = ServerConfig::fig8(requests, get_permille, 1);
         run_server(
             &mut bench.m,
-            &mut bench.store,
+            &bench.store,
             &mut bench.pool,
             &mut bench.port,
             &mut policy,
@@ -519,7 +535,7 @@ mod tests {
         );
         let rep = run_server(
             &mut b.m,
-            &mut b.store,
+            &b.store,
             &mut b.pool,
             &mut b.port,
             &mut policy,
@@ -555,7 +571,7 @@ mod tests {
         let h = XorSliceHash::haswell_8slice();
         let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
         let slices: Vec<usize> = (0..cores).map(|c| m.closest_slice(c)).collect();
-        let mut store =
+        let store =
             KvStore::build(&mut m, &mut alloc, 4096, Placement::Striped { slices }).unwrap();
         let mut pool = MbufPool::create(&mut m, 4096, 128, 2048).unwrap();
         let mut port = Port::new(0, Steering::Rss(Rss::new(cores)), 256);
@@ -573,7 +589,7 @@ mod tests {
         let cfg = ServerConfig::fig8(8000, 900, 1).with_cores(cores);
         let rep = run_server(
             &mut m,
-            &mut store,
+            &store,
             &mut pool,
             &mut port,
             &mut policy,

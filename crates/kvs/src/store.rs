@@ -1,6 +1,7 @@
 //! The value store: index array + 64 B value slots.
 
 use llc_sim::addr::PhysAddr;
+use llc_sim::epoch::CoreMem;
 use llc_sim::hierarchy::Cycles;
 use llc_sim::machine::Machine;
 use llc_sim::mem::Region;
@@ -130,7 +131,7 @@ impl KvStore {
     }
 
     /// Timed index lookup: one memory access into the index array.
-    fn slot_of(&self, m: &mut Machine, core: usize, key: u32) -> (usize, Cycles) {
+    fn slot_of<M: CoreMem + ?Sized>(&self, m: &mut M, core: usize, key: u32) -> (usize, Cycles) {
         let mut b = [0u8; 4];
         let c = m.read_bytes(core, self.index.pa(key as usize * 4), &mut b);
         (u32::from_le_bytes(b) as usize, c)
@@ -138,10 +139,20 @@ impl KvStore {
 
     /// GET: index lookup + 64 B value read into `out`.
     ///
+    /// Generic over [`CoreMem`] so it can run against a per-worker
+    /// machine shard during engine epochs as well as a whole
+    /// [`Machine`].
+    ///
     /// # Panics
     ///
     /// Panics when `key` is out of range or `out` is shorter than 64 B.
-    pub fn get(&self, m: &mut Machine, core: usize, key: u32, out: &mut [u8]) -> Cycles {
+    pub fn get<M: CoreMem + ?Sized>(
+        &self,
+        m: &mut M,
+        core: usize,
+        key: u32,
+        out: &mut [u8],
+    ) -> Cycles {
         assert!((key as usize) < self.len(), "key out of range");
         let (slot, mut cycles) = self.slot_of(m, core, key);
         cycles += m.read_bytes(core, self.slots.line(slot), &mut out[..CACHE_LINE]);
@@ -151,10 +162,22 @@ impl KvStore {
 
     /// SET: index lookup + 64 B value write.
     ///
+    /// Takes `&self`: the mutation lives entirely in simulated memory
+    /// (behind `m`), so concurrent workers may share one store as long
+    /// as their key classes are disjoint — the multi-queue partition of
+    /// §8, and the [`llc_sim::epoch::SharedMem`] write-disjointness
+    /// contract.
+    ///
     /// # Panics
     ///
     /// Panics when `key` is out of range or `data` is shorter than 64 B.
-    pub fn set(&mut self, m: &mut Machine, core: usize, key: u32, data: &[u8]) -> Cycles {
+    pub fn set<M: CoreMem + ?Sized>(
+        &self,
+        m: &mut M,
+        core: usize,
+        key: u32,
+        data: &[u8],
+    ) -> Cycles {
         assert!((key as usize) < self.len(), "key out of range");
         let (slot, mut cycles) = self.slot_of(m, core, key);
         cycles += m.write_bytes(core, self.slots.line(slot), &data[..CACHE_LINE]);
@@ -255,7 +278,7 @@ mod tests {
     #[test]
     fn get_returns_what_set_stored() {
         let (mut m, mut a) = setup(16);
-        let mut kv = KvStore::build(&mut m, &mut a, 1024, Placement::Normal).unwrap();
+        let kv = KvStore::build(&mut m, &mut a, 1024, Placement::Normal).unwrap();
         let value = [0xabu8; 64];
         kv.set(&mut m, 0, 42, &value);
         let mut out = [0u8; 64];

@@ -25,8 +25,7 @@ fn run_with(faults: FaultPlan, requests: usize) -> ServerReport {
     let h = XorSliceHash::haswell_8slice();
     let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
     let slices: Vec<usize> = (0..CORES).map(|c| m.closest_slice(c)).collect();
-    let mut store =
-        KvStore::build(&mut m, &mut alloc, KEYS, Placement::Striped { slices }).unwrap();
+    let store = KvStore::build(&mut m, &mut alloc, KEYS, Placement::Striped { slices }).unwrap();
     let mut pool = MbufPool::create(&mut m, 4096, 128, 2048).unwrap();
     let mut port = Port::new(0, Steering::Rss(Rss::new(CORES)), 256);
     let base = FlowTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 11211);
@@ -45,7 +44,7 @@ fn run_with(faults: FaultPlan, requests: usize) -> ServerReport {
         .with_faults(faults);
     run_server(
         &mut m,
-        &mut store,
+        &store,
         &mut pool,
         &mut port,
         &mut policy,

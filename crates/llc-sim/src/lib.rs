@@ -48,6 +48,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod epoch;
 pub mod hash;
 pub mod hierarchy;
 pub mod machine;
@@ -59,5 +60,6 @@ pub mod tsc;
 pub mod uncore;
 
 pub use addr::{PhysAddr, CACHE_LINE};
+pub use epoch::{CoreMem, EpochShard, LlcOp};
 pub use hierarchy::{AccessKind, Cycles};
 pub use machine::{Machine, MachineConfig};

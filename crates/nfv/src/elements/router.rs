@@ -11,7 +11,7 @@ use crate::element::{Action, Ctx, DropCause, Element, Pkt};
 use crate::lpm::Lpm;
 use crate::packet::decrement_ttl;
 use llc_sim::hierarchy::Cycles;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Per-element counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,7 +28,7 @@ pub struct RouterStats {
 
 /// The routing element.
 pub struct Router {
-    lpm: Rc<Lpm>,
+    lpm: Arc<Lpm>,
     stats: RouterStats,
     /// Next hop chosen for the last forwarded packet (consumed by tests
     /// and by chaining logic that picks the TX port).
@@ -46,7 +46,7 @@ impl std::fmt::Debug for Router {
 
 impl Router {
     /// A router over a (shared, read-only) prebuilt LPM table.
-    pub fn new(lpm: Rc<Lpm>) -> Self {
+    pub fn new(lpm: Arc<Lpm>) -> Self {
         Self {
             lpm,
             stats: RouterStats::default(),
@@ -132,7 +132,7 @@ mod tests {
         )
         .unwrap();
         let r = m.mem_mut().alloc(4096, 4096).unwrap();
-        (m, Router::new(Rc::new(lpm)), r)
+        (m, Router::new(Arc::new(lpm)), r)
     }
 
     fn write_frame(m: &mut Machine, r: llc_sim::mem::Region, dst_ip: u32) -> Pkt {

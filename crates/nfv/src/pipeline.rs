@@ -16,7 +16,7 @@ use crate::element::{Action, Ctx, Pkt, ServiceChain};
 use crate::elements::{LoadBalancer, MacSwap, Napt};
 use crate::runtime::{mem_err, SetupError};
 use cache_director::{CacheDirector, CACHEDIRECTOR_HEADROOM};
-use engine::{Ctx as PollCtx, Engine, EngineConfig, Hw, QueueApp, Verdict, WorkerSpec};
+use engine::{Ctx as PollCtx, Engine, EngineConfig, Execution, Hw, QueueApp, Verdict, WorkerSpec};
 use llc_sim::machine::{Machine, MachineConfig};
 use rte::fault::FaultPlan;
 use rte::mempool::MbufPool;
@@ -55,6 +55,8 @@ pub struct PipelineConfig {
     pub stage_cycles: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Serial or parallel worker execution (bit-identical either way).
+    pub execution: Execution,
 }
 
 impl PipelineConfig {
@@ -68,7 +70,15 @@ impl PipelineConfig {
             burst: 32,
             stage_cycles: 300,
             seed: 0x99,
+            execution: Execution::Serial,
         }
+    }
+
+    /// Sets the execution mode.
+    #[must_use]
+    pub fn with_execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
     }
 }
 
@@ -93,20 +103,43 @@ struct Handoff {
     comp: RxCompletion,
 }
 
-/// The two-stage pipeline as a [`QueueApp`]: the queue-polling worker
-/// (stage 1) touches the header and hands the packet across cores on a
-/// ring; the queue-less worker (stage 2) drains the ring in its
-/// [`QueueApp::pump`] hook, runs the stateful elements, and transmits.
-struct PipelineApp {
-    stage1: ServiceChain,
-    stage2: ServiceChain,
-    handoff: Ring<Handoff>,
-    stage_cycles: u64,
-    burst: usize,
+/// One stage of the two-stage pipeline as a per-worker [`QueueApp`].
+///
+/// The queue-polling worker runs [`StageApp::Stage1`]: it touches the
+/// header, runs the stage-1 element and parks the packet in a private
+/// outbox. The queue-less worker runs [`StageApp::Stage2`]: it drains
+/// its inbox ring in the [`QueueApp::pump`] hook, runs the stateful
+/// elements, and transmits. The cross-core handoff — outbox to inbox —
+/// happens in the engine's epoch hook, at the serialization point after
+/// the merge, so both workers can safely run on concurrent shards
+/// during the epoch itself.
+enum StageApp {
+    /// RX + parse + first element; hands off via `outbox`.
+    Stage1 {
+        chain: ServiceChain,
+        stage_cycles: u64,
+        outbox: Vec<Handoff>,
+    },
+    /// Stateful elements + TX; fed through `inbox` by the epoch hook.
+    Stage2 {
+        chain: ServiceChain,
+        stage_cycles: u64,
+        inbox: Ring<Handoff>,
+        burst: usize,
+    },
 }
 
-impl QueueApp for PipelineApp {
+impl QueueApp for StageApp {
     fn on_packet(&mut self, ctx: &mut PollCtx<'_>, comp: &RxCompletion) -> Verdict {
+        let Self::Stage1 {
+            chain,
+            stage_cycles,
+            outbox,
+        } = self
+        else {
+            // Stage 2 is queue-less and never receives RX completions.
+            return Verdict::Drop;
+        };
         let mut pkt = Pkt::from_completion(comp);
         {
             let mut ec = Ctx {
@@ -115,23 +148,27 @@ impl QueueApp for PipelineApp {
             };
             // The stage-1 header touch + element.
             let _ = pkt.flow(&mut ec);
-            let _ = self.stage1.process(&mut ec, &mut pkt);
+            let _ = chain.process(&mut ec, &mut pkt);
         }
-        ctx.m.advance(ctx.core, self.stage_cycles);
-        if let Err(h) = self.handoff.enqueue(Handoff { comp: *comp }) {
-            // Ring full: backpressure. The ring counted the drop; the
-            // engine counts it as an application drop and recycles.
-            ctx.drop_packet(h.comp.mbuf);
-        }
+        ctx.m.advance(ctx.core, *stage_cycles);
+        // Unconditionally park in the outbox; the epoch hook applies the
+        // ring-capacity backpressure when it moves packets across cores.
+        outbox.push(Handoff { comp: *comp });
         Verdict::Consumed
     }
 
     fn pump(&mut self, ctx: &mut PollCtx<'_>, tx: &mut Vec<TxDesc>) -> usize {
-        if ctx.queue.is_some() {
-            // Only the queue-less stage-2 worker drains the handoff ring.
+        let Self::Stage2 {
+            chain,
+            stage_cycles,
+            inbox,
+            burst,
+        } = self
+        else {
+            // The stage-1 worker has nothing to pump.
             return 0;
-        }
-        let batch = self.handoff.dequeue_burst(self.burst);
+        };
+        let batch = inbox.dequeue_burst(*burst);
         for h in &batch {
             let mut pkt = Pkt::from_completion(&h.comp);
             let action = {
@@ -141,9 +178,9 @@ impl QueueApp for PipelineApp {
                 };
                 // Stage 2 re-touches the shared header line.
                 let _ = pkt.flow(&mut ec);
-                self.stage2.process(&mut ec, &mut pkt).0
+                chain.process(&mut ec, &mut pkt).0
             };
-            ctx.m.advance(ctx.core, self.stage_cycles);
+            ctx.m.advance(ctx.core, *stage_cycles);
             match action {
                 Action::Forward => tx.push(TxDesc {
                     mbuf: h.comp.mbuf,
@@ -156,8 +193,11 @@ impl QueueApp for PipelineApp {
         batch.len()
     }
 
-    fn has_backlog(&self, worker: usize) -> bool {
-        worker == 1 && !self.handoff.is_empty()
+    fn has_backlog(&self) -> bool {
+        match self {
+            Self::Stage1 { .. } => false,
+            Self::Stage2 { inbox, .. } => !inbox.is_empty(),
+        }
     }
 }
 
@@ -212,13 +252,19 @@ pub fn run_pipeline(
         .map_err(mem_err("LB table"))?;
     let stage2 = ServiceChain::new().push(Box::new(napt)).push(Box::new(lb));
 
-    let app = PipelineApp {
-        stage1,
-        stage2,
-        handoff: Ring::new(cfg.queue_depth),
-        stage_cycles: cfg.stage_cycles,
-        burst: cfg.burst,
-    };
+    let apps = vec![
+        StageApp::Stage1 {
+            chain: stage1,
+            stage_cycles: cfg.stage_cycles,
+            outbox: Vec::new(),
+        },
+        StageApp::Stage2 {
+            chain: stage2,
+            stage_cycles: cfg.stage_cycles,
+            inbox: Ring::new(cfg.queue_depth),
+            burst: cfg.burst,
+        },
+    ];
     let ecfg = EngineConfig {
         // Worker 0 polls the single RX queue on stage 1's core; worker 1
         // is queue-less and pumps the handoff ring on stage 2's core.
@@ -235,6 +281,7 @@ pub fn run_pipeline(
         queue_depth: cfg.queue_depth,
         burst: cfg.burst,
         faults: FaultPlan::none(),
+        execution: cfg.execution,
     };
     let mut hw = Hw {
         m: &mut m,
@@ -242,7 +289,30 @@ pub fn run_pipeline(
         pool: &mut pool,
         policy: policy.as_mut(),
     };
-    let mut eng = Engine::new(app, ecfg, &mut hw);
+    let mut eng = Engine::new(apps, ecfg, &mut hw);
+    // The cross-core handoff runs at the epoch boundary: drain stage 1's
+    // outbox into stage 2's inbox in arrival order, applying the ring's
+    // tail-drop backpressure. Every drained packet counts as progress so
+    // `drain` keeps stepping while handoffs are still in flight.
+    eng.set_epoch_hook(Box::new(|apps, mc| {
+        let (head, tail) = apps.split_at_mut(1);
+        let (StageApp::Stage1 { outbox, .. }, StageApp::Stage2 { inbox, .. }) =
+            (&mut head[0], &mut tail[0])
+        else {
+            unreachable!("pipeline workers are stage 1 then stage 2");
+        };
+        let mut moved = 0;
+        for h in outbox.drain(..) {
+            moved += 1;
+            if let Err(h) = inbox.enqueue(h) {
+                // Ring full: backpressure. The ring counted the drop;
+                // the engine counts it as an application drop and
+                // recycles the mbuf into queue 0's pool accounting.
+                mc.drop_packet(0, h.comp.mbuf);
+            }
+        }
+        moved
+    }));
     let (s1_start, s2_start) = (hw.m.now(c1), hw.m.now(c2));
 
     let mut trace = CampusTrace::fixed_size(128, flows, cfg.seed);

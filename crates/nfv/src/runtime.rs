@@ -23,7 +23,7 @@ use crate::elements::{LoadBalancer, MacSwap, Napt, Router};
 use crate::lpm::{synth_routes, Lpm};
 use crate::packet::encode_frame;
 use cache_director::{CacheDirector, CACHEDIRECTOR_HEADROOM};
-use engine::{Engine, EngineConfig, Hw, NicDrops, QueueApp, Verdict, WorkerSpec};
+use engine::{Engine, EngineConfig, Execution, Hw, NicDrops, QueueApp, Verdict, WorkerSpec};
 use llc_sim::machine::{Machine, MachineConfig};
 use llc_sim::mem::MemError;
 use rte::fault::FaultPlan;
@@ -31,7 +31,7 @@ use rte::mempool::MbufPool;
 use rte::nic::{FixedHeadroom, HeadroomPolicy, Port, RxCompletion, TxDesc};
 use rte::steering::{FdirAction, FlowDirector, Rss, Steering};
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 use trafficgen::{ArrivalSchedule, CampusTrace, FlowTuple};
 
 /// Why a testbed could not be assembled: some required structure did
@@ -183,6 +183,9 @@ pub struct RunConfig {
     pub seed: u64,
     /// Injected faults (default: none).
     pub faults: FaultPlan,
+    /// Serial (reference) or parallel worker execution; results are
+    /// bit-identical either way.
+    pub execution: Execution,
 }
 
 impl RunConfig {
@@ -205,12 +208,20 @@ impl RunConfig {
             nic_rate_mpps: Some(14.2),
             seed: 0x0dfe_11ce,
             faults: FaultPlan::none(),
+            execution: Execution::Serial,
         }
     }
 
     /// The same configuration with a fault plan attached.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// The same configuration with the given execution mode.
+    #[must_use]
+    pub fn with_execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
         self
     }
 }
@@ -267,11 +278,13 @@ impl Policy {
     }
 }
 
-/// The per-packet half of the testbed: one [`ServiceChain`] per worker,
-/// run under the engine's polling loop. Latency and chain-cause drop
-/// accounting live here; the NIC-side ledger lives in the engine.
+/// The per-packet half of the testbed: one [`ServiceChain`] per worker
+/// instance, run under the engine's polling loop. Latency and
+/// chain-cause drop accounting live here; the NIC-side ledger lives in
+/// the engine. One `ChainApp` exists per worker so instances own their
+/// state outright and can run on worker threads during parallel epochs.
 struct ChainApp {
-    chains: Vec<ServiceChain>,
+    chain: ServiceChain,
     framework_cycles: u64,
     latencies: Vec<f64>,
     parse: u64,
@@ -299,7 +312,7 @@ impl QueueApp for ChainApp {
                 m: &mut *ctx.m,
                 core: ctx.core,
             };
-            let (action, _c) = self.chains[ctx.worker].process(&mut ec, &mut pkt);
+            let (action, _c) = self.chain.process(&mut ec, &mut pkt);
             action
         };
         ctx.m.advance(ctx.core, self.framework_cycles);
@@ -331,7 +344,7 @@ pub struct Testbed {
     port: Port,
     policy: Policy,
     engine: Engine<ChainApp>,
-    lpm: Option<Rc<Lpm>>,
+    lpm: Option<Arc<Lpm>>,
     installed_flows: HashSet<FlowTuple>,
     fdir_rr: usize,
     seq: u64,
@@ -392,7 +405,7 @@ impl Testbed {
                 (chains, None)
             }
             ChainSpec::RouterNaptLb { routes, .. } => {
-                let lpm = Rc::new(
+                let lpm = Arc::new(
                     Lpm::build(&mut m, &synth_routes(routes, cfg.seed ^ 0x1007))
                         .map_err(mem_err("LPM table"))?,
                 );
@@ -410,7 +423,7 @@ impl Testbed {
                     .map_err(mem_err("LB table"))?;
                     chains.push(
                         ServiceChain::new()
-                            .push(Box::new(Router::new(Rc::clone(&lpm))))
+                            .push(Box::new(Router::new(Arc::clone(&lpm))))
                             .push(Box::new(napt))
                             .push(Box::new(lb)),
                     );
@@ -418,20 +431,24 @@ impl Testbed {
                 (chains, Some(lpm))
             }
         };
-        let app = ChainApp {
-            chains,
-            framework_cycles: cfg.framework_cycles,
-            latencies: Vec::new(),
-            parse: 0,
-            no_route: 0,
-            table_exhausted: 0,
-            policy: 0,
-        };
+        let apps: Vec<ChainApp> = chains
+            .into_iter()
+            .map(|chain| ChainApp {
+                chain,
+                framework_cycles: cfg.framework_cycles,
+                latencies: Vec::new(),
+                parse: 0,
+                no_route: 0,
+                table_exhausted: 0,
+                policy: 0,
+            })
+            .collect();
         let ecfg = EngineConfig {
             workers: WorkerSpec::run_to_completion(cfg.cores),
             queue_depth: cfg.queue_depth,
             burst: cfg.burst,
             faults: cfg.faults.clone(),
+            execution: cfg.execution,
         };
         let mut policy = policy;
         // The engine performs the initial descriptor posting.
@@ -442,7 +459,7 @@ impl Testbed {
                 pool: &mut pool,
                 policy: policy.as_dyn(),
             };
-            Engine::new(app, ecfg, &mut hw)
+            Engine::new(apps, ecfg, &mut hw)
         };
         Ok(Self {
             seq: 0,
@@ -526,15 +543,20 @@ impl Testbed {
         // engine asserts conservation per queue, globally, and against
         // the NIC's own counters).
         engine.drain(&mut hw);
-        let (rep, app) = engine.finish(&mut hw);
+        let (rep, apps) = engine.finish(&mut hw);
         assert_eq!(rep.in_flight, 0, "drain left packets in flight");
-        let drops = DropStats {
+        let mut drops = DropStats {
             nic: rep.nic,
-            parse: app.parse,
-            no_route: app.no_route,
-            table_exhausted: app.table_exhausted,
-            policy: app.policy,
+            ..DropStats::default()
         };
+        let mut latencies = Vec::new();
+        for a in apps {
+            drops.parse += a.parse;
+            drops.no_route += a.no_route;
+            drops.table_exhausted += a.table_exhausted;
+            drops.policy += a.policy;
+            latencies.extend(a.latencies);
+        }
         debug_assert_eq!(rep.app_drops, drops.chain_total());
         // Offered rate is measured over the LoadGen's sending window;
         // achieved over the full run (including the drain tail).
@@ -547,7 +569,7 @@ impl Testbed {
             achieved_gbps: rep.tx_wire_bits as f64 / rep.duration_ns,
             duration_ns: rep.duration_ns,
             loopback_ns: cfg.loopback_ns,
-            latencies_ns: app.latencies,
+            latencies_ns: latencies,
         }
     }
 }
@@ -586,6 +608,7 @@ mod tests {
             nic_rate_mpps: None,
             seed: 7,
             faults: FaultPlan::none(),
+            execution: Execution::Serial,
         }
     }
 

@@ -4,7 +4,7 @@
 //! byte sequence, of any length, may panic a parser or an element** —
 //! garbage is dropped with a cause, and every packet is accounted for.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use llc_sim::machine::{Machine, MachineConfig};
 use nfv::element::{Action, Ctx, DropCause, Element, Pkt};
@@ -68,7 +68,7 @@ fn random_flow(rng: &mut Rng64) -> FlowTuple {
 #[test]
 fn no_input_panics_the_parsers_and_all_packets_are_accounted() {
     let (mut m, r) = setup();
-    let lpm = Rc::new(
+    let lpm = Arc::new(
         Lpm::build(
             &mut m,
             &[RouteEntry {
@@ -79,7 +79,7 @@ fn no_input_panics_the_parsers_and_all_packets_are_accounted() {
         )
         .expect("LPM fits"),
     );
-    let mut router = Router::new(Rc::clone(&lpm));
+    let mut router = Router::new(Arc::clone(&lpm));
     let mut napt = Napt::new(&mut m, 256).expect("NAPT table fits");
     let mut vxlan = VxlanDecap::new();
     let mut rng = Rng64::seed_from_u64(0xfa22_0001);

@@ -28,14 +28,29 @@ impl Cdf {
 
     /// Inverse CDF: smallest sample `x` with `P(X <= x) >= q`, `q` in `(0, 1]`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `(0, 1]`.
+    /// Total over all inputs: `q <= 0` returns the smallest sample,
+    /// `q > 1` the largest, and a non-finite `q` returns `f64::NAN`.
+    /// Use [`Cdf::try_quantile`] to detect out-of-range requests
+    /// instead of absorbing them.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!(q > 0.0 && q <= 1.0, "q out of range");
+        if !q.is_finite() {
+            return f64::NAN;
+        }
+        if q <= 0.0 {
+            return self.sorted[0];
+        }
+        self.try_quantile(q.min(1.0))
+            .expect("clamped q is in range")
+    }
+
+    /// Inverse CDF; `None` when `q` is non-finite or outside `(0, 1]`.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        if !(q.is_finite() && q > 0.0 && q <= 1.0) {
+            return None;
+        }
         let n = self.sorted.len();
         let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
-        self.sorted[idx]
+        Some(self.sorted[idx])
     }
 
     /// Number of samples.
@@ -51,8 +66,17 @@ impl Cdf {
     /// Evaluates the CDF at `points` evenly spaced x-values spanning the
     /// sample range, returning `(x, P(X <= x))` pairs — the series a plot of
     /// Fig. 14a is drawn from.
+    ///
+    /// Degenerate requests degrade instead of panicking: `points == 0`
+    /// yields an empty series and `points == 1` a single point at the
+    /// smallest sample.
     pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
-        assert!(points >= 2, "need at least two points");
+        if points == 0 {
+            return Vec::new();
+        }
+        if points == 1 {
+            return vec![(self.sorted[0], self.at(self.sorted[0]))];
+        }
         let lo = self.sorted[0];
         let hi = *self.sorted.last().expect("non-empty");
         let step = (hi - lo) / (points - 1) as f64;
@@ -102,9 +126,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "q out of range")]
-    fn quantile_rejects_zero() {
-        cdf(&[1.0]).quantile(0.0);
+    fn quantile_clamps_out_of_range_and_rejects_non_finite() {
+        let c = cdf(&[10.0, 20.0, 30.0]);
+        // q <= 0 degrades to the smallest sample, q > 1 to the largest.
+        assert_eq!(c.quantile(0.0), 10.0);
+        assert_eq!(c.quantile(-1.0), 10.0);
+        assert_eq!(c.quantile(2.0), 30.0);
+        // Non-finite q yields NaN rather than a panic.
+        assert!(c.quantile(f64::NAN).is_nan());
+        assert!(c.quantile(f64::NEG_INFINITY).is_nan());
+    }
+
+    #[test]
+    fn try_quantile_is_strict() {
+        let c = cdf(&[10.0, 20.0, 30.0]);
+        assert_eq!(c.try_quantile(0.5), Some(20.0));
+        assert_eq!(c.try_quantile(1.0), Some(30.0));
+        assert_eq!(c.try_quantile(0.0), None);
+        assert_eq!(c.try_quantile(1.1), None);
+        assert_eq!(c.try_quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn series_degenerate_point_counts_degrade() {
+        let c = cdf(&[1.0, 2.0, 3.0]);
+        assert!(c.series(0).is_empty());
+        let one = c.series(1);
+        assert_eq!(one, vec![(1.0, c.at(1.0))]);
     }
 
     #[test]

@@ -91,23 +91,34 @@ impl Summary {
 
     /// Linear-interpolation percentile, `p` in `[0, 100]`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 100]` or not finite.
+    /// Total over all inputs: `p` outside `[0, 100]` is clamped to the
+    /// range (so `percentile(-3.0) == min()` and
+    /// `percentile(250.0) == max()`), and a non-finite `p` returns
+    /// `f64::NAN`. Use [`Summary::try_percentile`] to detect
+    /// out-of-range requests instead of absorbing them.
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!(
-            p.is_finite() && (0.0..=100.0).contains(&p),
-            "p out of range"
-        );
+        if !p.is_finite() {
+            return f64::NAN;
+        }
+        self.try_percentile(p.clamp(0.0, 100.0))
+            .expect("clamped p is in range")
+    }
+
+    /// Linear-interpolation percentile, `p` in `[0, 100]`; `None` when
+    /// `p` is non-finite or outside the range.
+    pub fn try_percentile(&self, p: f64) -> Option<f64> {
+        if !(p.is_finite() && (0.0..=100.0).contains(&p)) {
+            return None;
+        }
         let n = self.sorted.len();
         if n == 1 {
-            return self.sorted[0];
+            return Some(self.sorted[0]);
         }
         let rank = p / 100.0 * (n - 1) as f64;
         let lo = rank.floor() as usize;
         let hi = rank.ceil() as usize;
         let frac = rank - lo as f64;
-        self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac
+        Some(self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac)
     }
 
     /// The paper's standard report row: 75th, 90th, 95th, 99th percentiles
@@ -222,9 +233,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "p out of range")]
-    fn percentile_rejects_out_of_range() {
-        summary(&[1.0]).percentile(101.0);
+    fn percentile_clamps_out_of_range_and_rejects_non_finite() {
+        let s = summary(&[10.0, 20.0, 30.0]);
+        // Out-of-range p clamps to the extremes (documented totality).
+        assert_eq!(s.percentile(101.0), 30.0);
+        assert_eq!(s.percentile(-5.0), 10.0);
+        // Non-finite p yields NaN rather than a panic.
+        assert!(s.percentile(f64::NAN).is_nan());
+        assert!(s.percentile(f64::INFINITY).is_nan());
+    }
+
+    #[test]
+    fn try_percentile_is_strict() {
+        let s = summary(&[10.0, 20.0, 30.0]);
+        assert_eq!(s.try_percentile(50.0), Some(20.0));
+        assert_eq!(s.try_percentile(0.0), Some(10.0));
+        assert_eq!(s.try_percentile(100.0), Some(30.0));
+        assert_eq!(s.try_percentile(100.1), None);
+        assert_eq!(s.try_percentile(-0.1), None);
+        assert_eq!(s.try_percentile(f64::NAN), None);
     }
 
     #[test]

@@ -25,7 +25,7 @@ fn serve(placement: Placement, requests: usize) -> Result<(f64, f64), Box<dyn st
     let region = m.mem_mut().alloc(N_VALUES * 64 * 9, 1 << 20)?;
     let hash = XorSliceHash::haswell_8slice();
     let mut alloc = SliceAllocator::new(region, move |pa| hash.slice_of(pa));
-    let mut store = KvStore::build(&mut m, &mut alloc, N_VALUES, placement)?;
+    let store = KvStore::build(&mut m, &mut alloc, N_VALUES, placement)?;
     let mut pool = MbufPool::create(&mut m, 1024, 128, 2048)?;
     let mut port = Port::new(0, Steering::Rss(Rss::new(1)), 256);
     let mut gens = [RequestGen::new(
@@ -38,7 +38,7 @@ fn serve(placement: Placement, requests: usize) -> Result<(f64, f64), Box<dyn st
     let warm = ServerConfig::fig8(requests / 4, 950, 0);
     run_server(
         &mut m,
-        &mut store,
+        &store,
         &mut pool,
         &mut port,
         &mut policy,
@@ -48,7 +48,7 @@ fn serve(placement: Placement, requests: usize) -> Result<(f64, f64), Box<dyn st
     let cfg = ServerConfig::fig8(requests, 950, 0);
     let rep = run_server(
         &mut m,
-        &mut store,
+        &store,
         &mut pool,
         &mut port,
         &mut policy,

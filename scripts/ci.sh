@@ -2,10 +2,12 @@
 # Offline CI gate for the workspace. Everything here runs without
 # network access: no crates.io dependencies, no rustup downloads.
 #
-#   scripts/ci.sh         # fmt + clippy + tests (debug)
+#   scripts/ci.sh         # fmt + clippy + tests (debug) + determinism
 #   scripts/ci.sh full    # ...plus release build, bench-harness check,
 #                         # and a --smoke run of every figure binary
+#                         # (serial AND --parallel)
 #   scripts/ci.sh smoke   # only the figure-binary smoke runs
+#   scripts/ci.sh det     # only the determinism gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,11 +26,37 @@ smoke() {
     for bin in "${bins[@]}"; do
         echo "    -> ${bin}"
         "./target/release/${bin}" --smoke > /dev/null
+        "./target/release/${bin}" --smoke --parallel > /dev/null
     done
+}
+
+# Determinism gate: the differential serial-vs-parallel suite, plus a
+# byte-level double-run diff of an engine-backed figure binary under
+# --parallel — two runs of the same command must print the same bytes.
+det() {
+    echo "==> determinism: differential serial-vs-parallel suite"
+    cargo test -p engine --test differential -q
+    # Same suite single-threaded: harness scheduling must not matter.
+    cargo test -p engine --test differential -q -- --test-threads=1
+    echo "==> determinism: double-run diff of fig08_kvs --smoke --parallel"
+    cargo build --release -q -p bench
+    local out_a out_b
+    out_a="$(mktemp)"
+    out_b="$(mktemp)"
+    ./target/release/fig08_kvs --smoke --parallel --cores=4 > "$out_a"
+    ./target/release/fig08_kvs --smoke --parallel --cores=4 > "$out_b"
+    diff -u "$out_a" "$out_b"
+    rm -f "$out_a" "$out_b"
 }
 
 if [[ "${1:-}" == "smoke" ]]; then
     smoke
+    echo "CI OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "det" ]]; then
+    det
     echo "CI OK"
     exit 0
 fi
@@ -41,6 +69,8 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 
 echo "==> tests (whole workspace)"
 cargo test --workspace -q
+
+det
 
 if [[ "${1:-}" == "full" ]]; then
     echo "==> release build"

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates the --smoke golden snapshots the figure-regression test
+# (crates/bench/tests/figures_golden.rs) diffs against.
+#
+# Run this after any change that intentionally shifts figure output
+# (new defaults, engine semantics, report format), review the diff like
+# any other code change, and commit the updated snapshots:
+#
+#   scripts/update_goldens.sh
+#   git diff crates/bench/tests/golden/
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p bench
+mkdir -p crates/bench/tests/golden
+
+bins=(
+    table01_cachespec fig04_hash fig05_latency fig06_speedup
+    fig07_ops fig08_kvs fig12_lowrate fig13_forward fig14_chain
+    fig15_knee fig16_table4_skylake fig17_isolation
+    ext_pipeline headroom_dist kvs_probe skylake_nfv calibrate
+)
+for bin in "${bins[@]}"; do
+    echo "-> ${bin}"
+    "./target/release/${bin}" --smoke > "crates/bench/tests/golden/${bin}.txt"
+done
+echo "golden snapshots updated"

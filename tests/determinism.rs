@@ -1,0 +1,179 @@
+//! Real-application differential determinism: the NFV run-to-completion
+//! chain, the two-stage pipelined chain, and the KVS server each run the
+//! same workload under [`Execution::Serial`] and
+//! [`Execution::Parallel`], and the *complete* results — every counter,
+//! every recorded latency sample — must be bit-identical.
+//!
+//! The engine-level grid lives in `crates/engine/tests/differential.rs`;
+//! this file proves the property survives the real applications' state
+//! (flow tables, LPM lookups, the shared KV store, cross-core
+//! handoffs).
+
+use engine::Execution;
+use kvs::proto::RequestGen;
+use kvs::server::{flow_for_queue, run_server, ServerConfig, ServerReport};
+use kvs::store::{KvStore, Placement};
+use llc_sim::hash::{SliceHash, XorSliceHash};
+use llc_sim::machine::{Machine, MachineConfig};
+use nfv::pipeline::{run_pipeline, PipelineConfig, PipelineHeadroom};
+use nfv::runtime::{run_experiment, ChainSpec, HeadroomMode, RunConfig, RunResult, SteeringKind};
+use rte::fault::{FaultPlan, Window};
+use rte::mempool::MbufPool;
+use rte::nic::{FixedHeadroom, Port};
+use rte::steering::{Rss, Steering};
+use slice_aware::alloc::SliceAllocator;
+use trafficgen::{ArrivalSchedule, CampusTrace, ZipfGen};
+
+/// The NFV chain at one geometry/steering/fault point.
+fn nfv_run(
+    cores: usize,
+    steering: SteeringKind,
+    chain: ChainSpec,
+    faulty: bool,
+    execution: Execution,
+) -> RunResult {
+    let mut cfg = RunConfig::paper_defaults(
+        chain,
+        steering,
+        HeadroomMode::CacheDirector {
+            preferred_slices: 1,
+        },
+    );
+    cfg.cores = cores;
+    cfg.queue_depth = 64;
+    cfg.mbufs = (4 * cores * 64) as u32;
+    cfg.execution = execution;
+    if faulty {
+        cfg.faults = FaultPlan::frame_indexed()
+            .with_seed(11)
+            .with_corrupt_prob(0.03)
+            .with_truncate_prob(0.05)
+            .with_rx_stall(Window::new(100_000, 180_000));
+    }
+    let mut trace = CampusTrace::fixed_size(128, 96, 5);
+    let mut sched = ArrivalSchedule::constant_pps(4_000_000.0);
+    run_experiment(cfg, &mut trace, &mut sched, 4_000).expect("config fits")
+}
+
+#[test]
+fn nfv_chain_results_are_identical_serial_vs_parallel() {
+    for (cores, steering, chain, faulty) in [
+        (2, SteeringKind::Rss, ChainSpec::MacSwap, false),
+        (
+            4,
+            SteeringKind::FlowDirector,
+            ChainSpec::RouterNaptLb {
+                routes: 256,
+                offload: true,
+            },
+            false,
+        ),
+        (
+            4,
+            SteeringKind::Rss,
+            ChainSpec::RouterNaptLb {
+                routes: 256,
+                offload: false,
+            },
+            true,
+        ),
+    ] {
+        let serial = nfv_run(cores, steering, chain, faulty, Execution::Serial);
+        for threads in [1usize, 2, cores] {
+            let par = nfv_run(
+                cores,
+                steering,
+                chain,
+                faulty,
+                Execution::Parallel { threads },
+            );
+            // `RunResult` carries f64 latency vectors; Debug formatting
+            // captures every bit that matters and makes the diff
+            // readable on failure.
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{par:?}"),
+                "nfv cores={cores} {steering:?} faulty={faulty}: \
+                 parallel({threads}) diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_chain_results_are_identical_serial_vs_parallel() {
+    for headroom in [PipelineHeadroom::Stock, PipelineHeadroom::Compromise] {
+        let run = |execution: Execution| {
+            run_pipeline(
+                &PipelineConfig::new(headroom).with_execution(execution),
+                64,
+                2_000_000.0,
+                6_000,
+            )
+            .expect("config fits")
+        };
+        let serial = run(Execution::Serial);
+        for threads in [1usize, 2, 3] {
+            let par = run(Execution::Parallel { threads });
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{par:?}"),
+                "pipeline {headroom:?}: parallel({threads}) diverged"
+            );
+        }
+    }
+}
+
+/// The 4-core KVS server (§8 extension): striped key classes, one
+/// client generator per queue.
+fn kvs_run(execution: Execution) -> ServerReport {
+    let cores = 4;
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20));
+    let region = m.mem_mut().alloc(32 << 20, 1 << 20).unwrap();
+    let h = XorSliceHash::haswell_8slice();
+    let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
+    let slices: Vec<usize> = (0..cores).map(|c| m.closest_slice(c)).collect();
+    let store = KvStore::build(&mut m, &mut alloc, 4096, Placement::Striped { slices }).unwrap();
+    let mut pool = MbufPool::create(&mut m, 4096, 128, 2048).unwrap();
+    let mut port = Port::new(0, Steering::Rss(Rss::new(cores)), 256);
+    let base = trafficgen::FlowTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 11211);
+    let mut gens: Vec<RequestGen> = (0..cores)
+        .map(|q| {
+            let flow = flow_for_queue(&mut port, base, q);
+            let keygen = ZipfGen::new(4096 / cores as u64, 0.99, 11 + q as u64);
+            RequestGen::new(keygen, 900, 7 + q as u64)
+                .with_flow(flow)
+                .with_key_partition(cores as u32, q as u32)
+        })
+        .collect();
+    let mut policy = FixedHeadroom(128);
+    let cfg = ServerConfig::fig8(6_000, 900, 1)
+        .with_cores(cores)
+        .with_execution(execution);
+    run_server(
+        &mut m,
+        &store,
+        &mut pool,
+        &mut port,
+        &mut policy,
+        &mut gens,
+        &cfg,
+    )
+}
+
+#[test]
+fn kvs_server_results_are_identical_serial_vs_parallel() {
+    let serial = kvs_run(Execution::Serial);
+    for threads in [1usize, 2, 4] {
+        let par = kvs_run(Execution::Parallel { threads });
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{par:?}"),
+            "kvs: parallel({threads}) diverged"
+        );
+    }
+    // And parallel is reproducible against itself.
+    let a = kvs_run(Execution::Parallel { threads: 4 });
+    let b = kvs_run(Execution::Parallel { threads: 4 });
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "kvs parallel repeat");
+}

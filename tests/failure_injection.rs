@@ -2,6 +2,7 @@
 //! degenerate configurations must degrade gracefully, never corrupt
 //! accounting.
 
+use engine::Execution;
 use nfv::runtime::{run_experiment, ChainSpec, HeadroomMode, RunConfig, SteeringKind};
 use rte::fault::FaultPlan;
 use trafficgen::{ArrivalSchedule, CampusTrace, FlowTuple};
@@ -23,6 +24,7 @@ fn starved_mbuf_pool_drops_but_conserves() {
         nic_rate_mpps: None,
         seed: 1,
         faults: FaultPlan::none(),
+        execution: Execution::Serial,
     };
     let mut trace = CampusTrace::fixed_size(64, 64, 1);
     let mut sched = ArrivalSchedule::constant_pps(20_000_000.0);
@@ -48,6 +50,7 @@ fn single_core_single_descriptor() {
         nic_rate_mpps: None,
         seed: 2,
         faults: FaultPlan::none(),
+        execution: Execution::Serial,
     };
     let mut trace = CampusTrace::fixed_size(64, 4, 2);
     let mut sched = ArrivalSchedule::constant_pps(1000.0);
@@ -112,6 +115,7 @@ fn zero_route_table_drops_everything() {
         nic_rate_mpps: None,
         seed: 3,
         faults: FaultPlan::none(),
+        execution: Execution::Serial,
     };
     let mut trace = CampusTrace::fixed_size(64, 32, 3);
     let mut sched = ArrivalSchedule::constant_pps(10_000.0);
