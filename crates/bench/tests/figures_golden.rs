@@ -81,6 +81,29 @@ macro_rules! golden_tests {
     )+};
 }
 
+/// The fig08_kvs `--migrate` study has its own golden: a different
+/// banner and table from the default run (which keeps its own snapshot
+/// untouched), same bit-identical serial/parallel contract.
+mod fig08_kvs_migrate {
+    use super::*;
+
+    const GOLDEN: &str = include_str!("golden/fig08_kvs_migrate.txt");
+    const EXE: &str = env!("CARGO_BIN_EXE_fig08_kvs");
+    const ARGS: [&str; 3] = ["--zipf=0.99", "--migrate=4096", "--cores=4"];
+
+    #[test]
+    fn smoke_serial_matches_golden() {
+        let out = run(EXE, &[&["--smoke"], &ARGS[..]].concat());
+        assert_matches_golden("fig08_kvs_migrate", "serial", GOLDEN, &out);
+    }
+
+    #[test]
+    fn smoke_parallel_matches_same_golden() {
+        let out = run(EXE, &[&["--smoke", "--parallel"], &ARGS[..]].concat());
+        assert_matches_golden("fig08_kvs_migrate", "parallel", GOLDEN, &out);
+    }
+}
+
 golden_tests!(
     table01_cachespec,
     fig04_hash,

@@ -235,6 +235,12 @@ pub trait QueueApp: Send {
 pub struct MergeCtx<'a> {
     /// The mbuf pool (for recycling buffers the hook drops).
     pub pool: &'a mut MbufPool,
+    /// The fully merged machine. Hooks may run *timed* work against it
+    /// (e.g. the KVS's §8 hot-set migration swaps): cycles land on the
+    /// core they are charged to, exactly as worker-epoch work does, and
+    /// because the hook runs on the coordinator in both execution modes
+    /// the result stays bit-identical serial vs. parallel.
+    pub m: &'a mut Machine,
     app_drops: &'a mut [u64],
 }
 
@@ -844,6 +850,7 @@ impl<A: QueueApp> Engine<A> {
         if let Some(hook) = self.epoch_hook.as_mut() {
             let mut mc = MergeCtx {
                 pool: hw.pool,
+                m: hw.m,
                 app_drops: &mut self.app_drops,
             };
             moved += hook(&mut self.apps, &mut mc);

@@ -118,6 +118,7 @@ fn run_once(iter: u64, seed: u64, execution: Execution) -> EngineReport {
     };
     let drop_permille = rng.gen_range(0u32..400);
     let work = 50 + rng.gen_range(0u32..500) as u64;
+    let timed_hook = rng.gen_range(0u32..2) == 0;
     let apps: Vec<ChaosApp> = (0..queues)
         .map(|w| ChaosApp {
             rng: Rng64::seed_from_u64(seed ^ 0xabcd ^ (w as u64).wrapping_mul(0x9e37)),
@@ -144,6 +145,22 @@ fn run_once(iter: u64, seed: u64, execution: Execution) -> EngineReport {
         execution,
     };
     let mut eng = Engine::new(apps, cfg, &mut hw);
+    if timed_hook {
+        // Half the grid installs an epoch hook that runs *timed* work
+        // against the merged machine — the coordinator-side surface the
+        // KVS hot-set migration uses (`MergeCtx::m`). The hook's cycle
+        // charges are a pure function of the iteration seed, so they
+        // must land identically under serial and parallel execution,
+        // and the conservation/monotonicity asserts below must keep
+        // holding with inter-epoch time injected.
+        let mut hrng = Rng64::seed_from_u64(seed ^ 0x5ee5_a11d);
+        eng.set_epoch_hook(Box::new(move |_apps, mc| {
+            let core = hrng.gen_range(0u32..queues as u32) as usize;
+            let cycles = hrng.gen_range(0u32..500) as u64;
+            mc.m.advance(core, cycles);
+            0
+        }));
+    }
 
     let mut t = 0.0f64;
     let mut clock_floor = eng.now_ns();

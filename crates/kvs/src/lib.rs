@@ -51,7 +51,7 @@ pub mod server;
 pub mod store;
 
 pub use large::{LargeKvStore, LargePlacement};
-pub use migrate::{HotMigrator, MigrationReport};
+pub use migrate::{HotMigrator, MigrateError, MigrationReport};
 pub use proto::{KvOp, KvRequest};
 pub use server::{run_server, ServerConfig, ServerReport};
-pub use store::{KvStore, Placement};
+pub use store::{KvStore, Placement, SwapError};

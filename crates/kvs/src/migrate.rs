@@ -9,11 +9,24 @@
 //! off). A swap exchanges both the index entries and the 64 B values,
 //! all through timed machine operations, so migration cost is visible to
 //! the experiment that decides whether it pays off.
+//!
+//! A [`HotMigrator`] is constructed *from* a [`KvStore`]
+//! ([`HotMigrator::for_store`]): it reads the store's placement for the
+//! hot-slot geometry and the store's live index for the current
+//! residents, so it is correct against a freshly built store, an
+//! already-migrated store, and every placement that declares a hot area
+//! ([`crate::store::Placement::HotSliceAware`],
+//! [`crate::store::Placement::StripedHot`]). Placements
+//! without one are rejected with a typed [`MigrateError`] instead of
+//! silently corrupting the index on the first swap. In the multi-queue
+//! server one migrator exists per queue (core), each owning its key
+//! class's hot area, driven at engine-epoch boundaries — see
+//! [`crate::server`].
 
-use crate::store::KvStore;
+use crate::store::{KvStore, SwapError};
 use llc_sim::hierarchy::Cycles;
 use llc_sim::machine::Machine;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// What one epoch's migration did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +35,48 @@ pub struct MigrationReport {
     pub migrated: usize,
     /// Cycles spent copying values and rewriting index entries.
     pub cycles: Cycles,
+    /// Accesses in this epoch that found their key already resident in
+    /// the hot area (counted at access time, before this migration).
+    pub hot_hits: u64,
+    /// Accesses observed in this epoch.
+    pub accesses: u64,
+}
+
+/// Why a [`HotMigrator`] could not be built or run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The store's placement declares no hot area (for this core):
+    /// there is nothing to migrate into, and swapping against an
+    /// assumed layout would corrupt the index.
+    NoHotArea {
+        /// The serving core the migrator was requested for.
+        core: usize,
+        /// A rendering of the store's placement.
+        placement: String,
+    },
+    /// A migration swap was rejected by the store.
+    Swap(SwapError),
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::NoHotArea { core, placement } => write!(
+                f,
+                "placement {placement} has no hot area for core {core}; \
+                 migration needs HotSliceAware or StripedHot"
+            ),
+            MigrateError::Swap(e) => write!(f, "migration swap rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+impl From<SwapError> for MigrateError {
+    fn from(e: SwapError) -> Self {
+        MigrateError::Swap(e)
+    }
 }
 
 /// Epoch-based hot-set tracker driving [`KvStore::swap_keys`].
@@ -33,75 +88,109 @@ pub struct HotMigrator {
     epoch_len: usize,
     /// Accesses seen in the current epoch.
     seen: usize,
-    /// Number of hot (slice-local) slots in the store.
-    hot_count: usize,
-    /// The key currently stored in each hot slot.
+    /// Hot accesses seen in the current epoch.
+    epoch_hits: u64,
+    /// The serving core whose hot area this migrator owns.
+    core: usize,
+    /// The hot slot numbers, in the store's hot-area order.
+    slots: Vec<usize>,
+    /// The key currently stored in each hot slot (parallel to `slots`).
     resident: Vec<u32>,
+    /// Membership view of `resident` for O(1) hot checks.
+    hot_set: HashSet<u32>,
 }
 
 impl HotMigrator {
-    /// A tracker for a store built with `hot_count` hot slots (initially
-    /// occupied by keys `0..hot_count`, the identity layout of
-    /// [`crate::store::Placement::HotSliceAware`]).
+    /// A migrator for `core`'s hot area of `store`, reading the store's
+    /// *actual* placement geometry and live index layout (one untimed
+    /// scan). Stores whose placement declares no hot area for `core`
+    /// ([`crate::store::Placement::Normal`],
+    /// [`crate::store::Placement::SliceAware`],
+    /// [`crate::store::Placement::Striped`]) are rejected with
+    /// [`MigrateError::NoHotArea`].
     ///
     /// # Panics
     ///
-    /// Panics when `epoch_len == 0` or `hot_count == 0`.
-    pub fn new(hot_count: usize, epoch_len: usize) -> Self {
+    /// Panics when `epoch_len == 0`.
+    pub fn for_store(
+        m: &Machine,
+        store: &KvStore,
+        core: usize,
+        epoch_len: usize,
+    ) -> Result<Self, MigrateError> {
         assert!(epoch_len > 0, "epoch must be positive");
-        assert!(hot_count > 0, "need a hot area");
-        Self {
+        let slots = store
+            .hot_slots(core)
+            .ok_or_else(|| MigrateError::NoHotArea {
+                core,
+                placement: format!("{:?}", store.placement()),
+            })?;
+        let resident = store.residents(m, &slots);
+        let hot_set = resident.iter().copied().collect();
+        Ok(Self {
             counts: HashMap::new(),
             epoch_len,
             seen: 0,
-            hot_count,
-            resident: (0..hot_count as u32).collect(),
-        }
+            epoch_hits: 0,
+            core,
+            slots,
+            resident,
+            hot_set,
+        })
     }
 
-    /// Keys currently occupying the hot area.
+    /// Keys currently occupying the hot area, in hot-slot order.
     pub fn resident(&self) -> &[u32] {
         &self.resident
     }
 
     /// True when `key`'s value currently lives in a hot slot.
     pub fn is_hot(&self, key: u32) -> bool {
-        self.resident.contains(&key)
+        self.hot_set.contains(&key)
     }
 
-    /// Records one access; at epoch boundaries performs migration and
-    /// returns the report.
-    pub fn record(
-        &mut self,
-        m: &mut Machine,
-        core: usize,
-        store: &mut KvStore,
-        key: u32,
-    ) -> Option<MigrationReport> {
+    /// Counts one access without driving migration; returns whether the
+    /// key was hot at access time. The engine-driven server calls this
+    /// from `on_packet` (shards cannot swap — index entries of
+    /// different classes share cache lines) and runs
+    /// [`HotMigrator::run_epoch`] at the merge when
+    /// [`HotMigrator::epoch_due`] reports a boundary.
+    pub fn note(&mut self, key: u32) -> bool {
         *self.counts.entry(key).or_insert(0) += 1;
         self.seen += 1;
-        if self.seen < self.epoch_len {
-            return None;
-        }
-        let report = self.migrate(m, core, store);
-        self.counts.clear();
-        self.seen = 0;
-        Some(report)
+        let hot = self.is_hot(key);
+        self.epoch_hits += hot as u64;
+        hot
     }
 
-    /// Swaps this epoch's hottest keys into the hot area.
-    fn migrate(&mut self, m: &mut Machine, core: usize, store: &mut KvStore) -> MigrationReport {
-        // This epoch's top keys, hottest first.
+    /// True when a full epoch of accesses has been observed and
+    /// [`HotMigrator::run_epoch`] should run.
+    pub fn epoch_due(&self) -> bool {
+        self.seen >= self.epoch_len
+    }
+
+    /// Performs this epoch's migration through timed
+    /// [`KvStore::swap_keys`] calls on the migrator's core, resets the
+    /// epoch counters, and reports what happened.
+    pub fn run_epoch(
+        &mut self,
+        m: &mut Machine,
+        store: &KvStore,
+    ) -> Result<MigrationReport, MigrateError> {
+        // This epoch's top keys in a *total* order — (count desc, key
+        // asc) — so ties cannot depend on the counts map's iteration
+        // order and serial/parallel runs stay bit-identical.
         let mut by_count: Vec<(u32, u32)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
         by_count.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let want: Vec<u32> = by_count
             .iter()
-            .take(self.hot_count)
+            .take(self.slots.len())
             .map(|&(k, _)| k)
             .collect();
-        let want_set: std::collections::HashSet<u32> = want.iter().copied().collect();
-        // Hot-slot occupants that cooled off, coldest first (missing from
-        // the counts map = coldest of all).
+        let want_set: HashSet<u32> = want.iter().copied().collect();
+        // Hot-slot occupants that cooled off, coldest first under the
+        // same total order — (count asc, key asc); missing from the
+        // counts map is coldest of all.
         let mut evictable: Vec<(usize, u32)> = self
             .resident
             .iter()
@@ -109,7 +198,7 @@ impl HotMigrator {
             .filter(|(_, k)| !want_set.contains(k))
             .map(|(i, &k)| (i, k))
             .collect();
-        evictable.sort_unstable_by_key(|&(_, k)| self.counts.get(&k).copied().unwrap_or(0));
+        evictable.sort_unstable_by_key(|&(_, k)| (self.counts.get(&k).copied().unwrap_or(0), k));
         let mut migrated = 0;
         let mut cycles = 0;
         let mut evict_iter = evictable.into_iter();
@@ -120,11 +209,39 @@ impl HotMigrator {
             let Some((slot_idx, out_key)) = evict_iter.next() else {
                 break;
             };
-            cycles += store.swap_keys(m, core, key, out_key);
+            cycles += store.swap_keys(m, self.core, key, out_key)?;
+            self.hot_set.remove(&out_key);
+            self.hot_set.insert(key);
             self.resident[slot_idx] = key;
             migrated += 1;
         }
-        MigrationReport { migrated, cycles }
+        let report = MigrationReport {
+            migrated,
+            cycles,
+            hot_hits: self.epoch_hits,
+            accesses: self.seen as u64,
+        };
+        self.counts.clear();
+        self.seen = 0;
+        self.epoch_hits = 0;
+        Ok(report)
+    }
+
+    /// Records one access; at epoch boundaries performs migration and
+    /// returns the report. The convenience form of
+    /// [`HotMigrator::note`] + [`HotMigrator::run_epoch`] for callers
+    /// that own the whole machine (unit tests, single-threaded loops).
+    pub fn record(
+        &mut self,
+        m: &mut Machine,
+        store: &KvStore,
+        key: u32,
+    ) -> Result<Option<MigrationReport>, MigrateError> {
+        self.note(key);
+        if !self.epoch_due() {
+            return Ok(None);
+        }
+        self.run_epoch(m, store).map(Some)
     }
 }
 
@@ -136,32 +253,38 @@ mod tests {
     use llc_sim::machine::MachineConfig;
     use slice_aware::alloc::SliceAllocator;
 
-    fn setup(n: usize, hot: usize) -> (Machine, KvStore) {
-        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20))
+    }
+
+    fn build(m: &mut Machine, n: usize, placement: Placement) -> KvStore {
         let region = m.mem_mut().alloc(64 << 20, 1 << 20).unwrap();
         let h = XorSliceHash::haswell_8slice();
         let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
-        let store = KvStore::build(
+        KvStore::build(m, &mut alloc, n, placement).unwrap()
+    }
+
+    fn setup(n: usize, hot: usize) -> (Machine, KvStore) {
+        let mut m = machine();
+        let store = build(
             &mut m,
-            &mut alloc,
             n,
             Placement::HotSliceAware {
                 slice: 0,
                 hot_count: hot,
             },
-        )
-        .unwrap();
+        );
         (m, store)
     }
 
     #[test]
     fn migration_moves_hot_keys_into_the_slice() {
-        let (mut m, mut store) = setup(4096, 16);
-        let mut mig = HotMigrator::new(16, 1000);
+        let (mut m, store) = setup(4096, 16);
+        let mut mig = HotMigrator::for_store(&m, &store, 0, 1000).unwrap();
         // Hammer keys 2000..2016 (initially in the cold, contiguous area).
         for i in 0..1000u32 {
             let key = 2000 + (i % 16);
-            mig.record(&mut m, 0, &mut store, key);
+            mig.record(&mut m, &store, key).unwrap();
         }
         for key in 2000..2016 {
             assert!(mig.is_hot(key), "key {key} should have migrated");
@@ -172,14 +295,14 @@ mod tests {
 
     #[test]
     fn migration_preserves_values() {
-        let (mut m, mut store) = setup(1024, 8);
+        let (mut m, store) = setup(1024, 8);
         // Give distinctive contents to a future-hot key and a current
         // occupant.
         store.set(&mut m, 0, 500, &[0xaa; 64]);
         store.set(&mut m, 0, 3, &[0xbb; 64]);
-        let mut mig = HotMigrator::new(8, 100);
+        let mut mig = HotMigrator::for_store(&m, &store, 0, 100).unwrap();
         for _ in 0..100 {
-            mig.record(&mut m, 0, &mut store, 500);
+            mig.record(&mut m, &store, 500).unwrap();
         }
         let mut out = [0u8; 64];
         store.get(&mut m, 0, 500, &mut out);
@@ -190,13 +313,13 @@ mod tests {
 
     #[test]
     fn stable_hot_set_stops_migrating() {
-        let (mut m, mut store) = setup(1024, 4);
-        let mut mig = HotMigrator::new(4, 200);
+        let (mut m, store) = setup(1024, 4);
+        let mut mig = HotMigrator::for_store(&m, &store, 0, 200).unwrap();
         let mut reports = Vec::new();
         for round in 0..3 {
             for i in 0..200u32 {
                 let key = 700 + (i % 4);
-                if let Some(r) = mig.record(&mut m, 0, &mut store, key) {
+                if let Some(r) = mig.record(&mut m, &store, key).unwrap() {
                     reports.push((round, r));
                 }
             }
@@ -206,19 +329,24 @@ mod tests {
         assert_eq!(reports[1].1.migrated, 0, "steady state is free");
         assert_eq!(reports[2].1.migrated, 0);
         assert_eq!(reports[1].1.cycles, 0);
+        // Epoch hot-hit accounting: epoch 1 saw only cold keys; once the
+        // set is resident every access is a hot hit.
+        assert_eq!(reports[0].1.hot_hits, 0);
+        assert_eq!(reports[1].1.hot_hits, 200);
+        assert_eq!(reports[1].1.accesses, 200);
     }
 
     #[test]
     fn migration_adapts_when_the_hot_set_shifts() {
         // §8's motivating case: "variability of hot data".
-        let (mut m, mut store) = setup(4096, 8);
-        let mut mig = HotMigrator::new(8, 400);
+        let (mut m, store) = setup(4096, 8);
+        let mut mig = HotMigrator::for_store(&m, &store, 0, 400).unwrap();
         for i in 0..400u32 {
-            mig.record(&mut m, 0, &mut store, 1000 + (i % 8));
+            mig.record(&mut m, &store, 1000 + (i % 8)).unwrap();
         }
         assert!(mig.is_hot(1000));
         for i in 0..400u32 {
-            mig.record(&mut m, 0, &mut store, 3000 + (i % 8));
+            mig.record(&mut m, &store, 3000 + (i % 8)).unwrap();
         }
         assert!(mig.is_hot(3000), "new hot set migrated in");
         assert!(!mig.is_hot(1000), "old hot set migrated out");
@@ -228,15 +356,139 @@ mod tests {
 
     #[test]
     fn migration_cost_is_accounted() {
-        let (mut m, mut store) = setup(1024, 4);
-        let mut mig = HotMigrator::new(4, 50);
+        let (mut m, store) = setup(1024, 4);
+        let mut mig = HotMigrator::for_store(&m, &store, 0, 50).unwrap();
         let mut report = None;
         for i in 0..50u32 {
-            report = mig.record(&mut m, 0, &mut store, 900 + (i % 4)).or(report);
+            report = mig
+                .record(&mut m, &store, 900 + (i % 4))
+                .unwrap()
+                .or(report);
         }
         let r = report.expect("epoch boundary reached");
         assert_eq!(r.migrated, 4);
         // Each swap copies two 64 B values and rewrites two index entries.
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn placements_without_a_hot_area_are_rejected() {
+        let mut m = machine();
+        for placement in [
+            Placement::Normal,
+            Placement::SliceAware { slice: 0 },
+            Placement::Striped {
+                slices: vec![0, 2, 4, 6],
+            },
+        ] {
+            let store = build(&mut m, 512, placement.clone());
+            let err = HotMigrator::for_store(&m, &store, 0, 100).unwrap_err();
+            assert!(
+                matches!(err, MigrateError::NoHotArea { core: 0, .. }),
+                "{placement:?} must be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn striped_hot_migrates_per_core_and_every_get_survives() {
+        // The regression the for_store redesign exists for: a *striped*
+        // store's resident layout is its key class, not (0..hot_count).
+        // The old identity-assuming constructor would corrupt the index
+        // on the first swap; for_store must migrate correctly and leave
+        // every key's value reachable.
+        let cores = 4;
+        let n = 1024u32;
+        let mut m = machine();
+        let slices: Vec<usize> = (0..cores).map(|c| m.closest_slice(c)).collect();
+        let store = build(
+            &mut m,
+            n as usize,
+            Placement::StripedHot {
+                slices: slices.clone(),
+                hot_per_core: 8,
+            },
+        );
+        // Every key gets a distinctive value derived from its id.
+        let pattern = |k: u32| [k as u8 ^ (k >> 8) as u8; 64];
+        for k in 0..n {
+            store.set(&mut m, (k % 4) as usize, k, &pattern(k));
+        }
+        // Each core hammers a cold stretch of its own class.
+        for (core, &home_slice) in slices.iter().enumerate() {
+            let mut mig = HotMigrator::for_store(&m, &store, core, 400).unwrap();
+            assert_eq!(
+                mig.resident(),
+                store
+                    .hot_slots(core)
+                    .unwrap()
+                    .iter()
+                    .map(|&s| s as u32)
+                    .collect::<Vec<_>>(),
+                "fresh striped store: hot slots hold their own keys"
+            );
+            let mut migrated = 0;
+            for i in 0..400u32 {
+                let key = 512 + (core as u32) + 4 * (i % 8);
+                if let Some(r) = mig.record(&mut m, &store, key).unwrap() {
+                    migrated += r.migrated;
+                }
+            }
+            assert_eq!(migrated, 8, "core {core} migrates its observed set");
+            for j in 0..8u32 {
+                let key = 512 + (core as u32) + 4 * j;
+                assert!(mig.is_hot(key));
+                let pa = store.value_pa(&mut m, key);
+                assert_eq!(
+                    m.slice_of(pa),
+                    home_slice,
+                    "core {core}'s hot key {key} must live in its slice"
+                );
+            }
+        }
+        // The index is still a permutation: every key returns its value.
+        let mut out = [0u8; 64];
+        for k in 0..n {
+            store.get(&mut m, (k % 4) as usize, k, &mut out);
+            assert_eq!(out, pattern(k), "key {k} corrupted by migration");
+        }
+    }
+
+    #[test]
+    fn for_store_reads_a_migrated_layout_not_identity() {
+        // Second half of the regression: a *new* migrator built against
+        // an already-migrated store must see the real residents. The old
+        // constructor assumed identity and would have evicted key 900's
+        // slot while believing key 0 lived there.
+        let (mut m, store) = setup(1024, 4);
+        let mut first = HotMigrator::for_store(&m, &store, 0, 50).unwrap();
+        for i in 0..50u32 {
+            first.record(&mut m, &store, 900 + (i % 4)).unwrap();
+        }
+        assert!(first.is_hot(900));
+        drop(first);
+        let second = HotMigrator::for_store(&m, &store, 0, 50).unwrap();
+        assert_eq!(
+            second.resident(),
+            &[900, 901, 902, 903],
+            "a fresh migrator must read the migrated layout"
+        );
+        assert!(second.is_hot(901));
+        assert!(!second.is_hot(0), "identity assumption is gone");
+    }
+
+    #[test]
+    fn tied_counts_break_by_key_order() {
+        // Every candidate and every evictable occupant has the same
+        // count: promotion must pick ascending keys, eviction must evict
+        // ascending keys, regardless of hash-map iteration order.
+        let (mut m, store) = setup(1024, 4);
+        let mut mig = HotMigrator::for_store(&m, &store, 0, 8).unwrap();
+        for key in [500u32, 800, 600, 700, 100, 300, 200, 400] {
+            mig.record(&mut m, &store, key).unwrap();
+        }
+        // Top 4 under (count desc, key asc) with all counts == 1:
+        // 100, 200, 300, 400.
+        assert_eq!(mig.resident(), &[100, 200, 300, 400]);
     }
 }

@@ -72,6 +72,8 @@ pub struct RequestGen {
     client_flow: FlowTuple,
     key_stride: u32,
     key_offset: u32,
+    /// Optional rank-scrambling bijection `(mult, add, mask)`.
+    scramble: Option<(u64, u64, u64)>,
 }
 
 impl RequestGen {
@@ -89,6 +91,7 @@ impl RequestGen {
             client_flow: FlowTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 11211),
             key_stride: 1,
             key_offset: 0,
+            scramble: None,
         }
     }
 
@@ -120,6 +123,34 @@ impl RequestGen {
         self
     }
 
+    /// Decorrelates Zipf popularity from key *identity* by passing each
+    /// rank through a seeded bijection of the key space (`rank × odd +
+    /// add mod 2^k`). Without this, rank 0 — the hottest key — is always
+    /// key `offset`, so a freshly built store whose index is the
+    /// identity already holds the Zipf head in its lowest slots and a
+    /// hot-set migration study measures nothing. Real key spaces are
+    /// hashed, so scrambling is the faithful default for skewed runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the generator's key-space size is not a power of two
+    /// (the multiply-add permutation is only bijective mod `2^k`).
+    #[must_use]
+    pub fn with_key_scramble(mut self, seed: u64) -> Self {
+        let n = self.keygen.n();
+        assert!(
+            n.is_power_of_two(),
+            "key scrambling needs a power-of-two key space, got {n}"
+        );
+        let mut r = trafficgen::Rng64::seed_from_u64(seed);
+        // Any odd multiplier is invertible mod 2^k, so (mult, add) is a
+        // permutation of the ranks.
+        let mult = r.next_u64() | 1;
+        let add = r.next_u64();
+        self.scramble = Some((mult, add, n - 1));
+        self
+    }
+
     /// The client's 5-tuple.
     pub fn flow(&self) -> FlowTuple {
         self.client_flow
@@ -132,9 +163,13 @@ impl RequestGen {
         } else {
             KvOp::Set
         };
+        let mut rank = self.keygen.next_rank();
+        if let Some((mult, add, mask)) = self.scramble {
+            rank = rank.wrapping_mul(mult).wrapping_add(add) & mask;
+        }
         KvRequest {
             op,
-            key: self.keygen.next_rank() as u32 * self.key_stride + self.key_offset,
+            key: rank as u32 * self.key_stride + self.key_offset,
         }
     }
 }
@@ -194,6 +229,44 @@ mod tests {
         let gets = (0..n).filter(|_| g.next_request().op == KvOp::Get).count();
         let frac = gets as f64 / n as f64;
         assert!((frac - 0.95).abs() < 0.01, "GET fraction {frac}");
+    }
+
+    #[test]
+    fn scramble_is_a_bijection_of_the_key_class() {
+        // Uniform draw over a small power-of-two space: every scrambled
+        // key must still land in the generator's key class, and over
+        // enough draws all n keys must appear (bijection, not a fold).
+        let n = 64u32;
+        let mut g = RequestGen::new(ZipfGen::new(n as u64, 0.0, 5), 1000, 6)
+            .with_key_partition(4, 1)
+            .with_key_scramble(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            let key = g.next_request().key;
+            assert_eq!(key % 4, 1, "key {key} left its class");
+            assert!(key < n * 4);
+            seen.insert(key);
+        }
+        assert_eq!(seen.len(), n as usize, "scramble folded the key space");
+    }
+
+    #[test]
+    fn scramble_moves_the_zipf_head() {
+        // With heavy skew the unscrambled head is rank 0 = key 0; the
+        // scrambled head must be some other (deterministic) key.
+        let head = |scramble: bool| {
+            let mut g = RequestGen::new(ZipfGen::new(1 << 10, 0.99, 9), 1000, 10);
+            if scramble {
+                g = g.with_key_scramble(11);
+            }
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..5000 {
+                *counts.entry(g.next_request().key).or_insert(0u32) += 1;
+            }
+            counts.into_iter().max_by_key(|&(k, c)| (c, k)).unwrap().0
+        };
+        assert_eq!(head(false), 0);
+        assert_ne!(head(true), 0);
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //! [`crate::store::Placement::Striped`] homes each core's key class in
 //! that core's closest slice.
 
+use crate::migrate::HotMigrator;
 use crate::proto::{read_request, write_request, KvOp, RequestGen, REQUEST_SIZE, VALUE_OFF};
-use crate::store::KvStore;
-use engine::{Ctx, Engine, EngineConfig, Execution, Hw, NicDrops, QueueApp, Verdict, WorkerSpec};
+use crate::store::{KvStore, Placement};
+use engine::{
+    Ctx, Engine, EngineConfig, Execution, Hw, MergeCtx, NicDrops, QueueApp, Verdict, WorkerSpec,
+};
 use llc_sim::machine::Machine;
 use rte::fault::FaultPlan;
 use rte::mempool::MbufPool;
@@ -49,6 +52,14 @@ pub struct ServerConfig {
     /// Serial (reference) or parallel worker execution; results are
     /// bit-identical either way.
     pub execution: Execution,
+    /// When set, each serving core runs a [`HotMigrator`] over its hot
+    /// area and migrates at every `migrate_epoch` accesses (§8 hot-set
+    /// migration). Requires a placement with one hot area per core:
+    /// [`Placement::HotSliceAware`] on a single core or
+    /// [`Placement::StripedHot`] with one slice per core. When `None`,
+    /// stores with a hot area are still *monitored* (hot-hit counters)
+    /// but never migrated.
+    pub migrate_epoch: Option<usize>,
 }
 
 impl ServerConfig {
@@ -63,6 +74,7 @@ impl ServerConfig {
             seed,
             faults: FaultPlan::none(),
             execution: Execution::Serial,
+            migrate_epoch: None,
         }
     }
 
@@ -85,6 +97,19 @@ impl ServerConfig {
     #[must_use]
     pub fn with_execution(mut self, execution: Execution) -> Self {
         self.execution = execution;
+        self
+    }
+
+    /// The same configuration with hot-set migration every `epoch`
+    /// accesses per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epoch` is 0.
+    #[must_use]
+    pub fn with_migration(mut self, epoch: usize) -> Self {
+        assert!(epoch > 0, "migration epoch must be positive");
+        self.migrate_epoch = Some(epoch);
         self
     }
 }
@@ -142,6 +167,14 @@ pub struct QueueReport {
     pub busy_cycles: u64,
     /// This core's transactions per second.
     pub tps: f64,
+    /// Served requests whose key was resident in this core's hot area
+    /// at access time (0 when the placement has no hot area).
+    pub hot_hits: u64,
+    /// Keys this core's migrator promoted into its hot area.
+    pub migrated: u64,
+    /// Cycles this core spent performing migration swaps (included in
+    /// `busy_cycles`).
+    pub migration_cycles: u64,
 }
 
 /// What a server run reports.
@@ -167,8 +200,29 @@ pub struct ServerReport {
     pub tps: f64,
     /// Mean cycles per request on the busiest core.
     pub cycles_per_request: f64,
+    /// Served requests whose key was hot at access time, summed over
+    /// all cores (the per-queue `hot_hits` partition this exactly).
+    pub hot_hits: u64,
+    /// Keys promoted into hot areas, summed over all cores (the
+    /// per-queue `migrated` partition this exactly).
+    pub migrated: u64,
+    /// Cycles spent on migration swaps, summed over all cores (the
+    /// per-queue `migration_cycles` partition this exactly).
+    pub migration_cycles: u64,
     /// The per-queue breakdown; counters sum exactly to the aggregate.
     pub per_queue: Vec<QueueReport>,
+}
+
+impl ServerReport {
+    /// Fraction of served requests that found their key already in a
+    /// hot slot (0 when nothing was served or no hot area exists).
+    pub fn hot_hit_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.hot_hits as f64 / self.served as f64
+        }
+    }
 }
 
 /// Finds a client 5-tuple (varying the source port upward from `base`)
@@ -204,6 +258,36 @@ struct KvApp<'s> {
     gets: u64,
     malformed: u64,
     truncated: u64,
+    /// This queue's hot-area monitor/migrator; `None` when the store's
+    /// placement declares no hot area for this core. Access counting
+    /// happens untimed in `on_packet`; the timed migration swaps run
+    /// only at epoch merges (see `epoch_migrate`) because index entries
+    /// of different key classes share cache lines, which worker shards
+    /// must not co-write.
+    migrator: Option<HotMigrator>,
+    hot_hits: u64,
+    migrated: u64,
+    migration_cycles: u64,
+}
+
+impl KvApp<'_> {
+    /// Runs this core's migration at an epoch merge when due. Called
+    /// from the engine's epoch hook on the coordinator, where the
+    /// machine is fully merged, so the timed swaps land on this core
+    /// identically in serial and parallel execution.
+    fn epoch_migrate(&mut self, mc: &mut MergeCtx<'_>) {
+        let Some(mig) = &mut self.migrator else {
+            return;
+        };
+        if !mig.epoch_due() {
+            return;
+        }
+        let rep = mig
+            .run_epoch(mc.m, self.store)
+            .expect("noted keys were parsed from served requests, so they are in range");
+        self.migrated += rep.migrated as u64;
+        self.migration_cycles += rep.cycles;
+    }
 }
 
 impl QueueApp for KvApp<'_> {
@@ -230,6 +314,11 @@ impl QueueApp for KvApp<'_> {
             return Verdict::Drop;
         }
         ctx.m.advance(ctx.core, SERVE_WORK);
+        if let Some(mig) = &mut self.migrator {
+            // Untimed bookkeeping: counts feed the next migration epoch
+            // and the hot-hit ledger, without perturbing served timing.
+            self.hot_hits += mig.note(req.key) as u64;
+        }
         match req.op {
             KvOp::Get => {
                 let mut value = [0u8; 64];
@@ -289,13 +378,41 @@ pub fn run_server(
             "generator {i}'s flow must steer to queue {i} (see flow_for_queue)"
         );
     }
+    // A hot area can be monitored/migrated only when each serving core
+    // owns exactly one: HotSliceAware's single hot area on one core, or
+    // StripedHot's per-class hot pools with one class per core. (Two
+    // cores sharing one hot area would hold diverging resident views
+    // and silently undo each other's swaps.)
+    let monitored = match store.placement() {
+        Placement::HotSliceAware { .. } => cores == 1,
+        Placement::StripedHot { slices, .. } => slices.len() == cores,
+        _ => false,
+    };
+    assert!(
+        cfg.migrate_epoch.is_none() || monitored,
+        "migration needs one hot area per serving core \
+         (HotSliceAware on a single core, or StripedHot with one slice \
+         per core); got {:?} on {} cores",
+        store.placement(),
+        cores
+    );
+    // With no migration epoch configured the migrators still monitor
+    // hot hits; usize::MAX keeps `epoch_due` forever false.
+    let epoch_len = cfg.migrate_epoch.unwrap_or(usize::MAX);
     let apps: Vec<KvApp<'_>> = (0..cores)
-        .map(|_| KvApp {
+        .map(|q| KvApp {
             store,
             served: 0,
             gets: 0,
             malformed: 0,
             truncated: 0,
+            migrator: monitored.then(|| {
+                HotMigrator::for_store(m, store, q, epoch_len)
+                    .expect("placement declared a hot area for every serving core")
+            }),
+            hot_hits: 0,
+            migrated: 0,
+            migration_cycles: 0,
         })
         .collect();
     let ecfg = EngineConfig {
@@ -312,6 +429,18 @@ pub fn run_server(
         policy,
     };
     let mut eng = Engine::new(apps, ecfg, &mut hw);
+    if cfg.migrate_epoch.is_some() {
+        // Migration runs at epoch merges on the coordinator: the merged
+        // machine is available there in both execution modes, so the
+        // timed swaps stay bit-identical serial vs. parallel. The hook
+        // moves no packets, hence 0.
+        eng.set_epoch_hook(Box::new(|apps, mc| {
+            for app in apps.iter_mut() {
+                app.epoch_migrate(mc);
+            }
+            0
+        }));
+    }
     let starts: Vec<u64> = (0..cores).map(|c| hw.m.now(c)).collect();
     let mut frame = vec![0u8; REQUEST_SIZE];
     let mut seq = 0u64;
@@ -380,6 +509,9 @@ pub fn run_server(
             } else {
                 l.delivered as f64 / (busy as f64 / freq_hz)
             },
+            hot_hits: apps[q].hot_hits,
+            migrated: apps[q].migrated,
+            migration_cycles: apps[q].migration_cycles,
         });
     }
     let drops = ServerDrops {
@@ -408,6 +540,9 @@ pub fn run_server(
         } else {
             busy_max as f64 / served as f64
         },
+        hot_hits: apps.iter().map(|a| a.hot_hits).sum(),
+        migrated: apps.iter().map(|a| a.migrated).sum(),
+        migration_cycles: apps.iter().map(|a| a.migration_cycles).sum(),
         per_queue,
     }
 }
@@ -598,7 +733,19 @@ mod tests {
         );
         assert!(rep.served >= 8000, "served {}", rep.served);
         assert_eq!(rep.per_queue.len(), cores);
+        assert_partitions(&rep);
+        // Striped has no hot area: nothing is monitored or migrated.
+        assert_eq!(rep.hot_hits, 0);
+        assert_eq!(rep.migrated, 0);
+        assert_eq!(rep.migration_cycles, 0);
+    }
+
+    /// Asserts every per-queue counter — including the migration ledger
+    /// columns — sums exactly to its aggregate, and per-queue
+    /// conservation holds.
+    fn assert_partitions(rep: &ServerReport) {
         let (mut off, mut car, mut srv, mut gets, mut inf, mut drp) = (0, 0, 0, 0, 0, 0);
+        let (mut hh, mut mig, mut mcyc) = (0, 0, 0);
         for qr in &rep.per_queue {
             assert!(qr.served > 0, "queue {} served nothing", qr.queue);
             assert!(qr.busy_cycles > 0 && qr.tps > 0.0, "queue {}", qr.queue);
@@ -608,12 +755,25 @@ mod tests {
                 "queue {} conservation",
                 qr.queue
             );
+            assert!(
+                qr.hot_hits <= qr.served,
+                "queue {}: hot hits beyond served",
+                qr.queue
+            );
+            assert!(
+                qr.migration_cycles <= qr.busy_cycles,
+                "queue {}: migration cycles beyond busy time",
+                qr.queue
+            );
             off += qr.offered;
             car += qr.carried;
             srv += qr.served;
             gets += qr.gets;
             inf += qr.in_flight;
             drp += qr.drops.total();
+            hh += qr.hot_hits;
+            mig += qr.migrated;
+            mcyc += qr.migration_cycles;
         }
         assert_eq!(off, rep.offered, "offered must partition");
         assert_eq!(car, rep.carried, "carried must partition");
@@ -621,6 +781,109 @@ mod tests {
         assert_eq!(gets, rep.gets, "gets must partition");
         assert_eq!(inf, rep.in_flight, "in_flight must partition");
         assert_eq!(drp, rep.drops.total(), "drops must partition");
+        assert_eq!(hh, rep.hot_hits, "hot_hits must partition");
+        assert_eq!(mig, rep.migrated, "migrated must partition");
+        assert_eq!(
+            mcyc, rep.migration_cycles,
+            "migration_cycles must partition"
+        );
+    }
+
+    /// Four-core StripedHot run: Zipf clients with scrambled keys so
+    /// the popular set starts cold. Returns the report.
+    fn run_striped_hot(requests: usize, migrate_epoch: Option<usize>) -> ServerReport {
+        let cores = 4;
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20));
+        let region = m.mem_mut().alloc(32 << 20, 1 << 20).unwrap();
+        let h = XorSliceHash::haswell_8slice();
+        let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
+        let slices: Vec<usize> = (0..cores).map(|c| m.closest_slice(c)).collect();
+        let store = KvStore::build(
+            &mut m,
+            &mut alloc,
+            4096,
+            Placement::StripedHot {
+                slices,
+                hot_per_core: 64,
+            },
+        )
+        .unwrap();
+        let mut pool = MbufPool::create(&mut m, 4096, 128, 2048).unwrap();
+        let mut port = Port::new(0, Steering::Rss(Rss::new(cores)), 256);
+        let base = trafficgen::FlowTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 11211);
+        let mut gens: Vec<RequestGen> = (0..cores)
+            .map(|q| {
+                let flow = flow_for_queue(&mut port, base, q);
+                let keygen = ZipfGen::new(4096 / cores as u64, 0.99, 11 + q as u64);
+                RequestGen::new(keygen, 900, 7 + q as u64)
+                    .with_flow(flow)
+                    .with_key_partition(cores as u32, q as u32)
+                    .with_key_scramble(21 + q as u64)
+            })
+            .collect();
+        let mut policy = FixedHeadroom(128);
+        let mut cfg = ServerConfig::fig8(requests, 900, 1).with_cores(cores);
+        if let Some(epoch) = migrate_epoch {
+            cfg = cfg.with_migration(epoch);
+        }
+        run_server(
+            &mut m,
+            &store,
+            &mut pool,
+            &mut port,
+            &mut policy,
+            &mut gens,
+            &cfg,
+        )
+    }
+
+    #[test]
+    fn migration_lifts_hot_hit_rate_and_the_ledger_partitions() {
+        let baseline = run_striped_hot(12_000, None);
+        let migrated = run_striped_hot(12_000, Some(1000));
+        // Monitor-only: counters tick, nothing moves.
+        assert!(
+            baseline.hot_hits > 0,
+            "scrambled Zipf still grazes hot slots"
+        );
+        assert_eq!(baseline.migrated, 0);
+        assert_eq!(baseline.migration_cycles, 0);
+        // Migrating: every core promoted keys, paid timed cycles for
+        // it, and the per-queue ledger partitions the new columns.
+        assert_partitions(&migrated);
+        for qr in &migrated.per_queue {
+            assert!(qr.migrated > 0, "queue {} never migrated", qr.queue);
+            assert!(
+                qr.migration_cycles > 0,
+                "queue {} swaps were free",
+                qr.queue
+            );
+        }
+        assert!(
+            migrated.hot_hit_rate() > baseline.hot_hit_rate(),
+            "migration must lift the hot-hit rate: {} vs {}",
+            migrated.hot_hit_rate(),
+            baseline.hot_hit_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "migration needs one hot area per serving core")]
+    fn migration_rejects_placements_without_a_hot_area() {
+        let mut b = build(4096, Placement::Normal, 16);
+        let keygen = ZipfGen::new(4096, 0.99, 99);
+        let mut gens = [RequestGen::new(keygen, 1000, 7)];
+        let mut policy = FixedHeadroom(128);
+        let cfg = ServerConfig::fig8(100, 1000, 1).with_migration(64);
+        run_server(
+            &mut b.m,
+            &b.store,
+            &mut b.pool,
+            &mut b.port,
+            &mut policy,
+            &mut gens,
+            &cfg,
+        );
     }
 
     #[test]

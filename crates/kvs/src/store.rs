@@ -39,6 +39,66 @@ pub enum Placement {
         /// One target slice per serving core, in core order.
         slices: Vec<usize>,
     },
+    /// The composition of §8's two refinements: the per-core residue
+    /// partition of [`Placement::Striped`] *and* the hot/cold split of
+    /// [`Placement::HotSliceAware`]. Core *i* of *N* still owns the key
+    /// class `k ≡ i (mod N)` (so concurrent workers' SETs stay
+    /// disjoint), but only the class's *hot area* — its first
+    /// `hot_per_core` slots — is pinned to `slices[i]`, the core's
+    /// closest slice. The cold tail is allocated contiguously and
+    /// spreads over every slice, so a store much larger than one slice
+    /// keeps the whole LLC's capacity for its long tail instead of
+    /// confining each class to one slice's worth of sets.
+    ///
+    /// The hot slots are the migration target of
+    /// [`crate::migrate::HotMigrator`]: at epoch boundaries the
+    /// observed-hot keys of each class are swapped into that class's
+    /// hot area.
+    StripedHot {
+        /// One target slice per serving core, in core order.
+        slices: Vec<usize>,
+        /// Hot (slice-local) slots per core's class.
+        hot_per_core: usize,
+    },
+}
+
+impl Placement {
+    /// The hot (slice-local, migration-target) slot numbers `core` owns
+    /// under this placement in a store of `n` slots, or `None` when the
+    /// placement has no hot area (or none for that core).
+    pub fn hot_slots(&self, core: usize, n: usize) -> Option<Vec<usize>> {
+        match self {
+            Placement::HotSliceAware { hot_count, .. } => {
+                // Single-queue placement: one hot area, whichever core
+                // serves the store.
+                Some((0..(*hot_count).min(n)).collect())
+            }
+            Placement::StripedHot {
+                slices,
+                hot_per_core,
+            } => {
+                let stride = slices.len();
+                if core >= stride {
+                    return None;
+                }
+                Some(
+                    (0..*hot_per_core)
+                        .map(|j| j * stride + core)
+                        .take_while(|&k| k < n)
+                        .collect(),
+                )
+            }
+            Placement::Normal | Placement::SliceAware { .. } | Placement::Striped { .. } => None,
+        }
+    }
+
+    /// True when this placement declares a hot area somewhere.
+    pub fn has_hot_area(&self) -> bool {
+        matches!(
+            self,
+            Placement::HotSliceAware { .. } | Placement::StripedHot { .. }
+        )
+    }
 }
 
 /// The emulated store.
@@ -99,6 +159,49 @@ impl KvStore {
                 }
                 SliceBuffer::from_lines(lines)
             }
+            Placement::StripedHot {
+                slices,
+                hot_per_core,
+            } => {
+                assert!(
+                    !slices.is_empty(),
+                    "striped-hot placement needs a slice list"
+                );
+                assert!(*hot_per_core > 0, "striped-hot placement needs a hot area");
+                let s = slices.len();
+                // Hot area of class r: its first `hot_per_core` slots,
+                // pinned to slices[r].
+                let mut hot: Vec<std::vec::IntoIter<PhysAddr>> = Vec::with_capacity(s);
+                let mut hot_total = 0usize;
+                for (r, &slice) in slices.iter().enumerate() {
+                    let class_len = if r < n { (n - r).div_ceil(s) } else { 0 };
+                    let count = (*hot_per_core).min(class_len);
+                    hot_total += count;
+                    hot.push(
+                        alloc
+                            .alloc_lines(slice, count)?
+                            .lines()
+                            .to_vec()
+                            .into_iter(),
+                    );
+                }
+                // Cold tail: contiguous, spreading over every slice so
+                // the long tail keeps the whole LLC's capacity.
+                let mut cold = alloc
+                    .alloc_contiguous_lines(n - hot_total)?
+                    .lines()
+                    .to_vec()
+                    .into_iter();
+                let mut lines = Vec::with_capacity(n);
+                for k in 0..n {
+                    if k / s < *hot_per_core {
+                        lines.push(hot[k % s].next().expect("pool sized per hot class"));
+                    } else {
+                        lines.push(cold.next().expect("cold pool sized to the tail"));
+                    }
+                }
+                SliceBuffer::from_lines(lines)
+            }
         };
         let index = m
             .mem_mut()
@@ -128,6 +231,55 @@ impl KvStore {
     /// The configured placement.
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// The hot (slice-local, migration-target) slots `core` owns, or
+    /// `None` when the placement has no hot area for that core. See
+    /// [`Placement::hot_slots`].
+    pub fn hot_slots(&self, core: usize) -> Option<Vec<usize>> {
+        self.placement.hot_slots(core, self.len())
+    }
+
+    /// True when the placement declares a hot area.
+    pub fn has_hot_area(&self) -> bool {
+        self.placement.has_hot_area()
+    }
+
+    /// The keys currently homed in `slots`, in slot order — the store's
+    /// *actual* resident layout, read from the live index with one
+    /// untimed scan. [`crate::migrate::HotMigrator::for_store`] uses
+    /// this instead of assuming the identity layout, so a store that
+    /// has already been migrated (or striped) is described faithfully.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a requested slot is out of range or unoccupied (the
+    /// index is a permutation, so every in-range slot has exactly one
+    /// key).
+    pub fn residents(&self, m: &Machine, slots: &[usize]) -> Vec<u32> {
+        let n = self.len();
+        let mut want: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::with_capacity(slots.len());
+        for (i, &s) in slots.iter().enumerate() {
+            assert!(s < n, "hot slot {s} out of range");
+            want.insert(s, i);
+        }
+        let mut out = vec![u32::MAX; slots.len()];
+        let mut found = 0usize;
+        let mut b = [0u8; 4];
+        for key in 0..n {
+            m.mem().read(self.index.pa(key * 4), &mut b);
+            let slot = u32::from_le_bytes(b) as usize;
+            if let Some(&i) = want.get(&slot) {
+                out[i] = key as u32;
+                found += 1;
+                if found == slots.len() {
+                    break;
+                }
+            }
+        }
+        assert_eq!(found, slots.len(), "index must cover every hot slot");
+        out
     }
 
     /// Timed index lookup: one memory access into the index array.
@@ -198,16 +350,30 @@ impl KvStore {
     /// with a hot-slot occupant moves the hot value into the slice-local
     /// area.
     ///
-    /// # Panics
-    ///
-    /// Panics when either key is out of range.
-    pub fn swap_keys(&mut self, m: &mut Machine, core: usize, a: u32, b: u32) -> Cycles {
-        assert!(
-            (a as usize) < self.len() && (b as usize) < self.len(),
-            "key out of range"
-        );
+    /// `a == b` is a free no-op (`Ok(0)`, no cycles charged); a key
+    /// outside the store is a typed [`SwapError`], with no partial
+    /// write and no cycles charged. Takes `&self` like [`KvStore::set`]:
+    /// the mutation lives entirely in simulated memory. Index entries of
+    /// different key classes share cache lines, so concurrent workers
+    /// must NOT swap during engine epochs — the migration loop runs at
+    /// the epoch merge, on the coordinator.
+    pub fn swap_keys(
+        &self,
+        m: &mut Machine,
+        core: usize,
+        a: u32,
+        b: u32,
+    ) -> Result<Cycles, SwapError> {
+        for key in [a, b] {
+            if key as usize >= self.len() {
+                return Err(SwapError::KeyOutOfRange {
+                    key,
+                    len: self.len(),
+                });
+            }
+        }
         if a == b {
-            return 0;
+            return Ok(0);
         }
         let (slot_a, mut cycles) = self.slot_of(m, core, a);
         let (slot_b, c) = self.slot_of(m, core, b);
@@ -230,9 +396,33 @@ impl KvStore {
             self.index.pa(b as usize * 4),
             &(slot_a as u32).to_le_bytes(),
         );
-        cycles
+        Ok(cycles)
     }
 }
+
+/// A rejected [`KvStore::swap_keys`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapError {
+    /// One of the keys is outside the store.
+    KeyOutOfRange {
+        /// The offending key.
+        key: u32,
+        /// The store's size.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::KeyOutOfRange { key, len } => {
+                write!(f, "cannot swap key {key}: store holds {len} keys")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
 
 /// Store construction failures.
 #[derive(Debug)]
@@ -382,5 +572,120 @@ mod tests {
         let kv = KvStore::build(&mut m, &mut a, 64, Placement::Normal).unwrap();
         let mut out = [0u8; 64];
         kv.get(&mut m, 0, 64, &mut out);
+    }
+
+    #[test]
+    fn striped_hot_pins_hot_slots_and_spreads_the_tail() {
+        let (mut m, mut a) = setup(32);
+        let slices = vec![0usize, 2, 4, 6];
+        let kv = KvStore::build(
+            &mut m,
+            &mut a,
+            4096,
+            Placement::StripedHot {
+                slices: slices.clone(),
+                hot_per_core: 64,
+            },
+        )
+        .unwrap();
+        // Hot slots (k/4 < 64) live in their class's slice.
+        for k in 0..(64 * 4) as u32 {
+            let pa = kv.value_pa(&mut m, k);
+            assert_eq!(
+                m.slice_of(pa),
+                slices[(k % 4) as usize],
+                "hot key {k} must be slice-local"
+            );
+        }
+        // The cold tail spreads over every slice (full-LLC capacity).
+        let tail_slices: std::collections::HashSet<usize> = ((64 * 4)..4096u32)
+            .map(|k| {
+                let pa = kv.value_pa(&mut m, k);
+                m.slice_of(pa)
+            })
+            .collect();
+        assert_eq!(tail_slices.len(), 8, "cold tail covers every slice");
+    }
+
+    #[test]
+    fn striped_hot_declares_per_core_hot_slots() {
+        let (mut m, mut a) = setup(16);
+        let kv = KvStore::build(
+            &mut m,
+            &mut a,
+            1024,
+            Placement::StripedHot {
+                slices: vec![0, 2],
+                hot_per_core: 3,
+            },
+        )
+        .unwrap();
+        assert!(kv.has_hot_area());
+        assert_eq!(kv.hot_slots(0), Some(vec![0, 2, 4]));
+        assert_eq!(kv.hot_slots(1), Some(vec![1, 3, 5]));
+        assert_eq!(kv.hot_slots(2), None, "core 2 serves no class");
+        let residents = kv.residents(&m, &[1, 3, 5]);
+        assert_eq!(residents, vec![1, 3, 5], "identity index at build time");
+    }
+
+    #[test]
+    fn striped_and_normal_declare_no_hot_area() {
+        let (mut m, mut a) = setup(16);
+        let kv =
+            KvStore::build(&mut m, &mut a, 256, Placement::Striped { slices: vec![0] }).unwrap();
+        assert!(!kv.has_hot_area());
+        assert_eq!(kv.hot_slots(0), None);
+        let kv = KvStore::build(&mut m, &mut a, 256, Placement::Normal).unwrap();
+        assert_eq!(kv.hot_slots(0), None);
+    }
+
+    #[test]
+    fn swap_self_is_a_free_noop() {
+        let (mut m, mut a) = setup(16);
+        let kv = KvStore::build(&mut m, &mut a, 128, Placement::Normal).unwrap();
+        kv.set(&mut m, 0, 9, &[0x5a; 64]);
+        let before = m.now(0);
+        assert_eq!(kv.swap_keys(&mut m, 0, 9, 9), Ok(0), "self-swap is free");
+        assert_eq!(m.now(0), before, "no cycles charged");
+        let mut out = [0u8; 64];
+        kv.get(&mut m, 0, 9, &mut out);
+        assert_eq!(out, [0x5a; 64]);
+    }
+
+    #[test]
+    fn swap_absent_key_is_a_typed_error_not_a_panic() {
+        let (mut m, mut a) = setup(16);
+        let kv = KvStore::build(&mut m, &mut a, 128, Placement::Normal).unwrap();
+        let before = m.now(0);
+        assert_eq!(
+            kv.swap_keys(&mut m, 0, 5, 128),
+            Err(SwapError::KeyOutOfRange { key: 128, len: 128 })
+        );
+        assert_eq!(
+            kv.swap_keys(&mut m, 0, 4096, 5),
+            Err(SwapError::KeyOutOfRange {
+                key: 4096,
+                len: 128
+            })
+        );
+        assert_eq!(m.now(0), before, "rejected swaps charge nothing");
+        // And the store is untouched: key 5 still maps to slot 5.
+        assert_eq!(kv.residents(&m, &[5]), vec![5]);
+    }
+
+    #[test]
+    fn swap_exchanges_homes_and_residents_reflect_it() {
+        let (mut m, mut a) = setup(16);
+        let kv = KvStore::build(&mut m, &mut a, 128, Placement::Normal).unwrap();
+        kv.set(&mut m, 0, 3, &[0x33; 64]);
+        kv.set(&mut m, 0, 77, &[0x77; 64]);
+        let cycles = kv.swap_keys(&mut m, 0, 3, 77).unwrap();
+        assert!(cycles > 0, "a real swap costs cycles");
+        assert_eq!(kv.residents(&m, &[3, 77]), vec![77, 3], "homes exchanged");
+        let mut out = [0u8; 64];
+        kv.get(&mut m, 0, 3, &mut out);
+        assert_eq!(out, [0x33; 64], "values follow their keys");
+        kv.get(&mut m, 0, 77, &mut out);
+        assert_eq!(out, [0x77; 64]);
     }
 }

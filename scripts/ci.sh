@@ -28,6 +28,12 @@ smoke() {
         "./target/release/${bin}" --smoke > /dev/null
         "./target/release/${bin}" --smoke --parallel > /dev/null
     done
+    # The §8 hot-set migration study: a skewed multi-core run that must
+    # migrate (its golden pins hot-hit-rate above static Striped and a
+    # non-zero migration-cycle ledger), in both execution modes.
+    echo "    -> fig08_kvs (migration study)"
+    ./target/release/fig08_kvs --smoke --zipf=0.99 --migrate=4096 --cores=4 > /dev/null
+    ./target/release/fig08_kvs --smoke --parallel --zipf=0.99 --migrate=4096 --cores=4 > /dev/null
 }
 
 # Determinism gate: the differential serial-vs-parallel suite, plus a

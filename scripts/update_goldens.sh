@@ -24,4 +24,11 @@ for bin in "${bins[@]}"; do
     echo "-> ${bin}"
     "./target/release/${bin}" --smoke > "crates/bench/tests/golden/${bin}.txt"
 done
+
+# The §8 hot-set migration study is a second output mode of fig08_kvs
+# with its own snapshot.
+echo "-> fig08_kvs (migration study)"
+./target/release/fig08_kvs --smoke --zipf=0.99 --migrate=4096 --cores=4 \
+    > crates/bench/tests/golden/fig08_kvs_migrate.txt
+
 echo "golden snapshots updated"

@@ -125,31 +125,50 @@ fn pipelined_chain_results_are_identical_serial_vs_parallel() {
 }
 
 /// The 4-core KVS server (§8 extension): striped key classes, one
-/// client generator per queue.
-fn kvs_run(execution: Execution) -> ServerReport {
+/// client generator per queue. With `migrate` the placement becomes
+/// StripedHot, clients scramble their keys, and every core runs the
+/// hot-set migration loop at engine-epoch boundaries — the timed swaps
+/// go through the coordinator-side merge hook, which this suite must
+/// prove bit-identical across execution modes.
+fn kvs_run(execution: Execution, migrate: bool, theta: f64) -> ServerReport {
     let cores = 4;
     let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20));
     let region = m.mem_mut().alloc(32 << 20, 1 << 20).unwrap();
     let h = XorSliceHash::haswell_8slice();
     let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
     let slices: Vec<usize> = (0..cores).map(|c| m.closest_slice(c)).collect();
-    let store = KvStore::build(&mut m, &mut alloc, 4096, Placement::Striped { slices }).unwrap();
+    let placement = if migrate {
+        Placement::StripedHot {
+            slices,
+            hot_per_core: 64,
+        }
+    } else {
+        Placement::Striped { slices }
+    };
+    let store = KvStore::build(&mut m, &mut alloc, 4096, placement).unwrap();
     let mut pool = MbufPool::create(&mut m, 4096, 128, 2048).unwrap();
     let mut port = Port::new(0, Steering::Rss(Rss::new(cores)), 256);
     let base = trafficgen::FlowTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 11211);
     let mut gens: Vec<RequestGen> = (0..cores)
         .map(|q| {
             let flow = flow_for_queue(&mut port, base, q);
-            let keygen = ZipfGen::new(4096 / cores as u64, 0.99, 11 + q as u64);
-            RequestGen::new(keygen, 900, 7 + q as u64)
+            let keygen = ZipfGen::new(4096 / cores as u64, theta, 11 + q as u64);
+            let mut gen = RequestGen::new(keygen, 900, 7 + q as u64)
                 .with_flow(flow)
-                .with_key_partition(cores as u32, q as u32)
+                .with_key_partition(cores as u32, q as u32);
+            if migrate {
+                gen = gen.with_key_scramble(31 + q as u64);
+            }
+            gen
         })
         .collect();
     let mut policy = FixedHeadroom(128);
-    let cfg = ServerConfig::fig8(6_000, 900, 1)
+    let mut cfg = ServerConfig::fig8(6_000, 900, 1)
         .with_cores(cores)
         .with_execution(execution);
+    if migrate {
+        cfg = cfg.with_migration(500);
+    }
     run_server(
         &mut m,
         &store,
@@ -163,9 +182,9 @@ fn kvs_run(execution: Execution) -> ServerReport {
 
 #[test]
 fn kvs_server_results_are_identical_serial_vs_parallel() {
-    let serial = kvs_run(Execution::Serial);
+    let serial = kvs_run(Execution::Serial, false, 0.99);
     for threads in [1usize, 2, 4] {
-        let par = kvs_run(Execution::Parallel { threads });
+        let par = kvs_run(Execution::Parallel { threads }, false, 0.99);
         assert_eq!(
             format!("{serial:?}"),
             format!("{par:?}"),
@@ -173,7 +192,47 @@ fn kvs_server_results_are_identical_serial_vs_parallel() {
         );
     }
     // And parallel is reproducible against itself.
-    let a = kvs_run(Execution::Parallel { threads: 4 });
-    let b = kvs_run(Execution::Parallel { threads: 4 });
+    let a = kvs_run(Execution::Parallel { threads: 4 }, false, 0.99);
+    let b = kvs_run(Execution::Parallel { threads: 4 }, false, 0.99);
     assert_eq!(format!("{a:?}"), format!("{b:?}"), "kvs parallel repeat");
+}
+
+#[test]
+fn kvs_migration_results_are_identical_serial_vs_parallel() {
+    // Skewed keys: real migration traffic through the merge hook.
+    let serial = kvs_run(Execution::Serial, true, 0.99);
+    assert!(serial.migrated > 0, "the skewed case must actually migrate");
+    for threads in [1usize, 2, 4] {
+        let par = kvs_run(Execution::Parallel { threads }, true, 0.99);
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{par:?}"),
+            "kvs migrate zipf: parallel({threads}) diverged"
+        );
+    }
+    let a = kvs_run(Execution::Parallel { threads: 4 }, true, 0.99);
+    let b = kvs_run(Execution::Parallel { threads: 4 }, true, 0.99);
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "kvs migrate parallel repeat"
+    );
+}
+
+#[test]
+fn kvs_migration_with_tied_counts_is_identical_serial_vs_parallel() {
+    // Uniform keys: per-epoch access counts are riddled with ties, so
+    // any HashMap-iteration-order dependence in the migrator's
+    // promote/evict ordering would diverge here. The (count, key) total
+    // order must keep it bit-identical.
+    let serial = kvs_run(Execution::Serial, true, 0.0);
+    assert!(serial.migrated > 0, "uniform churn must still migrate");
+    for threads in [1usize, 2, 4] {
+        let par = kvs_run(Execution::Parallel { threads }, true, 0.0);
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{par:?}"),
+            "kvs migrate uniform ties: parallel({threads}) diverged"
+        );
+    }
 }
