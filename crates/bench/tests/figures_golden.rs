@@ -104,6 +104,29 @@ mod fig08_kvs_migrate {
     }
 }
 
+/// The fig_knee_kvs `--chaos` study has its own golden (the overload
+/// sweep keeps the default snapshot), same bit-identical
+/// serial/parallel contract.
+mod fig_knee_kvs_chaos {
+    use super::*;
+
+    const GOLDEN: &str = include_str!("golden/fig_knee_kvs_chaos.txt");
+    const EXE: &str = env!("CARGO_BIN_EXE_fig_knee_kvs");
+    const ARGS: [&str; 1] = ["--chaos"];
+
+    #[test]
+    fn smoke_serial_matches_golden() {
+        let out = run(EXE, &[&["--smoke"], &ARGS[..]].concat());
+        assert_matches_golden("fig_knee_kvs_chaos", "serial", GOLDEN, &out);
+    }
+
+    #[test]
+    fn smoke_parallel_matches_same_golden() {
+        let out = run(EXE, &[&["--smoke", "--parallel"], &ARGS[..]].concat());
+        assert_matches_golden("fig_knee_kvs_chaos", "parallel", GOLDEN, &out);
+    }
+}
+
 golden_tests!(
     table01_cachespec,
     fig04_hash,
@@ -115,6 +138,7 @@ golden_tests!(
     fig13_forward,
     fig14_chain,
     fig15_knee,
+    fig_knee_kvs,
     fig16_table4_skylake,
     fig17_isolation,
     ext_pipeline,

@@ -67,6 +67,54 @@ impl NicDrops {
     }
 }
 
+/// Per-cause admission-control rejections for one queue (or the
+/// aggregate): frames the ingress filter shed *before* they consumed a
+/// descriptor, split by the [`crate::AdmissionPolicy`] rule that fired.
+/// Sits beside [`NicDrops`] in the conservation invariant:
+/// `offered + carried == delivered + nic.total() + admit.total() +
+/// app_drops + in_flight`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmitDrops {
+    /// Shed because the queue's ready backlog was at or above the
+    /// policy's threshold.
+    pub depth_shed: u64,
+    /// Shed because the frame's deadline was already infeasible given
+    /// the backlog ahead of it.
+    pub deadline_shed: u64,
+}
+
+impl AdmitDrops {
+    /// Sum over every cause.
+    pub fn total(&self) -> u64 {
+        self.depth_shed + self.deadline_shed
+    }
+
+    /// Adds `other` into `self`, counter by counter.
+    pub fn merge(&mut self, other: &AdmitDrops) {
+        self.depth_shed += other.depth_shed;
+        self.deadline_shed += other.deadline_shed;
+    }
+
+    /// The element-wise sum of a set of per-queue ledgers.
+    pub fn sum<'a, I: IntoIterator<Item = &'a AdmitDrops>>(iter: I) -> AdmitDrops {
+        let mut out = AdmitDrops::default();
+        for d in iter {
+            out.merge(d);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for AdmitDrops {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "depth_shed={} deadline_shed={}",
+            self.depth_shed, self.deadline_shed
+        )
+    }
+}
+
 impl std::fmt::Display for NicDrops {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -121,6 +169,24 @@ mod tests {
         assert_eq!(s.nodesc, 4);
         assert_eq!(s.tx_stall, 1);
         assert_eq!(s.total(), a.total() + b.total());
+    }
+
+    #[test]
+    fn admit_total_and_sum() {
+        let a = AdmitDrops {
+            depth_shed: 3,
+            deadline_shed: 2,
+        };
+        let b = AdmitDrops {
+            depth_shed: 1,
+            deadline_shed: 0,
+        };
+        assert_eq!(a.total(), 5);
+        let s = AdmitDrops::sum([&a, &b]);
+        assert_eq!(s.depth_shed, 4);
+        assert_eq!(s.deadline_shed, 2);
+        let disp = s.to_string();
+        assert!(disp.contains("depth_shed") && disp.contains("deadline_shed"));
     }
 
     #[test]

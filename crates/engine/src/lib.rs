@@ -33,12 +33,18 @@
 //!   worker-ordered merge, never at a thread-scheduling-dependent
 //!   moment. The differential test suite (`tests/differential.rs`)
 //!   keeps that claim honest.
-//! * **Drop accounting.** A per-queue [`NicDrops`] ledger plus a
-//!   per-queue count of application drops. The engine owns the
-//!   conservation invariant
-//!   `offered + carried == delivered + Σ nic[cause] + app + in_flight`
-//!   and asserts it (globally and per queue) in [`Engine::finish`],
-//!   cross-checking its classification against the port's own counters.
+//! * **Drop accounting.** Per-queue [`NicDrops`] and [`AdmitDrops`]
+//!   ledgers plus a per-queue count of application drops. The engine
+//!   owns the conservation invariant `offered + carried == delivered +
+//!   Σ nic[cause] + Σ admit[cause] + app + in_flight` and asserts it
+//!   (globally and per queue) in [`Engine::finish`], cross-checking its
+//!   classification against the port's own counters.
+//! * **Admission control & backpressure.** A pluggable
+//!   [`AdmissionPolicy`] sheds frames at the driver's ingress — before
+//!   they consume a descriptor — by queue-depth threshold or deadline
+//!   infeasibility ([`Engine::offer_with_deadline`]), and
+//!   [`Engine::backpressured`] exposes the explicit per-queue
+//!   backpressure signal clients use to stretch retry backoff.
 //! * **Fault injection.** [`rte::fault::FaultPlan`] windows — including
 //!   the TX-side kinds (`tx_stall`, `ready_overrun`) and per-queue RX
 //!   stalls — are drawn per offered frame with the target queue known,
@@ -52,7 +58,7 @@
 pub mod drops;
 mod pool;
 
-pub use drops::NicDrops;
+pub use drops::{AdmitDrops, NicDrops};
 
 use llc_sim::epoch::{CoreMem, EpochShard, LlcOp};
 use llc_sim::machine::Machine;
@@ -133,6 +139,86 @@ impl Execution {
     }
 }
 
+/// Why the ingress admission filter shed a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The target queue's ready backlog was at or above the policy
+    /// threshold.
+    QueueDepth,
+    /// The frame's deadline could not be met even if it were accepted
+    /// (arrival time plus the backlog's estimated service time already
+    /// exceeds the deadline).
+    Deadline,
+}
+
+/// Why [`Engine::offer`] rejected a frame: the NIC/driver dropped it
+/// ([`DropReason`]) or the admission filter shed it ([`ShedCause`]).
+/// Both land in per-queue ledgers, so either way the conservation
+/// invariant keeps balancing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// Dropped inside the NIC/driver model (ring, MAC, link, stalls).
+    Nic(DropReason),
+    /// Shed by the [`AdmissionPolicy`] before consuming a descriptor.
+    Shed(ShedCause),
+}
+
+/// The pluggable ingress admission filter: evaluated per offered frame,
+/// after wire/MAC-level faults (a frame the link never carried cannot
+/// be shed) but *before* descriptor allocation, like a hardware flow
+/// rule or an XDP early drop. Rejections land in the per-queue
+/// [`AdmitDrops`] ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AdmissionPolicy {
+    /// No shedding; every frame proceeds to the ring (the default, and
+    /// exactly the pre-admission engine behaviour).
+    #[default]
+    AcceptAll,
+    /// Shed when the target queue's ready backlog has reached
+    /// `max_backlog` completions — bounds queue delay at roughly
+    /// `max_backlog × service time` under overload.
+    QueueDepth {
+        /// Backlog threshold (completions waiting in the ready ring).
+        max_backlog: usize,
+    },
+    /// Shed frames whose deadline is already infeasible: the arrival
+    /// time plus `(backlog + 1) × est_service_ns` exceeds the frame's
+    /// deadline. Frames offered without a deadline are never shed.
+    DeadlineInfeasible {
+        /// Estimated per-request service time used for the feasibility
+        /// projection.
+        est_service_ns: f64,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Policy decision for one frame: `Some(cause)` to shed, given the
+    /// target queue's ready backlog, the arrival time, and the frame's
+    /// absolute deadline (`f64::INFINITY` when it has none).
+    fn reject(&self, backlog: usize, t_ns: f64, deadline_ns: f64) -> Option<ShedCause> {
+        match *self {
+            AdmissionPolicy::AcceptAll => None,
+            AdmissionPolicy::QueueDepth { max_backlog } => {
+                (backlog >= max_backlog).then_some(ShedCause::QueueDepth)
+            }
+            AdmissionPolicy::DeadlineInfeasible { est_service_ns } => {
+                let projected = t_ns + (backlog + 1) as f64 * est_service_ns;
+                (projected > deadline_ns).then_some(ShedCause::Deadline)
+            }
+        }
+    }
+
+    /// The backlog level at which this policy starts shedding (used by
+    /// the backpressure signal); `None` when the policy never sheds on
+    /// depth alone.
+    fn depth_threshold(&self) -> Option<usize> {
+        match *self {
+            AdmissionPolicy::QueueDepth { max_backlog } => Some(max_backlog),
+            _ => None,
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -146,6 +232,8 @@ pub struct EngineConfig {
     pub faults: FaultPlan,
     /// Serial (reference) or parallel epoch execution.
     pub execution: Execution,
+    /// Ingress admission filter (default: accept all).
+    pub admission: AdmissionPolicy,
 }
 
 /// What an application decides about one received packet.
@@ -269,6 +357,8 @@ pub struct QueueLedger {
     pub delivered: u64,
     /// NIC/driver drops.
     pub nic: NicDrops,
+    /// Admission-control sheds.
+    pub admit: AdmitDrops,
     /// Application drops.
     pub app_drops: u64,
     /// Completions still in the ready ring at finish.
@@ -276,9 +366,9 @@ pub struct QueueLedger {
 }
 
 /// What a finished engine run reports. Aggregates satisfy
-/// `offered + carried == delivered + nic.total() + app_drops +
-/// in_flight`, and each [`QueueLedger`] satisfies the same per queue
-/// (both asserted in [`Engine::finish`]).
+/// `offered + carried == delivered + nic.total() + admit.total() +
+/// app_drops + in_flight`, and each [`QueueLedger`] satisfies the same
+/// per queue (both asserted in [`Engine::finish`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineReport {
     /// Frames offered.
@@ -289,6 +379,8 @@ pub struct EngineReport {
     pub delivered: u64,
     /// Aggregate NIC/driver drops.
     pub nic: NicDrops,
+    /// Aggregate admission-control sheds.
+    pub admit: AdmitDrops,
     /// Aggregate application drops.
     pub app_drops: u64,
     /// Completions left in ready rings (closed-loop runs end with some).
@@ -466,6 +558,7 @@ pub struct Engine<A: QueueApp> {
     ns_per_cycle: f64,
     faults: FaultState,
     nic: Vec<NicDrops>,
+    admit: Vec<AdmitDrops>,
     app_drops: Vec<u64>,
     offered_q: Vec<u64>,
     delivered_q: Vec<u64>,
@@ -528,6 +621,7 @@ impl<A: QueueApp> Engine<A> {
             ns_per_cycle,
             faults: FaultState::new(cfg.faults.clone()),
             nic: vec![NicDrops::default(); queues],
+            admit: vec![AdmitDrops::default(); queues],
             app_drops: vec![0; queues],
             offered_q: vec![0; queues],
             delivered_q: vec![0; queues],
@@ -592,19 +686,39 @@ impl<A: QueueApp> Engine<A> {
     /// Offers one frame at `t_ns`: routes it, draws its faults (with
     /// the target queue known, so queue-scoped windows apply), lets the
     /// workers catch up to the present, then delivers through the NIC.
-    /// Every failure is classified into the per-queue ledger; the
-    /// `Err` is returned so closed-loop callers can back off.
+    /// Every failure is classified into the per-queue ledgers; the
+    /// `Err` is returned so closed-loop callers can back off. Frames
+    /// offered this way carry no deadline — see
+    /// [`Engine::offer_with_deadline`].
     pub fn offer(
         &mut self,
         hw: &mut Hw<'_>,
         flow: &FlowTuple,
         frame: &[u8],
         t_ns: f64,
-    ) -> Result<usize, DropReason> {
+    ) -> Result<usize, Rejection> {
+        self.offer_with_deadline(hw, flow, frame, t_ns, f64::INFINITY)
+    }
+
+    /// [`Engine::offer`] for a frame that must complete by the absolute
+    /// simulated time `deadline_ns`. The deadline feeds the
+    /// [`AdmissionPolicy::DeadlineInfeasible`] filter; it is *not*
+    /// carried into the frame (applications encode deadlines in their
+    /// own wire formats, e.g. `kvs::proto`).
+    pub fn offer_with_deadline(
+        &mut self,
+        hw: &mut Hw<'_>,
+        flow: &FlowTuple,
+        frame: &[u8],
+        t_ns: f64,
+        deadline_ns: f64,
+    ) -> Result<usize, Rejection> {
         let (q, mark) = hw.port.route(flow);
         // Draw this frame's faults before the catch-up: a pool-exhaustion
         // window must already be in force while the workers run to the
-        // arrival (their refills are what the outage starves).
+        // arrival (their refills are what the outage starves). Shed
+        // frames draw too, so the admission policy never shifts the
+        // fault sequence of later frames.
         let fault = self.faults.draw_for_queue(t_ns, q);
         hw.pool.set_outage(fault.pool_blocked);
         self.run_until(hw, t_ns);
@@ -612,6 +726,22 @@ impl<A: QueueApp> Engine<A> {
         self.offered_q[q] += 1;
         self.offered_wire_bits += trafficgen::arrival::wire_bits(frame.len() as u16);
         self.last_arrival_ns = self.last_arrival_ns.max(t_ns);
+        // The admission filter sits in the driver's ingress path: after
+        // the wire and MAC stages (a frame the link dropped, the RX
+        // engine stalled on, or that failed CRC never reaches it) but
+        // before descriptor allocation, so sheds are cheap — no mbuf,
+        // no ring slot.
+        let wire_lost = fault.link_down || fault.stall || fault.corrupt;
+        if !wire_lost {
+            let backlog = hw.port.ready_count(q);
+            if let Some(cause) = self.cfg.admission.reject(backlog, t_ns, deadline_ns) {
+                match cause {
+                    ShedCause::QueueDepth => self.admit[q].depth_shed += 1,
+                    ShedCause::Deadline => self.admit[q].deadline_shed += 1,
+                }
+                return Err(Rejection::Shed(cause));
+            }
+        }
         match hw.port.deliver_routed(hw.m, frame, q, mark, t_ns, fault) {
             Ok(()) => Ok(q),
             Err(reason) => {
@@ -633,9 +763,25 @@ impl<A: QueueApp> Engine<A> {
                     DropReason::RxStall => n.rx_stall += 1,
                     DropReason::ReadyOverrun => n.ready_overrun += 1,
                 }
-                Err(reason)
+                Err(Rejection::Nic(reason))
             }
         }
+    }
+
+    /// The explicit backpressure signal for queue `q`: true when the
+    /// next no-deadline offer would be shed by the admission policy, or
+    /// when the ready ring is full (so the NIC would drop it anyway).
+    /// Clients use this to stretch their retry backoff instead of
+    /// hammering a saturated queue.
+    pub fn backpressured(&self, hw: &Hw<'_>, q: usize) -> bool {
+        let backlog = hw.port.ready_count(q);
+        let threshold = self
+            .cfg
+            .admission
+            .depth_threshold()
+            .unwrap_or(self.cfg.queue_depth)
+            .min(self.cfg.queue_depth);
+        backlog >= threshold
     }
 
     /// Runs every worker's polling loop until simulated time `until_ns`
@@ -872,6 +1018,7 @@ impl<A: QueueApp> Engine<A> {
                 carried: self.carried[q],
                 delivered: self.delivered_q[q],
                 nic: self.nic[q],
+                admit: self.admit[q],
                 app_drops: self.app_drops[q],
                 in_flight: hw.port.ready_count(q) as u64,
             })
@@ -879,26 +1026,28 @@ impl<A: QueueApp> Engine<A> {
         for (q, l) in per_queue.iter().enumerate() {
             assert_eq!(
                 l.offered + l.carried,
-                l.delivered + l.nic.total() + l.app_drops + l.in_flight,
+                l.delivered + l.nic.total() + l.admit.total() + l.app_drops + l.in_flight,
                 "queue {q} conservation: offered {} + carried {} != delivered {} \
-                 + nic [{}] + app {} + in_flight {}",
+                 + nic [{}] + admit [{}] + app {} + in_flight {}",
                 l.offered,
                 l.carried,
                 l.delivered,
                 l.nic,
+                l.admit,
                 l.app_drops,
                 l.in_flight
             );
         }
         let nic = NicDrops::sum(per_queue.iter().map(|l| &l.nic));
+        let admit = AdmitDrops::sum(per_queue.iter().map(|l| &l.admit));
         let app_drops: u64 = per_queue.iter().map(|l| l.app_drops).sum();
         let in_flight: u64 = per_queue.iter().map(|l| l.in_flight).sum();
         let carried: u64 = self.carried.iter().sum();
         assert_eq!(
             self.offered + carried,
-            self.delivered + nic.total() + app_drops + in_flight,
+            self.delivered + nic.total() + admit.total() + app_drops + in_flight,
             "conservation violated: offered {} + carried {carried} != delivered {} \
-             + nic [{nic}] + app {app_drops} + in_flight {in_flight}",
+             + nic [{nic}] + admit [{admit}] + app {app_drops} + in_flight {in_flight}",
             self.offered,
             self.delivered,
         );
@@ -926,6 +1075,7 @@ impl<A: QueueApp> Engine<A> {
             carried,
             delivered: self.delivered,
             nic,
+            admit,
             app_drops,
             in_flight,
             per_queue,
@@ -993,6 +1143,7 @@ mod tests {
                 burst: 16,
                 faults: FaultPlan::none(),
                 execution,
+                admission: AdmissionPolicy::AcceptAll,
             },
             &mut hw,
         );
@@ -1045,6 +1196,7 @@ mod tests {
                 burst: 8,
                 faults: FaultPlan::none(),
                 execution: Execution::Serial,
+                admission: AdmissionPolicy::AcceptAll,
             },
             &mut hw,
         );
@@ -1057,6 +1209,132 @@ mod tests {
         assert!(rep.nic.nodesc > 0, "overload must exhaust descriptors");
         assert!(rep.delivered > 0, "the loop still makes progress");
         assert_eq!(rep.offered, rep.delivered + rep.nic.total() + rep.app_drops);
+    }
+
+    /// Drives the same hopeless 20 Mpps overload as
+    /// `overload_drops_but_conserves`, under the given admission policy
+    /// and with every offer carrying `deadline_ns` past its arrival.
+    fn run_overload(admission: AdmissionPolicy, deadline_ns: f64) -> EngineReport {
+        let (mut m, mut pool, mut port) = setup(1, 32);
+        let mut policy = rte::nic::FixedHeadroom(128);
+        let mut hw = Hw {
+            m: &mut m,
+            port: &mut port,
+            pool: &mut pool,
+            policy: &mut policy,
+        };
+        let mut eng = Engine::new(
+            echo_apps(10_000, 1),
+            EngineConfig {
+                workers: WorkerSpec::run_to_completion(1),
+                queue_depth: 32,
+                burst: 8,
+                faults: FaultPlan::none(),
+                execution: Execution::Serial,
+                admission,
+            },
+            &mut hw,
+        );
+        for i in 0..2_000u32 {
+            let t = i as f64 * 50.0;
+            let _ = eng.offer_with_deadline(&mut hw, &flow(i % 8), &[0u8; 64], t, t + deadline_ns);
+        }
+        eng.drain(&mut hw);
+        eng.finish(&mut hw).0
+    }
+
+    #[test]
+    fn queue_depth_policy_sheds_before_descriptor_exhaustion() {
+        let rep = run_overload(
+            AdmissionPolicy::QueueDepth { max_backlog: 8 },
+            f64::INFINITY,
+        );
+        assert!(rep.admit.depth_shed > 0, "overload must shed on depth");
+        assert_eq!(rep.admit.deadline_shed, 0);
+        // The filter caps the backlog below the ring size, so the ring
+        // itself never runs out of descriptors.
+        assert_eq!(rep.nic.nodesc, 0, "shedding must pre-empt nodesc");
+        assert!(rep.delivered > 0);
+        assert_eq!(
+            rep.offered,
+            rep.delivered + rep.nic.total() + rep.admit.total() + rep.app_drops
+        );
+    }
+
+    #[test]
+    fn deadline_policy_sheds_infeasible_frames_only() {
+        // Service is ~3.3 µs/pkt; a 10 µs deadline admits a backlog of
+        // at most ~3, so most of the 20 Mpps storm is shed as
+        // infeasible. Without deadlines the same policy never sheds.
+        let est = 10_000.0 * 0.476; // cycles → ns at 2.1 GHz.
+        let policy = AdmissionPolicy::DeadlineInfeasible {
+            est_service_ns: est,
+        };
+        let with_deadline = run_overload(policy, 10_000.0);
+        assert!(with_deadline.admit.deadline_shed > 0, "must shed");
+        assert_eq!(with_deadline.admit.depth_shed, 0);
+        assert_eq!(
+            with_deadline.offered,
+            with_deadline.delivered
+                + with_deadline.nic.total()
+                + with_deadline.admit.total()
+                + with_deadline.app_drops
+        );
+        let without = run_overload(policy, f64::INFINITY);
+        assert_eq!(
+            without.admit.total(),
+            0,
+            "frames without a deadline are never shed as infeasible"
+        );
+    }
+
+    #[test]
+    fn backpressure_signal_tracks_the_admission_threshold() {
+        let (mut m, mut pool, mut port) = setup(1, 32);
+        let mut policy = rte::nic::FixedHeadroom(128);
+        let mut hw = Hw {
+            m: &mut m,
+            port: &mut port,
+            pool: &mut pool,
+            policy: &mut policy,
+        };
+        let mut eng = Engine::new(
+            echo_apps(1_000_000, 1), // So slow nothing is served below.
+            EngineConfig {
+                workers: WorkerSpec::run_to_completion(1),
+                queue_depth: 32,
+                burst: 1,
+                faults: FaultPlan::none(),
+                execution: Execution::Serial,
+                admission: AdmissionPolicy::QueueDepth { max_backlog: 4 },
+            },
+            &mut hw,
+        );
+        assert!(!eng.backpressured(&hw, 0), "empty queue: no pressure");
+        // Five offers a few ns apart: the worker pulls exactly one into
+        // service (~476 µs of work) during the catch-up after the first
+        // offer, so four completions pile up in the ready ring.
+        for i in 0..4u32 {
+            eng.offer(&mut hw, &flow(0), &[0u8; 64], i as f64).unwrap();
+        }
+        assert!(
+            !eng.backpressured(&hw, 0),
+            "backlog below the shed threshold: no pressure yet"
+        );
+        // The fifth offer fills the backlog to the threshold: the
+        // signal flips, and the very next offer is shed exactly as the
+        // signal promised.
+        eng.offer(&mut hw, &flow(0), &[0u8; 64], 4.0).unwrap();
+        assert!(
+            eng.backpressured(&hw, 0),
+            "backlog at the shed threshold must signal backpressure"
+        );
+        let err = eng.offer(&mut hw, &flow(0), &[0u8; 64], 5.0).unwrap_err();
+        assert_eq!(err, Rejection::Shed(ShedCause::QueueDepth));
+        eng.drain(&mut hw);
+        let (rep, _) = eng.finish(&mut hw);
+        assert_eq!(rep.admit.depth_shed, 1);
+        assert_eq!(rep.delivered, 5);
     }
 
     #[test]
@@ -1077,6 +1355,7 @@ mod tests {
                 burst: 8,
                 faults: FaultPlan::none().with_tx_stall(rte::fault::Window::new(100_000, 300_000)),
                 execution: Execution::Serial,
+                admission: AdmissionPolicy::AcceptAll,
             },
             &mut hw,
         );
@@ -1115,6 +1394,7 @@ mod tests {
                 faults: FaultPlan::none()
                     .with_queue_rx_stall(1, rte::fault::Window::new(0, u64::MAX)),
                 execution: Execution::Serial,
+                admission: AdmissionPolicy::AcceptAll,
             },
             &mut hw,
         );
@@ -1156,6 +1436,7 @@ mod tests {
                 burst: 8,
                 faults: FaultPlan::none(),
                 execution: Execution::Serial,
+                admission: AdmissionPolicy::AcceptAll,
             },
             &mut hw,
         );
@@ -1197,6 +1478,7 @@ mod tests {
                 burst: 8,
                 faults: FaultPlan::none(),
                 execution: Execution::Serial,
+                admission: AdmissionPolicy::AcceptAll,
             },
             &mut hw,
         );
@@ -1230,6 +1512,7 @@ mod tests {
                 burst: 8,
                 faults: FaultPlan::none(),
                 execution: Execution::Serial,
+                admission: AdmissionPolicy::AcceptAll,
             },
             &mut hw,
         );

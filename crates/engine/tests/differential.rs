@@ -13,7 +13,8 @@
 //! workspace-level `tests/determinism.rs`.
 
 use engine::{
-    Ctx, Engine, EngineConfig, EngineReport, Execution, Hw, QueueApp, Verdict, WorkerSpec,
+    AdmissionPolicy, Ctx, Engine, EngineConfig, EngineReport, Execution, Hw, QueueApp, Verdict,
+    WorkerSpec,
 };
 use llc_sim::machine::{Machine, MachineConfig};
 use rte::fault::{FaultPlan, Window};
@@ -173,6 +174,7 @@ fn run_scenario(
         burst,
         faults,
         execution,
+        admission: AdmissionPolicy::AcceptAll,
     };
     let mut eng = Engine::new(apps, cfg, &mut hw);
 

@@ -15,7 +15,8 @@
 //! replays exactly.
 
 use engine::{
-    Ctx, Engine, EngineConfig, EngineReport, Execution, Hw, QueueApp, Verdict, WorkerSpec,
+    AdmissionPolicy, Ctx, Engine, EngineConfig, EngineReport, Execution, Hw, QueueApp, Verdict,
+    WorkerSpec,
 };
 use llc_sim::machine::{Machine, MachineConfig};
 use rte::fault::{FaultPlan, Window};
@@ -119,6 +120,18 @@ fn run_once(iter: u64, seed: u64, execution: Execution) -> EngineReport {
     let drop_permille = rng.gen_range(0u32..400);
     let work = 50 + rng.gen_range(0u32..500) as u64;
     let timed_hook = rng.gen_range(0u32..2) == 0;
+    // A third of the grid runs with an ingress admission policy; its
+    // sheds must keep every conservation identity balanced and stay
+    // bit-identical across execution modes like every other drop cause.
+    let admission = match rng.gen_range(0u32..3) {
+        0 => AdmissionPolicy::AcceptAll,
+        1 => AdmissionPolicy::QueueDepth {
+            max_backlog: 1 + rng.gen_range(0u32..depth as u32) as usize,
+        },
+        _ => AdmissionPolicy::DeadlineInfeasible {
+            est_service_ns: 10.0 + rng.gen_range(0u32..2000) as f64,
+        },
+    };
     let apps: Vec<ChaosApp> = (0..queues)
         .map(|w| ChaosApp {
             rng: Rng64::seed_from_u64(seed ^ 0xabcd ^ (w as u64).wrapping_mul(0x9e37)),
@@ -143,6 +156,7 @@ fn run_once(iter: u64, seed: u64, execution: Execution) -> EngineReport {
         burst,
         faults: plan,
         execution,
+        admission,
     };
     let mut eng = Engine::new(apps, cfg, &mut hw);
     if timed_hook {
@@ -174,9 +188,16 @@ fn run_once(iter: u64, seed: u64, execution: Execution) -> EngineReport {
             80,
         );
         frame[0] = i as u8;
-        // Offers may be shed by the NIC under the fault plan; every
-        // outcome must be accounted, so the Result itself is moot.
-        let _ = eng.offer(&mut hw, &f, &frame, t);
+        // Half the offers carry a (sometimes already-tight) deadline so
+        // the DeadlineInfeasible policy actually fires. Offers may be
+        // shed by the NIC or the admission filter; every outcome must
+        // be accounted, so the Result itself is moot.
+        let deadline = if rng.gen_range(0u32..2) == 0 {
+            f64::INFINITY
+        } else {
+            t + rng.gen_range(0u32..(8.0 * gap_ns) as u32 + 100) as f64
+        };
+        let _ = eng.offer_with_deadline(&mut hw, &f, &frame, t, deadline);
         let now = eng.now_ns();
         assert!(
             now >= clock_floor,
@@ -210,7 +231,7 @@ fn run_once(iter: u64, seed: u64, execution: Execution) -> EngineReport {
     );
     assert_eq!(
         rep.offered + rep.carried,
-        rep.delivered + rep.nic.total() + rep.app_drops + rep.in_flight,
+        rep.delivered + rep.nic.total() + rep.admit.total() + rep.app_drops + rep.in_flight,
         "iter {iter} (seed {seed:#x}, {execution:?}): conservation"
     );
     assert_eq!(

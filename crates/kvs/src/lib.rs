@@ -46,12 +46,14 @@
 
 pub mod large;
 pub mod migrate;
+pub mod openloop;
 pub mod proto;
 pub mod server;
 pub mod store;
 
 pub use large::{LargeKvStore, LargePlacement};
 pub use migrate::{HotMigrator, MigrateError, MigrationReport};
+pub use openloop::{run_openloop, OpenLoopConfig, OpenLoopReport};
 pub use proto::{KvOp, KvRequest};
 pub use server::{run_server, ServerConfig, ServerReport};
 pub use store::{KvStore, Placement, SwapError};

@@ -1,8 +1,14 @@
 //! The KVS wire protocol: GET/SET requests in 128 B TCP packets (§3.1).
 //!
 //! Layout after the 54 B L2-L4 header: `op (1 B)`, `pad (1 B)`,
-//! `key (4 B)`, then for SET the 64 B value (which still fits: 54 + 6 +
-//! 64 = 124 ≤ 128).
+//! `key (4 B)`, `deadline (4 B)`, then for SET the 64 B value (which
+//! still fits exactly: 54 + 10 + 64 = 128).
+//!
+//! The deadline is the *absolute* simulated completion deadline, in
+//! 16 ns ticks ([`DEADLINE_TICK_NS`]) as an LE `u32`; 0 means "no
+//! deadline". 16 ns granularity spans ~68 s of simulated time in 4 B —
+//! three orders of magnitude above any SLO in the studies — and the
+//! server drops expired-on-arrival requests without touching the store.
 
 use trafficgen::{FlowTuple, ZipfGen};
 
@@ -30,16 +36,53 @@ pub const REQUEST_SIZE: usize = 128;
 pub const OP_OFF: usize = crate::server::PAYLOAD_OFF;
 /// Offset of the key.
 pub const KEY_OFF: usize = OP_OFF + 2;
+/// Offset of the absolute deadline (LE `u32`, [`DEADLINE_TICK_NS`]
+/// ticks; 0 = no deadline).
+pub const DEADLINE_OFF: usize = KEY_OFF + 4;
 /// Offset of the (SET) value.
-pub const VALUE_OFF: usize = KEY_OFF + 4;
+pub const VALUE_OFF: usize = DEADLINE_OFF + 4;
+/// Granularity of the on-wire deadline field, in nanoseconds.
+pub const DEADLINE_TICK_NS: f64 = 16.0;
 
-/// Serialises a request into an already-encoded frame payload.
+/// Serialises a request into an already-encoded frame payload. Clears
+/// the deadline field (frames are reused buffers); set one afterwards
+/// with [`write_deadline`].
 pub fn write_request(frame: &mut [u8], req: &KvRequest) {
     frame[OP_OFF] = match req.op {
         KvOp::Get => 0,
         KvOp::Set => 1,
     };
     frame[KEY_OFF..KEY_OFF + 4].copy_from_slice(&req.key.to_le_bytes());
+    frame[DEADLINE_OFF..DEADLINE_OFF + 4].copy_from_slice(&0u32.to_le_bytes());
+}
+
+/// Stamps an absolute completion deadline (simulated ns) into the
+/// frame. Rounds *up* to the next tick so the wire value is never
+/// earlier than the client asked for; saturates at the 4 B ceiling
+/// (~68 s).
+///
+/// # Panics
+///
+/// Panics on a non-positive or non-finite deadline (0 is the "no
+/// deadline" wire encoding; use plain [`write_request`] for that).
+pub fn write_deadline(frame: &mut [u8], deadline_ns: f64) {
+    assert!(
+        deadline_ns.is_finite() && deadline_ns > 0.0,
+        "deadline must be positive and finite"
+    );
+    let ticks = (deadline_ns / DEADLINE_TICK_NS).ceil().min(u32::MAX as f64) as u32;
+    let ticks = ticks.max(1);
+    frame[DEADLINE_OFF..DEADLINE_OFF + 4].copy_from_slice(&ticks.to_le_bytes());
+}
+
+/// Reads the absolute deadline from a frame: `None` when the frame is
+/// too short to carry one (a legal short request) or the field is 0.
+pub fn read_deadline(frame: &[u8]) -> Option<f64> {
+    if frame.len() < DEADLINE_OFF + 4 {
+        return None;
+    }
+    let ticks = u32::from_le_bytes(frame[DEADLINE_OFF..DEADLINE_OFF + 4].try_into().ok()?);
+    (ticks > 0).then_some(ticks as f64 * DEADLINE_TICK_NS)
 }
 
 /// Parses a request from raw frame bytes.
@@ -207,6 +250,41 @@ mod tests {
             assert!(read_request(&frame[..cut]).is_none(), "cut at {cut}");
         }
         assert!(read_request(&frame[..KEY_OFF + 4]).is_some());
+    }
+
+    #[test]
+    fn deadline_roundtrip_rounds_up_to_tick() {
+        let mut frame = vec![0u8; REQUEST_SIZE];
+        write_request(
+            &mut frame,
+            &KvRequest {
+                op: KvOp::Get,
+                key: 1,
+            },
+        );
+        assert_eq!(read_deadline(&frame), None, "fresh request: no deadline");
+        write_deadline(&mut frame, 1000.0);
+        let d = read_deadline(&frame).unwrap();
+        assert!((1000.0..1000.0 + DEADLINE_TICK_NS).contains(&d), "got {d}");
+        // Sub-tick deadlines round up to one tick, never to zero.
+        write_deadline(&mut frame, 0.5);
+        assert_eq!(read_deadline(&frame), Some(DEADLINE_TICK_NS));
+        // A truncated frame cannot carry a deadline.
+        assert_eq!(read_deadline(&frame[..DEADLINE_OFF + 3]), None);
+    }
+
+    #[test]
+    fn write_request_clears_stale_deadline() {
+        let mut frame = vec![0u8; REQUEST_SIZE];
+        write_deadline(&mut frame, 5000.0);
+        write_request(
+            &mut frame,
+            &KvRequest {
+                op: KvOp::Set,
+                key: 2,
+            },
+        );
+        assert_eq!(read_deadline(&frame), None);
     }
 
     #[test]

@@ -13,10 +13,13 @@
 //! that core's closest slice.
 
 use crate::migrate::HotMigrator;
-use crate::proto::{read_request, write_request, KvOp, RequestGen, REQUEST_SIZE, VALUE_OFF};
+use crate::proto::{
+    read_deadline, read_request, write_request, KvOp, RequestGen, REQUEST_SIZE, VALUE_OFF,
+};
 use crate::store::{KvStore, Placement};
 use engine::{
-    Ctx, Engine, EngineConfig, Execution, Hw, MergeCtx, NicDrops, QueueApp, Verdict, WorkerSpec,
+    AdmissionPolicy, Ctx, Engine, EngineConfig, Execution, Hw, MergeCtx, NicDrops, QueueApp,
+    Verdict, WorkerSpec,
 };
 use llc_sim::machine::Machine;
 use rte::fault::FaultPlan;
@@ -125,12 +128,16 @@ pub struct ServerDrops {
     pub malformed: u64,
     /// Requests delivered but too short to carry opcode/key/value.
     pub truncated: u64,
+    /// Requests already past their wire deadline when the server picked
+    /// them up (expired-on-arrival: dropped before the store access, no
+    /// response sent).
+    pub expired: u64,
 }
 
 impl ServerDrops {
     /// Every request dropped, across all causes.
     pub fn total(&self) -> u64 {
-        self.nic.total() + self.malformed + self.truncated
+        self.nic.total() + self.malformed + self.truncated + self.expired
     }
 }
 
@@ -138,8 +145,8 @@ impl std::fmt::Display for ServerDrops {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} malformed={} truncated={}",
-            self.nic, self.malformed, self.truncated
+            "{} malformed={} truncated={} expired={}",
+            self.nic, self.malformed, self.truncated, self.expired
         )
     }
 }
@@ -247,6 +254,90 @@ pub fn flow_for_queue(port: &mut Port, base: FlowTuple, queue: usize) -> FlowTup
     panic!("no source port steers to queue {queue}")
 }
 
+/// What happened to one *delivered* request: the shared serve path's
+/// outcome vocabulary, used by both the closed-loop [`KvApp`] and the
+/// open-loop server app (`crate::openloop`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Served {
+    /// Parsed, in deadline, store accessed, response transmitted.
+    Ok {
+        /// The request's opcode.
+        op: KvOp,
+    },
+    /// Past its wire deadline on arrival; dropped before the store
+    /// access, no response sent.
+    Expired,
+    /// Too short to carry opcode/key (or a SET value cut off).
+    Truncated,
+    /// Unknown opcode.
+    Malformed,
+}
+
+/// The serve path every KVS server app shares: parse the request from
+/// the frame's first cache line, check its wire deadline, run the store
+/// access, and (for a served request) write the response payload in
+/// place. Returns the outcome plus this request's hot-hit delta (0
+/// without a migrator). The *caller* turns the outcome into a
+/// [`Verdict`] and its own counters.
+pub(crate) fn serve_packet(
+    store: &KvStore,
+    migrator: Option<&mut HotMigrator>,
+    ctx: &mut Ctx<'_>,
+    comp: &RxCompletion,
+) -> (Served, u64) {
+    // Parse the request: opcode + key + deadline live in the frame's
+    // first 64 B line, the one CacheDirector places. Never read past
+    // the (possibly truncated) frame.
+    let wire_len = usize::from(comp.len);
+    let mut req_bytes = [0u8; 64];
+    let readable = wire_len.min(req_bytes.len());
+    ctx.m
+        .read_bytes(ctx.core, comp.data_pa, &mut req_bytes[..readable]);
+    let Some(req) = read_request(&req_bytes[..readable]) else {
+        let outcome = if wire_len < crate::proto::KEY_OFF + 4 {
+            Served::Truncated
+        } else {
+            Served::Malformed
+        };
+        return (outcome, 0);
+    };
+    if req.op == KvOp::Set && wire_len < VALUE_OFF + 64 {
+        // A SET whose value was cut off on the wire.
+        return (Served::Truncated, 0);
+    }
+    // Expired-on-arrival: the parse already happened (header read is
+    // timed), but the store access and response are skipped — the
+    // cheapest place to cut an overloaded queue's losses.
+    if let Some(deadline_ns) = read_deadline(&req_bytes[..readable]) {
+        if ctx.wall_ns() > deadline_ns {
+            return (Served::Expired, 0);
+        }
+    }
+    ctx.m.advance(ctx.core, SERVE_WORK);
+    let mut hot_hits = 0;
+    if let Some(mig) = migrator {
+        // Untimed bookkeeping: counts feed the next migration epoch
+        // and the hot-hit ledger, without perturbing served timing.
+        hot_hits = mig.note(req.key) as u64;
+    }
+    match req.op {
+        KvOp::Get => {
+            let mut value = [0u8; 64];
+            store.get(ctx.m, ctx.core, req.key, &mut value);
+            // Write the value into the response payload.
+            ctx.m
+                .write_bytes(ctx.core, comp.data_pa.add(VALUE_OFF as u64), &value);
+        }
+        KvOp::Set => {
+            let mut data = [0u8; 64];
+            ctx.m
+                .read_bytes(ctx.core, comp.data_pa.add(VALUE_OFF as u64), &mut data);
+            store.set(ctx.m, ctx.core, req.key, &data);
+        }
+    }
+    (Served::Ok { op: req.op }, hot_hits)
+}
+
 /// The KVS as a [`QueueApp`]: parse → store access → response, with
 /// served/GET/parse-failure counters. One instance exists per worker
 /// (queue); all instances share one read-only [`KvStore`] handle —
@@ -258,6 +349,7 @@ struct KvApp<'s> {
     gets: u64,
     malformed: u64,
     truncated: u64,
+    expired: u64,
     /// This queue's hot-area monitor/migrator; `None` when the store's
     /// placement declares no hot area for this core. Access counting
     /// happens untimed in `on_packet`; the timed migration swaps run
@@ -292,55 +384,33 @@ impl KvApp<'_> {
 
 impl QueueApp for KvApp<'_> {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, comp: &RxCompletion) -> Verdict {
-        // Parse the request: opcode + key live in the frame's first
-        // 64 B line, the one CacheDirector places. Never read past the
-        // (possibly truncated) frame.
-        let wire_len = usize::from(comp.len);
-        let mut req_bytes = [0u8; 64];
-        let readable = wire_len.min(req_bytes.len());
-        ctx.m
-            .read_bytes(ctx.core, comp.data_pa, &mut req_bytes[..readable]);
-        let Some(req) = read_request(&req_bytes[..readable]) else {
-            if wire_len < crate::proto::KEY_OFF + 4 {
+        let (outcome, hot_hits) = serve_packet(self.store, self.migrator.as_mut(), ctx, comp);
+        self.hot_hits += hot_hits;
+        match outcome {
+            Served::Ok { op } => {
+                if op == KvOp::Get {
+                    self.gets += 1;
+                }
+                self.served += 1;
+                Verdict::Tx(TxDesc {
+                    mbuf: comp.mbuf,
+                    data_pa: comp.data_pa,
+                    len: comp.len,
+                })
+            }
+            Served::Expired => {
+                self.expired += 1;
+                Verdict::Drop
+            }
+            Served::Truncated => {
                 self.truncated += 1;
-            } else {
+                Verdict::Drop
+            }
+            Served::Malformed => {
                 self.malformed += 1;
-            }
-            return Verdict::Drop;
-        };
-        if req.op == KvOp::Set && wire_len < VALUE_OFF + 64 {
-            // A SET whose value was cut off on the wire.
-            self.truncated += 1;
-            return Verdict::Drop;
-        }
-        ctx.m.advance(ctx.core, SERVE_WORK);
-        if let Some(mig) = &mut self.migrator {
-            // Untimed bookkeeping: counts feed the next migration epoch
-            // and the hot-hit ledger, without perturbing served timing.
-            self.hot_hits += mig.note(req.key) as u64;
-        }
-        match req.op {
-            KvOp::Get => {
-                let mut value = [0u8; 64];
-                self.store.get(ctx.m, ctx.core, req.key, &mut value);
-                // Write the value into the response payload.
-                ctx.m
-                    .write_bytes(ctx.core, comp.data_pa.add(PAYLOAD_OFF as u64 + 6), &value);
-                self.gets += 1;
-            }
-            KvOp::Set => {
-                let mut data = [0u8; 64];
-                ctx.m
-                    .read_bytes(ctx.core, comp.data_pa.add(VALUE_OFF as u64), &mut data);
-                self.store.set(ctx.m, ctx.core, req.key, &data);
+                Verdict::Drop
             }
         }
-        self.served += 1;
-        Verdict::Tx(TxDesc {
-            mbuf: comp.mbuf,
-            data_pa: comp.data_pa,
-            len: comp.len,
-        })
     }
 }
 
@@ -406,6 +476,7 @@ pub fn run_server(
             gets: 0,
             malformed: 0,
             truncated: 0,
+            expired: 0,
             migrator: monitored.then(|| {
                 HotMigrator::for_store(m, store, q, epoch_len)
                     .expect("placement declared a hot area for every serving core")
@@ -421,6 +492,7 @@ pub fn run_server(
         burst: cfg.burst,
         faults: cfg.faults.clone(),
         execution: cfg.execution,
+        admission: AdmissionPolicy::AcceptAll,
     };
     let mut hw = Hw {
         m,
@@ -467,7 +539,7 @@ pub fn run_server(
                 write_request(&mut frame, &req);
                 match eng.offer(&mut hw, &gen.flow(), &frame, t) {
                     Ok(_) => progressed = true,
-                    Err(DropReason::NoDescriptor) => break,
+                    Err(engine::Rejection::Nic(DropReason::NoDescriptor)) => break,
                     Err(_) => {}
                 }
             }
@@ -501,6 +573,7 @@ pub fn run_server(
                 nic: l.nic,
                 malformed: apps[q].malformed,
                 truncated: apps[q].truncated,
+                expired: apps[q].expired,
             },
             in_flight: l.in_flight,
             busy_cycles: busy,
@@ -518,8 +591,12 @@ pub fn run_server(
         nic: rep.nic,
         malformed: apps.iter().map(|a| a.malformed).sum(),
         truncated: apps.iter().map(|a| a.truncated).sum(),
+        expired: apps.iter().map(|a| a.expired).sum(),
     };
-    debug_assert_eq!(rep.app_drops, drops.malformed + drops.truncated);
+    debug_assert_eq!(
+        rep.app_drops,
+        drops.malformed + drops.truncated + drops.expired
+    );
     let served = rep.delivered;
     let tps = if busy_max == 0 {
         0.0

@@ -143,3 +143,96 @@ fn queue_stall_reports_match_the_fault_free_baseline_elsewhere() {
         assert_eq!(faulty.per_queue[q].drops.total(), 0);
     }
 }
+
+/// Overload-resilience under compound faults: a ×4 flash crowd
+/// immediately followed by a mempool-exhaustion window must degrade
+/// goodput only while the faults are active. The resilient stack
+/// (queue-depth shedding + deadline-aware retries) has to return to
+/// its pre-fault goodput within the bucket after the last fault lifts —
+/// bounded-time recovery, not just eventual.
+#[test]
+fn flash_crowd_and_pool_exhaustion_recover_to_pre_fault_goodput() {
+    use engine::AdmissionPolicy;
+    use kvs::{run_openloop, OpenLoopConfig};
+    use trafficgen::{OpenLoopGen, RateProfile};
+
+    const SERVE_CORES: usize = 2;
+    const OPS: usize = 4_000;
+    let base_rate = 20e6; // ~65 % of 2-core capacity.
+    let horizon_ns = OPS as f64 / base_rate * 1e9; // 200 µs nominal.
+    let flash = (0.20 * horizon_ns, 0.30 * horizon_ns);
+    // The ×4 flash spends the op budget early: arrivals end at
+    // E = T − 3 × flash_len = 0.7 T.
+    let arrive_end_ns = horizon_ns - 3.0 * (flash.1 - flash.0);
+    // The outage must outlast the pre-posted descriptors: the rings hold
+    // 2 × 256 descriptors and the outage blocks *replenishment*, so at
+    // 20 Mops/s starvation bites ~26 µs in. 40 µs of outage gives a
+    // clearly starved tail.
+    let pool_out = Window::new((0.35 * horizon_ns) as u64, (0.55 * horizon_ns) as u64);
+
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+    let region = m.mem_mut().alloc(8 << 20, 1 << 20).unwrap();
+    let h = XorSliceHash::haswell_8slice();
+    let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
+    let store = KvStore::build(&mut m, &mut alloc, KEYS, Placement::Normal).unwrap();
+    let mut pool = MbufPool::create(&mut m, 4096, 128, 2048).unwrap();
+    let mut port = Port::new(0, Steering::Rss(Rss::new(SERVE_CORES)), 256);
+    let mut policy = FixedHeadroom(128);
+
+    let cfg = OpenLoopConfig::new(OPS, 42)
+        .with_cores(SERVE_CORES)
+        .with_deadline(12_000.0)
+        .with_retries(2_500.0, 4)
+        .with_admission(AdmissionPolicy::QueueDepth { max_backlog: 32 })
+        .with_faults(
+            FaultPlan::none()
+                .with_seed(3)
+                .with_pool_exhaustion(pool_out),
+        );
+    let mut arr = OpenLoopGen::poisson(base_rate, 11)
+        .with_profile(RateProfile::flat().with_flash(flash.0, flash.1, 4.0));
+    let rep = run_openloop(
+        &mut m,
+        &store,
+        &mut pool,
+        &mut port,
+        &mut policy,
+        &mut arr,
+        &cfg,
+    );
+    rep.assert_conservation();
+
+    // Both injected faults must actually bite.
+    assert!(
+        rep.admit.total() > 0,
+        "the flash crowd must push past the admission threshold"
+    );
+    assert!(
+        rep.drops.nic.pool_starved > 0,
+        "the exhaustion window must cost mbuf allocations"
+    );
+
+    // Goodput per tenth of the arrival span [0, E). Pre-fault: the two
+    // buckets before the flash. The outage runs [0.5 E, 0.786 E) with
+    // descriptors starved from ~0.68 E, so bucket 7 is the degraded
+    // window; it ends at 0.8 E, right after the outage lifts, and the
+    // last two buckets must already be back at pre-fault goodput.
+    let bucket_ns = arrive_end_ns / 10.0;
+    let mut buckets = [0u64; 10];
+    for &(tc, _) in &rep.completions {
+        buckets[((tc / bucket_ns) as usize).min(9)] += 1;
+    }
+    let pre = (buckets[0] + buckets[1]) as f64 / 2.0;
+    let during = buckets[7] as f64;
+    let post = (buckets[8] + buckets[9]) as f64 / 2.0;
+    assert!(
+        during < pre,
+        "goodput must degrade while the pool is exhausted \
+         (pre {pre}, during {during})"
+    );
+    assert!(
+        post >= 0.8 * pre,
+        "goodput must recover to >=80% of pre-fault within two buckets \
+         of the last fault lifting (pre {pre}, post {post})"
+    );
+}

@@ -16,7 +16,10 @@ use crate::element::{Action, Ctx, Pkt, ServiceChain};
 use crate::elements::{LoadBalancer, MacSwap, Napt};
 use crate::runtime::{mem_err, SetupError};
 use cache_director::{CacheDirector, CACHEDIRECTOR_HEADROOM};
-use engine::{Ctx as PollCtx, Engine, EngineConfig, Execution, Hw, QueueApp, Verdict, WorkerSpec};
+use engine::{
+    AdmissionPolicy, Ctx as PollCtx, Engine, EngineConfig, Execution, Hw, QueueApp, Verdict,
+    WorkerSpec,
+};
 use llc_sim::machine::{Machine, MachineConfig};
 use rte::fault::FaultPlan;
 use rte::mempool::MbufPool;
@@ -282,6 +285,7 @@ pub fn run_pipeline(
         burst: cfg.burst,
         faults: FaultPlan::none(),
         execution: cfg.execution,
+        admission: AdmissionPolicy::AcceptAll,
     };
     let mut hw = Hw {
         m: &mut m,

@@ -23,7 +23,9 @@ use crate::elements::{LoadBalancer, MacSwap, Napt, Router};
 use crate::lpm::{synth_routes, Lpm};
 use crate::packet::encode_frame;
 use cache_director::{CacheDirector, CACHEDIRECTOR_HEADROOM};
-use engine::{Engine, EngineConfig, Execution, Hw, NicDrops, QueueApp, Verdict, WorkerSpec};
+use engine::{
+    AdmissionPolicy, Engine, EngineConfig, Execution, Hw, NicDrops, QueueApp, Verdict, WorkerSpec,
+};
 use llc_sim::machine::{Machine, MachineConfig};
 use llc_sim::mem::MemError;
 use rte::fault::FaultPlan;
@@ -449,6 +451,7 @@ impl Testbed {
             burst: cfg.burst,
             faults: cfg.faults.clone(),
             execution: cfg.execution,
+            admission: AdmissionPolicy::AcceptAll,
         };
         let mut policy = policy;
         // The engine performs the initial descriptor posting.

@@ -17,16 +17,22 @@
 //! * **Arrival schedules** ([`arrival`]): constant-rate packet pacing at a
 //!   given pps or Gbps on the wire, used by the load generator (§5,
 //!   Table 2).
+//! * **Open-loop generators** ([`openloop`]): Poisson arrivals, burst
+//!   trains and phase-shifting rate profiles (ramps, flash crowds) that
+//!   keep sending regardless of what the server absorbs — the load
+//!   source for the overload/knee studies.
 
 pub mod arrival;
 pub mod flow;
+pub mod openloop;
 pub mod rng;
 pub mod trace;
 pub mod tracefile;
 pub mod zipf;
 
-pub use arrival::{gbps_to_pps, ArrivalSchedule};
+pub use arrival::{gbps_to_pps, ArrivalSchedule, Arrivals};
 pub use flow::FlowTuple;
+pub use openloop::{OpenLoopGen, RateProfile};
 pub use rng::Rng64;
 pub use trace::{CampusTrace, PacketSpec, SizeMix};
 pub use zipf::ZipfGen;

@@ -14,8 +14,12 @@ pub mod fit;
 pub mod hist;
 pub mod percentile;
 pub mod report;
+pub mod slo;
 
 pub use cdf::Cdf;
 pub use fit::{piecewise_knee_fit, LinearFit, PiecewiseFit, QuadraticFit};
 pub use hist::Histogram;
 pub use percentile::Summary;
+pub use slo::{
+    slo_violation_ns, time_above_threshold, try_slo_violation_ns, try_time_above_threshold,
+};

@@ -20,6 +20,8 @@ echo "================ Fig. 12 ================";  $BIN fig12_lowrate 10 5000 $E
 echo "================ Fig. 13 / Table 3a ================"; $BIN fig13_forward 10 120000 $EXTRA
 echo "================ Figs. 1+14 / Table 3b ================"; $BIN fig14_chain 10 120000 $EXTRA
 echo "================ Fig. 15 ================";  $BIN fig15_knee 1 50000 $EXTRA
+echo "================ Overload knee (open-loop KVS) ================"; $BIN fig_knee_kvs 1 30000 $EXTRA
+echo "================ Overload chaos ================"; $BIN fig_knee_kvs 1 30000 --chaos $EXTRA
 echo "================ Fig. 16 / Table 4 ================"; $BIN fig16_table4_skylake 10 $EXTRA
 echo "================ Fig. 17 ================";  $BIN fig17_isolation 1 40000 $EXTRA
 echo "================ §6 Skylake NFV ================"; $BIN skylake_nfv 5 120000 $EXTRA

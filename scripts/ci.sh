@@ -20,7 +20,7 @@ smoke() {
     local bins=(
         table01_cachespec fig04_hash fig05_latency fig06_speedup
         fig07_ops fig08_kvs fig12_lowrate fig13_forward fig14_chain
-        fig15_knee fig16_table4_skylake fig17_isolation
+        fig15_knee fig_knee_kvs fig16_table4_skylake fig17_isolation
         ext_pipeline headroom_dist kvs_probe skylake_nfv calibrate
     )
     for bin in "${bins[@]}"; do
@@ -34,6 +34,11 @@ smoke() {
     echo "    -> fig08_kvs (migration study)"
     ./target/release/fig08_kvs --smoke --zipf=0.99 --migrate=4096 --cores=4 > /dev/null
     ./target/release/fig08_kvs --smoke --parallel --zipf=0.99 --migrate=4096 --cores=4 > /dev/null
+    # The overload chaos scenario: flash crowd + link flap + RX stall,
+    # graceful degradation and recovery, in both execution modes.
+    echo "    -> fig_knee_kvs (chaos scenario)"
+    ./target/release/fig_knee_kvs --smoke --chaos > /dev/null
+    ./target/release/fig_knee_kvs --smoke --parallel --chaos > /dev/null
 }
 
 # Determinism gate: the differential serial-vs-parallel suite, plus a

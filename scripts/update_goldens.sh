@@ -17,7 +17,7 @@ mkdir -p crates/bench/tests/golden
 bins=(
     table01_cachespec fig04_hash fig05_latency fig06_speedup
     fig07_ops fig08_kvs fig12_lowrate fig13_forward fig14_chain
-    fig15_knee fig16_table4_skylake fig17_isolation
+    fig15_knee fig_knee_kvs fig16_table4_skylake fig17_isolation
     ext_pipeline headroom_dist kvs_probe skylake_nfv calibrate
 )
 for bin in "${bins[@]}"; do
@@ -30,5 +30,11 @@ done
 echo "-> fig08_kvs (migration study)"
 ./target/release/fig08_kvs --smoke --zipf=0.99 --migrate=4096 --cores=4 \
     > crates/bench/tests/golden/fig08_kvs_migrate.txt
+
+# The overload chaos scenario is a second output mode of fig_knee_kvs
+# with its own snapshot.
+echo "-> fig_knee_kvs (chaos scenario)"
+./target/release/fig_knee_kvs --smoke --chaos \
+    > crates/bench/tests/golden/fig_knee_kvs_chaos.txt
 
 echo "golden snapshots updated"
