@@ -1,0 +1,140 @@
+//! Dispatch-path benchmark: the per-offer cost of the event-driven
+//! scheduler vs the retained reference tick-stepper, isolated from
+//! application work.
+//!
+//! The figure binaries can't resolve this delta: a reference no-op
+//! epoch costs tens of nanoseconds against microseconds of LLC
+//! simulation per request, so the scheduler difference drowns in
+//! run-to-run noise. Here the app is a zero-work echo and each
+//! iteration is one closed-loop round exactly shaped like
+//! `kvs::server::run_server`'s: top the queues up with offers at the
+//! synced `now`, then `step`. Under the reference tick-stepper every
+//! offer dispatches a workless epoch (partition scan + idle pass +
+//! hook); under the event-driven scheduler it takes the O(workers)
+//! fast path. `scripts/bench.sh` parses the two medians into
+//! `BENCH_engine.json` as the dispatch-path speedup.
+//!
+//! Run with `cargo bench -p bench --features bench-harness --bench sched`.
+
+use bench::harness::{black_box, Group};
+use engine::{
+    AdmissionPolicy, Ctx, Engine, EngineConfig, Execution, Hw, QueueApp, Scheduler, Verdict,
+    WorkerSpec,
+};
+use llc_sim::machine::{Machine, MachineConfig};
+use rte::fault::FaultPlan;
+use rte::mempool::MbufPool;
+use rte::nic::{FixedHeadroom, Port, RxCompletion, TxDesc};
+use rte::steering::{Rss, Steering};
+use trafficgen::FlowTuple;
+
+/// Echo with zero timed work: every cycle spent is engine bookkeeping.
+struct ZeroEcho;
+
+impl QueueApp for ZeroEcho {
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, comp: &RxCompletion) -> Verdict {
+        Verdict::Tx(TxDesc {
+            mbuf: comp.mbuf,
+            data_pa: comp.data_pa,
+            len: comp.len,
+        })
+    }
+}
+
+const WORKERS: usize = 4;
+const DEPTH: usize = 64;
+const OFFERS_PER_ROUND: usize = 32;
+
+fn bench_scheduler(g: &Group, name: &str, scheduler: Scheduler) {
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+    let mut pool = MbufPool::create(&mut m, (4 * WORKERS * DEPTH) as u32, 128, 2048).unwrap();
+    let mut port = Port::new(0, Steering::Rss(Rss::new(WORKERS)), DEPTH);
+    let mut policy = FixedHeadroom(128);
+    let mut hw = Hw {
+        m: &mut m,
+        port: &mut port,
+        pool: &mut pool,
+        policy: &mut policy,
+    };
+    let mut eng = Engine::new(
+        (0..WORKERS).map(|_| ZeroEcho).collect::<Vec<_>>(),
+        EngineConfig {
+            workers: WorkerSpec::run_to_completion(WORKERS),
+            queue_depth: DEPTH,
+            burst: OFFERS_PER_ROUND,
+            faults: FaultPlan::none(),
+            execution: Execution::Serial,
+            admission: AdmissionPolicy::AcceptAll,
+            scheduler,
+        },
+        &mut hw,
+    );
+    let flows: Vec<FlowTuple> = (0..32)
+        .map(|i| FlowTuple::tcp(0x0a00_0000 + i, 1000 + i as u16, 0xc0a8_0001, 80))
+        .collect();
+    let frame = [0u8; 64];
+    let mut i = 0usize;
+    g.bench(name, || {
+        // One closed-loop round, the run_server shape: offers at the
+        // synced now (each one a run_until that the reference stepper
+        // answers with a workless epoch), then one step to process.
+        let t = eng.now_ns();
+        for _ in 0..OFFERS_PER_ROUND {
+            i += 1;
+            let _ = black_box(eng.offer(&mut hw, &flows[i % flows.len()], &frame, t));
+        }
+        black_box(eng.step(&mut hw));
+    });
+    eng.drain(&mut hw);
+    eng.finish(&mut hw);
+}
+
+/// The empty epoch itself: advance virtual time past a workless engine
+/// (the open-loop inter-arrival gap shape). The reference stepper pays
+/// a full partition + idle pass per call; the event-driven scheduler
+/// answers from the heap and the idle floor.
+fn bench_idle_advance(g: &Group, name: &str, scheduler: Scheduler) {
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+    let mut pool = MbufPool::create(&mut m, (4 * WORKERS * DEPTH) as u32, 128, 2048).unwrap();
+    let mut port = Port::new(0, Steering::Rss(Rss::new(WORKERS)), DEPTH);
+    let mut policy = FixedHeadroom(128);
+    let mut hw = Hw {
+        m: &mut m,
+        port: &mut port,
+        pool: &mut pool,
+        policy: &mut policy,
+    };
+    let mut eng = Engine::new(
+        (0..WORKERS).map(|_| ZeroEcho).collect::<Vec<_>>(),
+        EngineConfig {
+            workers: WorkerSpec::run_to_completion(WORKERS),
+            queue_depth: DEPTH,
+            burst: OFFERS_PER_ROUND,
+            faults: FaultPlan::none(),
+            execution: Execution::Serial,
+            admission: AdmissionPolicy::AcceptAll,
+            scheduler,
+        },
+        &mut hw,
+    );
+    let mut t = 0.0f64;
+    g.bench(name, || {
+        t += 100.0;
+        eng.run_until(&mut hw, black_box(t));
+    });
+    eng.finish(&mut hw);
+}
+
+fn main() {
+    let g = Group::new("sched_dispatch");
+    // The ~25 us closed-loop rounds are at the mercy of multi-second
+    // neighbour drift on shared machines; interleave three repetitions
+    // of the pair so a consumer can take per-name minima from
+    // comparable quiet windows.
+    for _ in 0..3 {
+        bench_scheduler(&g, "closed_loop_round_event", Scheduler::EventDriven);
+        bench_scheduler(&g, "closed_loop_round_reference", Scheduler::ReferenceTick);
+    }
+    bench_idle_advance(&g, "empty_advance_event", Scheduler::EventDriven);
+    bench_idle_advance(&g, "empty_advance_reference", Scheduler::ReferenceTick);
+}

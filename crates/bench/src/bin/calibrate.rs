@@ -67,5 +67,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+    bench::eprint_sched_totals("calibrate");
     Ok(())
 }

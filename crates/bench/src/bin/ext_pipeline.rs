@@ -59,5 +59,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          cores\" — placing the header for one stage helps that stage and hurts the \
          other; the compromise slice helps both."
     );
+    bench::eprint_sched_totals("ext_pipeline");
     Ok(())
 }

@@ -54,5 +54,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "DIVERGES (investigate!)"
         }
     );
+    bench::eprint_sched_totals("fig04_hash");
     Ok(())
 }

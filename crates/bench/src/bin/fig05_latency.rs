@@ -51,5 +51,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nPaper Fig. 5a: bimodal reads ~34-56 cycles, closest slice saves up to ~20 \
          cycles (6.25 ns); Fig. 5b: writes flat (write-back confirms at L1)."
     );
+    bench::eprint_sched_totals("fig05_latency");
     Ok(())
 }

@@ -62,5 +62,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          slices negative; the effect appears for writes only under sustained load \
          (write-back accumulation)."
     );
+    bench::eprint_sched_totals("fig06_speedup");
     Ok(())
 }

@@ -80,5 +80,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Paper Fig. 7: slice-aware above normal while the per-core set fits one slice \
          (2.5 MB); both drop to DRAM speed past the LLC and converge."
     );
+    bench::eprint_sched_totals("fig07_ops");
     Ok(())
 }

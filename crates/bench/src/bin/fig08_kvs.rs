@@ -80,6 +80,7 @@ fn run_config(
     let mut cfg = ServerConfig::fig8(requests, get_permille, 1)
         .with_cores(cores)
         .with_execution(execution);
+    cfg.scheduler = bench::scheduler_from_args();
     if let Some(epoch) = migrate {
         cfg = cfg.with_migration(epoch);
     }
@@ -232,7 +233,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let execution = scale.execution(cores);
     let zipf: f64 = flag(&args, "--zipf=").unwrap_or(0.99);
     if let Some(epoch) = flag::<usize>(&args, "--migrate=") {
-        return run_migration_study(
+        let res = run_migration_study(
             n_values,
             log2_n,
             zipf,
@@ -241,6 +242,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cores,
             execution,
         );
+        bench::eprint_sched_totals("fig08_kvs");
+        return res;
     }
     // NOTE: --parallel deliberately does not change this banner — the
     // golden-figure regression diffs serial and parallel stdout against
@@ -303,5 +306,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (the §8 refinement) keeps the direction of the paper's result. See \
          EXPERIMENTS.md."
     );
+    bench::eprint_sched_totals("fig08_kvs");
     Ok(())
 }

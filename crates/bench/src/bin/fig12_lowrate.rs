@@ -69,5 +69,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          slice-distance cycles — same direction, smaller absolute value; see \
          EXPERIMENTS.md)."
     );
+    bench::eprint_sched_totals("fig12_lowrate");
     Ok(())
 }

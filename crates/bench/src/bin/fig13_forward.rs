@@ -77,5 +77,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nPaper: throughput 76.58 Gbps (+31 Mbps with CacheDirector); tail improvements \
          grow with the percentile under RSS."
     );
+    bench::eprint_sched_totals("fig13_forward");
     Ok(())
 }

@@ -110,5 +110,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nPaper: tail (90-99th) reductions up to 119 us (~21.5%); mean ~6%; throughput \
          75.94 Gbps (+27 Mbps)."
     );
+    bench::eprint_sched_totals("fig14_chain");
     Ok(())
 }

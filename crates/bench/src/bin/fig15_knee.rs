@@ -104,5 +104,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nPaper: DPDK low 15.61+0.2379x, high 1977-95.18x+1.158x^2 (R^2 0.995/0.993); \
          CacheDirector's curve sits slightly right — the knee shifts toward higher load."
     );
+    bench::eprint_sched_totals("fig15_knee");
     Ok(())
 }

@@ -58,5 +58,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "primary-slice agreement with the paper: {}",
         if ok { "exact" } else { "DIVERGES" }
     );
+    bench::eprint_sched_totals("fig16_table4_skylake");
     Ok(())
 }

@@ -99,5 +99,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          and LLC rather than splitting), which is why the fits-one-slice size is \
          where the paper's ordering appears; see EXPERIMENTS.md."
     );
+    bench::eprint_sched_totals("fig17_isolation");
     Ok(())
 }

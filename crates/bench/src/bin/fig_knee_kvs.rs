@@ -365,4 +365,5 @@ fn main() {
     } else {
         run_sweep(scale.packets, scale.parallel);
     }
+    bench::eprint_sched_totals("fig_knee_kvs");
 }

@@ -46,5 +46,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cd.stats().fallback
     );
     println!("\nPaper §4.2: median 256 B, 95% of values < 512 B, max 832 B (13 lines).");
+    bench::eprint_sched_totals("headroom_dist");
     Ok(())
 }

@@ -64,5 +64,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (normal - hot) / normal * 100.0
         );
     }
+    bench::eprint_sched_totals("kvs_probe");
     Ok(())
 }

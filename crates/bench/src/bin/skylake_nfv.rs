@@ -102,5 +102,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          targeting the Table-4 preferred set raises the placement rate on an \
          18-slice part."
     );
+    bench::eprint_sched_totals("skylake_nfv");
     Ok(())
 }

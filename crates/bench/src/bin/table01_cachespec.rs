@@ -47,5 +47,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("Paper Table 1 (Haswell): LLC-Slice 2.5MB/20/2048/16-6, L2 256kB/8/512/14-6, L1 32kB/8/64/11-6.");
+    bench::eprint_sched_totals("table01_cachespec");
     Ok(())
 }

@@ -80,6 +80,41 @@ impl Scale {
     pub const SMOKE_PACKETS: usize = 2_000;
 }
 
+/// Diagnostic scheduler override from the command line:
+/// `--scheduler=reference` selects the retained tick-stepper,
+/// `--scheduler=event` (or no flag) the event-driven default. Reports
+/// and figure stdout are bit-identical either way — the knob exists so
+/// `scripts/bench.sh` can measure the empty-epoch tax the event-driven
+/// scheduler removes (the `[sched]` stderr line and wall-clock are the
+/// only things that move).
+pub fn scheduler_from_args() -> engine::Scheduler {
+    if std::env::args().any(|a| a == "--scheduler=reference") {
+        engine::Scheduler::ReferenceTick
+    } else {
+        engine::Scheduler::EventDriven
+    }
+}
+
+/// Prints the process-wide engine scheduler totals
+/// ([`engine::sched_totals`]) as one `[sched]` line — to **stderr**, so
+/// the committed golden stdout of every figure stays byte-stable while
+/// the empty-epoch tax is still visible in every run's output. Binaries
+/// that never construct an engine print zeros, which is the honest
+/// number.
+pub fn eprint_sched_totals(figure: &str) {
+    let t = engine::sched_totals();
+    let eff = if t.epochs_dispatched == 0 {
+        100.0
+    } else {
+        100.0 * t.epochs_with_work as f64 / t.epochs_dispatched as f64
+    };
+    eprintln!(
+        "[sched] {figure}: epochs_dispatched={} epochs_with_work={} \
+         events_processed={} epoch_efficiency={eff:.1}%",
+        t.epochs_dispatched, t.epochs_with_work, t.events_processed
+    );
+}
+
 /// Median of each percentile row across runs: the paper's "values show
 /// the median of 50 runs" aggregation for [p75, p90, p95, p99, mean].
 pub fn median_rows(rows: &[[f64; 5]]) -> [f64; 5] {

@@ -20,6 +20,14 @@
 //!   outages. This is the only PMD loop in the workspace; the NFV
 //!   testbed, the pipelined chain, and the multi-queue KVS are all thin
 //!   [`QueueApp`]s over it.
+//! * **Virtual-time scheduling.** [`Engine::run_until`] does not tick
+//!   once per offered frame: a delayed event queue ([`events`]) keyed
+//!   on integer virtual time holds each busy worker's next epoch-merge
+//!   event, so catch-up calls where no event is due forward the idle
+//!   clocks in O(1) instead of dispatching an empty epoch (the
+//!   "empty-epoch tax" — see `EngineReport::sched`). The tick-stepper
+//!   this replaced is retained as [`Scheduler::ReferenceTick`] and the
+//!   differential suites assert both produce bit-identical reports.
 //! * **Epoch execution, serial or parallel.** Workers advance in
 //!   *epochs*: each active worker runs its polling loop against a
 //!   disjoint machine shard ([`llc_sim::epoch`]) and its own RX-queue
@@ -56,9 +64,11 @@
 //! which Fig. 8's warm-then-measure methodology depends on.
 
 pub mod drops;
+pub mod events;
 mod pool;
 
 pub use drops::{AdmitDrops, NicDrops};
+pub use events::{time_key, time_of_key, DelayedQueue};
 
 use llc_sim::epoch::{CoreMem, EpochShard, LlcOp};
 use llc_sim::machine::Machine;
@@ -137,6 +147,87 @@ impl Execution {
             Execution::Serial
         }
     }
+}
+
+/// Which scheduler drives [`Engine::run_until`].
+///
+/// Both schedulers run the *same* epoch algorithm (partition → shard
+/// polling → worker-ordered merge → epoch hook) whenever an epoch is
+/// dispatched; they differ only in *when* epochs are dispatched. The
+/// differential suite (`tests/reference.rs`) asserts their reports are
+/// bit-identical, field for field, modulo the [`SchedStats`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// The virtual-time event scheduler (default): `run_until`
+    /// dispatches an epoch only when a busy worker's merge event is due
+    /// before the horizon, forwards idle clocks lazily in O(1)
+    /// otherwise, and replays the tick-stepper's idle re-arm only when
+    /// a starved ring could actually re-post (pool live, outage over).
+    #[default]
+    EventDriven,
+    /// The tick-stepper this engine shipped with: every `run_until`
+    /// call dispatches a full epoch — partition, merge walk, epoch
+    /// hook — even when no worker is behind the horizon or has work.
+    /// Retained as the reference baseline for the differential tests;
+    /// `epochs_dispatched` under this scheduler measures the
+    /// empty-epoch tax the event scheduler removes.
+    ReferenceTick,
+}
+
+/// Scheduler observability counters, carried in [`EngineReport`] and
+/// accumulated process-wide (see [`sched_totals`]). Identical across
+/// [`Execution`] modes — dispatch decisions depend only on simulated
+/// state — but *not* across [`Scheduler`] modes, which is their point:
+/// the reference tick-stepper dispatches strictly more epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStats {
+    /// Epochs actually dispatched (partition + merge walk + hook).
+    pub epochs_dispatched: u64,
+    /// Dispatched epochs in which at least one worker polled (had a
+    /// ready completion or backlog behind the horizon). The gap to
+    /// `epochs_dispatched` is the empty-epoch tax.
+    pub epochs_with_work: u64,
+    /// Virtual-time events the scheduler consumed: one per offered
+    /// frame (the arrival event, delivered synchronously by `offer`)
+    /// plus every epoch-merge event popped from the delayed queue.
+    pub events_processed: u64,
+}
+
+impl SchedStats {
+    fn add_to_totals(self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        TOTAL_EPOCHS_DISPATCHED.fetch_add(self.epochs_dispatched, Relaxed);
+        TOTAL_EPOCHS_WITH_WORK.fetch_add(self.epochs_with_work, Relaxed);
+        TOTAL_EVENTS_PROCESSED.fetch_add(self.events_processed, Relaxed);
+    }
+}
+
+static TOTAL_EPOCHS_DISPATCHED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static TOTAL_EPOCHS_WITH_WORK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static TOTAL_EVENTS_PROCESSED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Process-wide [`SchedStats`] totals, summed over every finished
+/// engine in this process. The figure binaries print these to *stderr*
+/// at exit so the empty-epoch tax is visible in every run without
+/// touching the golden stdout snapshots. Purely observational: totals
+/// are atomic sums, so concurrent engines fold in commutatively and
+/// per-engine reports stay exact.
+pub fn sched_totals() -> SchedStats {
+    use std::sync::atomic::Ordering::Relaxed;
+    SchedStats {
+        epochs_dispatched: TOTAL_EPOCHS_DISPATCHED.load(Relaxed),
+        epochs_with_work: TOTAL_EPOCHS_WITH_WORK.load(Relaxed),
+        events_processed: TOTAL_EVENTS_PROCESSED.load(Relaxed),
+    }
+}
+
+/// Resets the process-wide totals (bench harnesses that time several
+/// workloads in one process).
+pub fn reset_sched_totals() {
+    use std::sync::atomic::Ordering::Relaxed;
+    TOTAL_EPOCHS_DISPATCHED.store(0, Relaxed);
+    TOTAL_EPOCHS_WITH_WORK.store(0, Relaxed);
+    TOTAL_EVENTS_PROCESSED.store(0, Relaxed);
 }
 
 /// Why the ingress admission filter shed a frame.
@@ -234,6 +325,9 @@ pub struct EngineConfig {
     pub execution: Execution,
     /// Ingress admission filter (default: accept all).
     pub admission: AdmissionPolicy,
+    /// Event-driven virtual-time scheduling (default) or the reference
+    /// tick-stepper (see [`Scheduler`]).
+    pub scheduler: Scheduler,
 }
 
 /// What an application decides about one received packet.
@@ -395,6 +489,10 @@ pub struct EngineReport {
     pub offered_wire_bits: u64,
     /// Wire bits transmitted.
     pub tx_wire_bits: u64,
+    /// Scheduler counters for this run. Bit-identical across execution
+    /// modes; the only report field that legitimately differs between
+    /// [`Scheduler::EventDriven`] and [`Scheduler::ReferenceTick`].
+    pub sched: SchedStats,
 }
 
 // ---------------------------------------------------------------------
@@ -545,6 +643,13 @@ fn run_task<A: QueueApp>(mut t: WorkerTask<'_, A>) -> TaskOutcome {
     }
 }
 
+/// An engine-internal delayed event (see [`events`]).
+enum EngineEvent {
+    /// The carried worker index has pending work; an epoch merge is
+    /// owed once a catch-up horizon passes its free-at time.
+    Merge(usize),
+}
+
 /// The engine: clocks, fault state, and drop ledgers around one
 /// [`QueueApp`] instance per worker.
 pub struct Engine<A: QueueApp> {
@@ -554,6 +659,21 @@ pub struct Engine<A: QueueApp> {
     /// Persistent threads for [`Execution::Parallel`], spawned lazily
     /// at the first multi-worker epoch (never in serial mode).
     thread_pool: Option<pool::WorkerPool>,
+    /// The virtual-time event queue: at most one pending [`EngineEvent::Merge`]
+    /// per worker (deduplicated by `merge_pending`), keyed on the
+    /// worker's free-at time via [`events::time_key`]. Unused by
+    /// [`Scheduler::ReferenceTick`].
+    events: DelayedQueue<EngineEvent>,
+    /// Whether worker `w` has a merge event in `events`.
+    merge_pending: Vec<bool>,
+    /// Queue → polling-worker map (every port queue has exactly one).
+    queue_worker: Vec<usize>,
+    /// Lazily applied idle-clock forward: every worker's effective
+    /// free-at time is `free_ns[w].max(idle_floor)`. Raised in O(1) by
+    /// catch-up calls where nothing behind the horizon can change
+    /// state; materialized into `free_ns` before any epoch runs.
+    idle_floor: f64,
+    sched: SchedStats,
     free_ns: Vec<f64>,
     ns_per_cycle: f64,
     faults: FaultState,
@@ -616,7 +736,19 @@ impl<A: QueueApp> Engine<A> {
         let carried: Vec<u64> = (0..queues).map(|q| hw.port.ready_count(q) as u64).collect();
         let ns_per_cycle = 1.0 / hw.m.config().freq_ghz;
         let base_stats = hw.port.stats();
-        let eng = Self {
+        let mut queue_worker = vec![0usize; queues];
+        for (w, spec) in cfg.workers.iter().enumerate() {
+            if let Some(q) = spec.queue {
+                queue_worker[q] = w;
+            }
+        }
+        let workers = cfg.workers.len();
+        let mut eng = Self {
+            events: DelayedQueue::new(),
+            merge_pending: vec![false; workers],
+            queue_worker,
+            idle_floor: 0.0,
+            sched: SchedStats::default(),
             free_ns: vec![0.0; cfg.workers.len()],
             ns_per_cycle,
             faults: FaultState::new(cfg.faults.clone()),
@@ -644,6 +776,13 @@ impl<A: QueueApp> Engine<A> {
                 hw.port.refill(hw.m, hw.pool, q, core, hw.policy, target);
             }
         }
+        // Completions carried in from a previous run make their workers
+        // busy from time zero — they owe a merge before any horizon.
+        for w in 0..eng.cfg.workers.len() {
+            if eng.worker_busy(hw, w) {
+                eng.note_merge_due(w);
+            }
+        }
         eng
     }
 
@@ -668,9 +807,84 @@ impl<A: QueueApp> Engine<A> {
         &mut self.apps[w]
     }
 
-    /// The global simulated clock: the latest worker free-at time.
+    /// The global simulated clock: the latest worker free-at time
+    /// (including any lazily forwarded idle time).
     pub fn now_ns(&self) -> f64 {
-        self.free_ns.iter().copied().fold(0.0f64, f64::max)
+        self.free_ns.iter().copied().fold(self.idle_floor, f64::max)
+    }
+
+    /// Worker `w`'s effective free-at time (lazy idle forward applied).
+    fn eff_free(&self, w: usize) -> f64 {
+        self.free_ns[w].max(self.idle_floor)
+    }
+
+    /// Whether worker `w` has pending work: a completion waiting in its
+    /// RX queue, or application backlog. The same predicate
+    /// `run_epoch`'s partition uses.
+    fn worker_busy(&self, hw: &Hw<'_>, w: usize) -> bool {
+        self.cfg.workers[w]
+            .queue
+            .is_some_and(|q| hw.port.ready_count(q) > 0)
+            || self.apps[w].has_backlog()
+    }
+
+    /// Records that worker `w` owes an epoch merge: schedules its merge
+    /// event at its effective free-at time (at most one pending event
+    /// per worker).
+    fn note_merge_due(&mut self, w: usize) {
+        if self.cfg.scheduler == Scheduler::ReferenceTick || self.merge_pending[w] {
+            return;
+        }
+        self.merge_pending[w] = true;
+        self.events
+            .push(events::time_key(self.eff_free(w)), EngineEvent::Merge(w));
+    }
+
+    /// Re-schedules merge events for every still-busy worker. Runs
+    /// after each dispatched epoch (and after `step`'s clock sync, so
+    /// keys reflect the synced clocks).
+    fn resched_merges(&mut self, hw: &Hw<'_>) {
+        if self.cfg.scheduler == Scheduler::ReferenceTick {
+            return;
+        }
+        for w in 0..self.cfg.workers.len() {
+            if !self.merge_pending[w] && self.worker_busy(hw, w) {
+                self.note_merge_due(w);
+            }
+        }
+    }
+
+    /// Applies the lazy idle forward to the per-worker clocks (before
+    /// any code that reads `free_ns` directly: epoch partitions, poll
+    /// start times).
+    fn materialize_floor(&mut self) {
+        if self.idle_floor > 0.0 {
+            for f in &mut self.free_ns {
+                if *f < self.idle_floor {
+                    *f = self.idle_floor;
+                }
+            }
+        }
+    }
+
+    /// Whether advancing idle workers to `h` would do more than forward
+    /// their clocks: true when some worker behind the horizon polls an
+    /// under-posted ring *and* the pool could actually supply a refill
+    /// (a starved refill during a pool outage is a pure no-op —
+    /// `MbufPool::get` under outage has no side effects). When false,
+    /// the tick-stepper's whole idle branch reduces to "set every
+    /// behind clock to `h`", which [`Engine::idle_advance`] defers in
+    /// O(1) via `idle_floor`.
+    fn idle_rearm_needed(&self, hw: &Hw<'_>, h: f64) -> bool {
+        if hw.pool.in_outage() || hw.pool.available() == 0 {
+            return false;
+        }
+        self.cfg.workers.iter().enumerate().any(|(w, spec)| {
+            self.eff_free(w) < h
+                && spec
+                    .queue
+                    .is_some_and(|q| hw.port.posted_count(q) < self.cfg.queue_depth)
+        })
     }
 
     /// Frames offered so far.
@@ -722,6 +936,9 @@ impl<A: QueueApp> Engine<A> {
         let fault = self.faults.draw_for_queue(t_ns, q);
         hw.pool.set_outage(fault.pool_blocked);
         self.run_until(hw, t_ns);
+        // An arrival is processed synchronously at its own virtual time
+        // — it counts as an event without ever sitting in the queue.
+        self.sched.events_processed += 1;
         self.offered += 1;
         self.offered_q[q] += 1;
         self.offered_wire_bits += trafficgen::arrival::wire_bits(frame.len() as u16);
@@ -743,7 +960,12 @@ impl<A: QueueApp> Engine<A> {
             }
         }
         match hw.port.deliver_routed(hw.m, frame, q, mark, t_ns, fault) {
-            Ok(()) => Ok(q),
+            Ok(()) => {
+                // The completion just made `q`'s polling worker busy; it
+                // owes a merge once a horizon passes its free-at time.
+                self.note_merge_due(self.queue_worker[q]);
+                Ok(q)
+            }
             Err(reason) => {
                 let n = &mut self.nic[q];
                 match reason {
@@ -789,8 +1011,102 @@ impl<A: QueueApp> Engine<A> {
     /// the coordinator merges in worker order. Cross-worker handoff
     /// (the epoch hook) is applied once, after the merge, so pipeline
     /// stages see each other's output with epoch granularity.
+    ///
+    /// Under [`Scheduler::EventDriven`] (the default) the epoch is
+    /// dispatched only when the event queue says a worker actually owes
+    /// work before the horizon; otherwise simulated time jumps to
+    /// `until_ns` without one. The resulting [`EngineReport`] is
+    /// bit-identical either way (only [`EngineReport::sched`] differs)
+    /// — `crates/engine/tests/reference.rs` pins this.
     pub fn run_until(&mut self, hw: &mut Hw<'_>, until_ns: f64) {
-        self.run_epoch(hw, until_ns, false);
+        match self.cfg.scheduler {
+            Scheduler::ReferenceTick => {
+                self.run_epoch(hw, until_ns, false);
+            }
+            Scheduler::EventDriven => self.advance_to(hw, until_ns),
+        }
+    }
+
+    /// Event-driven catch-up to horizon `h`, equivalent to
+    /// `run_epoch(h, false)` in everything but wall-clock:
+    ///
+    /// 1. **Fast path** — every worker already free at (or past) `h`:
+    ///    the tick-stepper's partition would be empty on both sides
+    ///    (`free_ns < horizon` is strict), so the whole epoch was the
+    ///    post-merge hook — and the epoch-hook contract (DESIGN.md §3f)
+    ///    makes hooks at workless epochs no-ops. O(1) return.
+    /// 2. **Merge due** — a pending merge event fires strictly before
+    ///    `h`: some worker is busy behind the horizon, so dispatch a
+    ///    real epoch. Event keys can be stale (a worker's clock moves
+    ///    after its event is pushed, e.g. by `step`'s sync); popped
+    ///    events are therefore validated against the worker's *current*
+    ///    state — dropped if it is no longer busy, re-keyed if its
+    ///    free-at time moved past `h`. Staleness only ever delays a
+    ///    key, never advances it past the work (clocks are monotone and
+    ///    keys are pushed when the work appears), so a busy worker
+    ///    behind `h` always has an event before `h`: the dispatch
+    ///    decision exactly matches the tick-stepper's partition.
+    /// 3. **Idle advance** — nobody owes work before `h`: the
+    ///    tick-stepper would only forward clocks and re-arm under-posted
+    ///    rings of idle workers. Run that re-arm pass for real when it
+    ///    would do something ([`Engine::idle_rearm_needed`]), else
+    ///    defer the clock forward in O(1) via `idle_floor`.
+    fn advance_to(&mut self, hw: &mut Hw<'_>, h: f64) {
+        let raw_min = self.free_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        if h <= raw_min.max(self.idle_floor) {
+            return;
+        }
+        let limit = events::time_key(h);
+        let mut due = false;
+        while let Some((_, EngineEvent::Merge(w))) = self.events.pop_before(limit) {
+            self.sched.events_processed += 1;
+            self.merge_pending[w] = false;
+            if !self.worker_busy(hw, w) {
+                // Stale: the pending work this event announced was
+                // already consumed by an earlier epoch or `step`.
+                continue;
+            }
+            if self.eff_free(w) < h {
+                due = true;
+            } else {
+                // Still busy, but its clock was synced past the horizon
+                // (`step`); re-key at the current free-at time.
+                self.note_merge_due(w);
+            }
+        }
+        if due {
+            self.materialize_floor();
+            self.run_epoch(hw, h, false);
+            self.resched_merges(hw);
+        } else {
+            self.idle_advance(hw, h);
+        }
+    }
+
+    /// Advances simulated time to `h` with no worker busy behind it.
+    /// When an idle re-arm could take effect, replicates the
+    /// tick-stepper's idle branch verbatim (forward every behind clock
+    /// to `h`, topping up each such worker's under-posted ring first);
+    /// otherwise just raises `idle_floor`.
+    fn idle_advance(&mut self, hw: &mut Hw<'_>, h: f64) {
+        if !self.idle_rearm_needed(hw, h) {
+            self.idle_floor = h;
+            return;
+        }
+        self.materialize_floor();
+        for w in 0..self.cfg.workers.len() {
+            if self.free_ns[w] >= h {
+                continue;
+            }
+            let spec = self.cfg.workers[w];
+            if let Some(q) = spec.queue {
+                if hw.port.posted_count(q) < self.cfg.queue_depth {
+                    hw.port
+                        .refill(hw.m, hw.pool, q, spec.core, hw.policy, self.cfg.queue_depth);
+                }
+            }
+            self.free_ns[w] = h;
+        }
     }
 
     /// One poll round over every worker with pending work, then a clock
@@ -806,6 +1122,9 @@ impl<A: QueueApp> Engine<A> {
         for f in &mut self.free_ns {
             *f = now;
         }
+        // The sync moved every clock; any worker still holding work owes
+        // a merge keyed at the synced time.
+        self.resched_merges(hw);
         moved
     }
 
@@ -821,6 +1140,10 @@ impl<A: QueueApp> Engine<A> {
     /// the horizon. In single-poll mode (`step`) every worker with
     /// pending work polls exactly once. Returns packets moved.
     fn run_epoch(&mut self, hw: &mut Hw<'_>, horizon_ns: f64, single_poll: bool) -> usize {
+        // The partition (and the poll start times handed to tasks) read
+        // the raw clocks; fold any deferred idle forward in first.
+        self.materialize_floor();
+        self.sched.epochs_dispatched += 1;
         // Partition the workers: `active` get shards and run the loop;
         // `idle` (behind the horizon with nothing to do) only get the
         // idle re-arm refill at the merge.
@@ -835,6 +1158,9 @@ impl<A: QueueApp> Engine<A> {
             } else if !single_poll && self.free_ns[w] < horizon_ns {
                 idle.push(w);
             }
+        }
+        if !active.is_empty() {
+            self.sched.epochs_with_work += 1;
         }
         let outcomes: Vec<TaskOutcome> = if active.is_empty() {
             Vec::new()
@@ -1083,7 +1409,9 @@ impl<A: QueueApp> Engine<A> {
             last_arrival_ns: self.last_arrival_ns,
             offered_wire_bits: self.offered_wire_bits,
             tx_wire_bits: self.tx_wire_bits,
+            sched: self.sched,
         };
+        self.sched.add_to_totals();
         (report, self.apps)
     }
 }
@@ -1144,6 +1472,7 @@ mod tests {
                 faults: FaultPlan::none(),
                 execution,
                 admission: AdmissionPolicy::AcceptAll,
+                scheduler: Scheduler::default(),
             },
             &mut hw,
         );
@@ -1197,6 +1526,7 @@ mod tests {
                 faults: FaultPlan::none(),
                 execution: Execution::Serial,
                 admission: AdmissionPolicy::AcceptAll,
+                scheduler: Scheduler::default(),
             },
             &mut hw,
         );
@@ -1232,6 +1562,7 @@ mod tests {
                 faults: FaultPlan::none(),
                 execution: Execution::Serial,
                 admission,
+                scheduler: Scheduler::default(),
             },
             &mut hw,
         );
@@ -1307,6 +1638,7 @@ mod tests {
                 faults: FaultPlan::none(),
                 execution: Execution::Serial,
                 admission: AdmissionPolicy::QueueDepth { max_backlog: 4 },
+                scheduler: Scheduler::default(),
             },
             &mut hw,
         );
@@ -1356,6 +1688,7 @@ mod tests {
                 faults: FaultPlan::none().with_tx_stall(rte::fault::Window::new(100_000, 300_000)),
                 execution: Execution::Serial,
                 admission: AdmissionPolicy::AcceptAll,
+                scheduler: Scheduler::default(),
             },
             &mut hw,
         );
@@ -1395,6 +1728,7 @@ mod tests {
                     .with_queue_rx_stall(1, rte::fault::Window::new(0, u64::MAX)),
                 execution: Execution::Serial,
                 admission: AdmissionPolicy::AcceptAll,
+                scheduler: Scheduler::default(),
             },
             &mut hw,
         );
@@ -1437,6 +1771,7 @@ mod tests {
                 faults: FaultPlan::none(),
                 execution: Execution::Serial,
                 admission: AdmissionPolicy::AcceptAll,
+                scheduler: Scheduler::default(),
             },
             &mut hw,
         );
@@ -1479,6 +1814,7 @@ mod tests {
                 faults: FaultPlan::none(),
                 execution: Execution::Serial,
                 admission: AdmissionPolicy::AcceptAll,
+                scheduler: Scheduler::default(),
             },
             &mut hw,
         );
@@ -1513,6 +1849,7 @@ mod tests {
                 faults: FaultPlan::none(),
                 execution: Execution::Serial,
                 admission: AdmissionPolicy::AcceptAll,
+                scheduler: Scheduler::default(),
             },
             &mut hw,
         );

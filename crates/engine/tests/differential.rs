@@ -13,8 +13,8 @@
 //! workspace-level `tests/determinism.rs`.
 
 use engine::{
-    AdmissionPolicy, Ctx, Engine, EngineConfig, EngineReport, Execution, Hw, QueueApp, Verdict,
-    WorkerSpec,
+    AdmissionPolicy, Ctx, Engine, EngineConfig, EngineReport, Execution, Hw, QueueApp, SchedStats,
+    Scheduler, Verdict, WorkerSpec,
 };
 use llc_sim::machine::{Machine, MachineConfig};
 use rte::fault::{FaultPlan, Window};
@@ -119,10 +119,10 @@ fn mixed_plan(seed: u64, horizon_ns: u64, queues: usize) -> FaultPlan {
     plan
 }
 
-/// Runs one grid scenario under `execution` and returns the report.
-/// Everything else — arrivals, flows, app decisions — is a pure
-/// function of the scenario, so any divergence between two calls is the
-/// execution mode's fault.
+/// Runs one grid scenario under `execution` (and the default
+/// event-driven scheduler) and returns the report. Everything else —
+/// arrivals, flows, app decisions — is a pure function of the scenario,
+/// so any divergence between two calls is the execution mode's fault.
 fn run_scenario(
     app: AppKind,
     steer: SteerKind,
@@ -131,6 +131,30 @@ fn run_scenario(
     burst: usize,
     faulty: bool,
     execution: Execution,
+) -> EngineReport {
+    run_scheduled(
+        app,
+        steer,
+        queues,
+        depth,
+        burst,
+        faulty,
+        execution,
+        Scheduler::EventDriven,
+    )
+}
+
+/// [`run_scenario`] with the scheduler as an explicit axis.
+#[allow(clippy::too_many_arguments)]
+fn run_scheduled(
+    app: AppKind,
+    steer: SteerKind,
+    queues: usize,
+    depth: usize,
+    burst: usize,
+    faulty: bool,
+    execution: Execution,
+    scheduler: Scheduler,
 ) -> EngineReport {
     let seed = 0xd1f_0000
         ^ (queues as u64) << 4
@@ -175,6 +199,7 @@ fn run_scenario(
         faults,
         execution,
         admission: AdmissionPolicy::AcceptAll,
+        scheduler,
     };
     let mut eng = Engine::new(apps, cfg, &mut hw);
 
@@ -226,6 +251,63 @@ fn grid_serial_and_parallel_reports_are_bit_identical() {
                             serial, par,
                             "{app:?}/{steer:?} q={queues} d={depth} b={burst} \
                              faulty={faulty}: parallel({threads}) diverged from serial"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The reference-vs-event-driven differential: over the entire grid, in
+/// both execution modes, the event-driven scheduler's report equals the
+/// retained reference tick-stepper's field-for-field — except
+/// [`EngineReport::sched`], whose whole point is to differ (the
+/// event-driven run must never dispatch *more* epochs).
+#[test]
+fn event_driven_scheduler_matches_reference_tick_stepper() {
+    let sans_sched = |mut rep: EngineReport| {
+        rep.sched = SchedStats::default();
+        rep
+    };
+    for app in [AppKind::Echo, AppKind::Chaos, AppKind::Backlog] {
+        for steer in [SteerKind::Rss, SteerKind::FlowDirector] {
+            for &(queues, depth, burst) in GEOMETRIES {
+                for faulty in [false, true] {
+                    for execution in [Execution::Serial, Execution::Parallel { threads: 2 }] {
+                        let evt = run_scheduled(
+                            app,
+                            steer,
+                            queues,
+                            depth,
+                            burst,
+                            faulty,
+                            execution,
+                            Scheduler::EventDriven,
+                        );
+                        let tick = run_scheduled(
+                            app,
+                            steer,
+                            queues,
+                            depth,
+                            burst,
+                            faulty,
+                            execution,
+                            Scheduler::ReferenceTick,
+                        );
+                        assert_eq!(
+                            sans_sched(evt.clone()),
+                            sans_sched(tick.clone()),
+                            "{app:?}/{steer:?} q={queues} d={depth} b={burst} faulty={faulty} \
+                             {execution:?}: event-driven diverged from the reference tick-stepper"
+                        );
+                        assert!(
+                            evt.sched.epochs_dispatched <= tick.sched.epochs_dispatched,
+                            "{app:?}/{steer:?} q={queues} d={depth} b={burst} faulty={faulty} \
+                             {execution:?}: event-driven dispatched more epochs ({}) than the \
+                             tick-stepper ({})",
+                            evt.sched.epochs_dispatched,
+                            tick.sched.epochs_dispatched,
                         );
                     }
                 }

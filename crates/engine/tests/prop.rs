@@ -15,8 +15,8 @@
 //! replays exactly.
 
 use engine::{
-    AdmissionPolicy, Ctx, Engine, EngineConfig, EngineReport, Execution, Hw, QueueApp, Verdict,
-    WorkerSpec,
+    AdmissionPolicy, Ctx, Engine, EngineConfig, EngineReport, Execution, Hw, QueueApp, SchedStats,
+    Scheduler, Verdict, WorkerSpec,
 };
 use llc_sim::machine::{Machine, MachineConfig};
 use rte::fault::{FaultPlan, Window};
@@ -99,11 +99,18 @@ fn random_plan(rng: &mut Rng64, horizon_ns: u64, queues: usize) -> FaultPlan {
     plan
 }
 
-/// Replays iteration `seed` under the given execution mode and returns
-/// the final report. Everything — geometry, fault plan, app behaviour,
-/// arrivals, interleaved step calls — is a pure function of `seed`, so
-/// two calls with different `execution` run the exact same scenario.
-fn run_once(iter: u64, seed: u64, execution: Execution) -> EngineReport {
+/// Replays iteration `seed` under the given execution mode and
+/// scheduler, returning the final report plus whether the scenario
+/// installed the timed epoch hook. Everything — geometry, fault plan,
+/// app behaviour, arrivals, interleaved step calls — is a pure function
+/// of `seed`, so two calls with different `execution` or `scheduler`
+/// run the exact same scenario.
+fn run_once(
+    iter: u64,
+    seed: u64,
+    execution: Execution,
+    scheduler: Scheduler,
+) -> (EngineReport, bool) {
     let mut rng = Rng64::seed_from_u64(seed);
     let queues = 1usize << rng.gen_range(0u32..3); // 1, 2 or 4.
     let depth = [16usize, 32, 64][rng.gen_range(0u32..3) as usize];
@@ -157,6 +164,7 @@ fn run_once(iter: u64, seed: u64, execution: Execution) -> EngineReport {
         faults: plan,
         execution,
         admission,
+        scheduler,
     };
     let mut eng = Engine::new(apps, cfg, &mut hw);
     if timed_hook {
@@ -245,6 +253,14 @@ fn run_once(iter: u64, seed: u64, execution: Execution) -> EngineReport {
         "iter {iter} (seed {seed:#x}, {execution:?}): queue partition"
     );
     assert!(rep.duration_ns > 0.0);
+    (rep, timed_hook)
+}
+
+/// The same report with the scheduler counters blanked — the one field
+/// that legitimately differs between [`Scheduler::EventDriven`] and
+/// [`Scheduler::ReferenceTick`].
+fn sans_sched(mut rep: EngineReport) -> EngineReport {
+    rep.sched = SchedStats::default();
     rep
 }
 
@@ -253,14 +269,52 @@ fn random_configs_conserve_packets_and_time_in_both_modes() {
     let mut meta = Rng64::seed_from_u64(0x9e37_79b9_7f4a_7c15);
     for iter in 0..60u64 {
         let seed = meta.next_u64();
-        let serial = run_once(iter, seed, Execution::Serial);
+        let (serial, hooked) = run_once(iter, seed, Execution::Serial, Scheduler::EventDriven);
         // Thread count varies with the iteration so the sweep covers
         // under- and over-subscribed dispatch, including threads == 1.
         let threads = 1 + (iter as usize % 3);
-        let parallel = run_once(iter, seed, Execution::Parallel { threads });
+        let (parallel, _) = run_once(
+            iter,
+            seed,
+            Execution::Parallel { threads },
+            Scheduler::EventDriven,
+        );
         assert_eq!(
             serial, parallel,
             "iter {iter} (seed {seed:#x}): parallel({threads}) diverged from serial"
         );
+        // The retained reference tick-stepper must agree field-for-field
+        // with the event-driven scheduler (sched counters aside) in both
+        // execution modes — except when the scenario installed the timed
+        // epoch hook: that hook burns RNG state and machine cycles *per
+        // hook call*, and the number of hook calls is exactly what
+        // event-driven scheduling reduces (hooks run only at dispatched
+        // epochs; all real apps' hooks are no-ops at workless epochs,
+        // this synthetic one is deliberately not — see DESIGN.md §3f).
+        let (ref_serial, _) = run_once(iter, seed, Execution::Serial, Scheduler::ReferenceTick);
+        let (ref_parallel, _) = run_once(
+            iter,
+            seed,
+            Execution::Parallel { threads },
+            Scheduler::ReferenceTick,
+        );
+        assert_eq!(
+            ref_serial, ref_parallel,
+            "iter {iter} (seed {seed:#x}): reference parallel({threads}) diverged from serial"
+        );
+        if !hooked {
+            assert_eq!(
+                sans_sched(serial.clone()),
+                sans_sched(ref_serial.clone()),
+                "iter {iter} (seed {seed:#x}): event-driven diverged from reference tick-stepper"
+            );
+            assert!(
+                serial.sched.epochs_dispatched <= ref_serial.sched.epochs_dispatched,
+                "iter {iter} (seed {seed:#x}): event-driven dispatched more epochs \
+                 ({}) than the tick-stepper ({})",
+                serial.sched.epochs_dispatched,
+                ref_serial.sched.epochs_dispatched,
+            );
+        }
     }
 }

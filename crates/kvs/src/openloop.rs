@@ -47,15 +47,14 @@ use crate::proto::{RequestGen, REQUEST_SIZE};
 use crate::server::{flow_for_queue, serve_packet, Served, ServerDrops};
 use crate::store::KvStore;
 use engine::{
-    AdmissionPolicy, AdmitDrops, Ctx, Engine, EngineConfig, Execution, Hw, QueueApp, Verdict,
-    WorkerSpec,
+    time_key, time_of_key, AdmissionPolicy, AdmitDrops, Ctx, DelayedQueue, Engine, EngineConfig,
+    Execution, Hw, QueueApp, Scheduler, Verdict, WorkerSpec,
 };
 use llc_sim::machine::Machine;
 use rte::fault::FaultPlan;
 use rte::mempool::MbufPool;
 use rte::nic::{HeadroomPolicy, Port, RxCompletion, TxDesc};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use trafficgen::{Arrivals, FlowTuple, ZipfGen};
 
 /// Open-loop run configuration. Arrival *timing* comes from the
@@ -94,6 +93,10 @@ pub struct OpenLoopConfig {
     /// Serial (reference) or parallel worker execution; reports are
     /// bit-identical either way.
     pub execution: Execution,
+    /// Event-driven virtual-time scheduling (default) or the engine's
+    /// reference tick-stepper; reports are bit-identical either way
+    /// (only `EngineReport::sched` differs).
+    pub scheduler: Scheduler,
 }
 
 impl OpenLoopConfig {
@@ -114,6 +117,7 @@ impl OpenLoopConfig {
             admission: AdmissionPolicy::AcceptAll,
             faults: FaultPlan::none(),
             execution: Execution::Serial,
+            scheduler: Scheduler::default(),
         }
     }
 
@@ -322,6 +326,20 @@ impl QueueApp for OpenLoopApp<'_> {
     }
 }
 
+/// A client-side virtual-time event: the next schedule arrival, or one
+/// op's retry/deadline timer firing. Both ride the engine's
+/// [`DelayedQueue`]; same-time ties resolve by sub-priority — arrivals
+/// (sub 0) before timers (sub `1 + op`), timers in op order — exactly
+/// the order the former two-queue merge produced.
+enum ClientEvent {
+    /// The arrival the generator's [`Arrivals::peek_next_ns`] promised.
+    /// Consuming it draws the arrival and schedules the next peek.
+    Arrival,
+    /// Op `id`'s retry timer (or its give-up check once the deadline or
+    /// attempt budget is spent). Stale once the op resolved.
+    Retry(usize),
+}
+
 /// One logical operation's client-side state.
 struct OpState {
     queue: usize,
@@ -341,10 +359,11 @@ struct Client {
     /// Per queue: op indices of accepted attempts, in offer order —
     /// the FIFO the outcome log is matched against.
     pending: Vec<VecDeque<usize>>,
-    /// Retry timers: `Reverse((time bits, op index))`. Times are
-    /// non-negative, so the bit order equals the numeric order. Stale
-    /// timers (op already done/given up) are dropped lazily.
-    timers: BinaryHeap<Reverse<(u64, usize)>>,
+    /// The client's virtual-time event queue: the promised next arrival
+    /// plus every armed retry timer, keyed on integer time
+    /// ([`time_key`]). Stale timers (op already done/given up) are
+    /// dropped lazily at pop.
+    events: DelayedQueue<ClientEvent>,
     offered: u64,
     accepted: u64,
     rejected: u64,
@@ -398,7 +417,8 @@ impl Client {
         if eng.backpressured(hw, q) {
             backoff *= 2.0;
         }
-        self.timers.push(Reverse(((t + backoff).to_bits(), id)));
+        self.events
+            .push_sub(time_key(t + backoff), 1 + id as u64, ClientEvent::Retry(id));
     }
 
     /// Matches drained server outcomes against the per-queue attempt
@@ -508,6 +528,7 @@ pub fn run_openloop(
         faults: cfg.faults.clone(),
         execution: cfg.execution,
         admission: cfg.admission,
+        scheduler: cfg.scheduler,
     };
     let mut hw = Hw {
         m,
@@ -520,7 +541,7 @@ pub fn run_openloop(
     let mut client = Client {
         ops: Vec::with_capacity(cfg.logical_ops),
         pending: vec![VecDeque::new(); cores],
-        timers: BinaryHeap::new(),
+        events: DelayedQueue::new(),
         offered: 0,
         accepted: 0,
         rejected: 0,
@@ -532,66 +553,77 @@ pub fn run_openloop(
     let mut frame = vec![0u8; REQUEST_SIZE];
     let mut seq = 0u64;
     let mut issued = 0usize;
-    let mut next_arrival = (cfg.logical_ops > 0).then(|| arrivals.next_arrival_ns());
+    if cfg.logical_ops > 0 {
+        // The generator always knows its next timestamp without
+        // consuming it; promise that arrival as an event. Each consumed
+        // arrival re-promises the next, so exactly one Arrival event is
+        // ever pending.
+        client
+            .events
+            .push(time_key(arrivals.peek_next_ns()), ClientEvent::Arrival);
+    }
 
-    // Event loop: interleave the arrival schedule with the retry-timer
-    // heap in global time order (arrivals win ties, deterministically).
-    loop {
-        let ta = next_arrival.unwrap_or(f64::INFINITY);
-        let th = client
-            .timers
-            .peek()
-            .map_or(f64::INFINITY, |Reverse((bits, _))| f64::from_bits(*bits));
-        if ta.is_infinite() && th.is_infinite() {
-            break;
-        }
-        if ta <= th {
-            // New logical op.
-            let q = issued % cores;
-            let req = gens[q].next_request();
-            let deadline = if cfg.deadline_ns.is_finite() {
-                ta + cfg.deadline_ns
-            } else {
-                f64::INFINITY
-            };
-            client.ops.push(OpState {
-                queue: q,
-                req,
-                first_ns: ta,
-                deadline_ns: deadline,
-                attempts: 0,
-                done: false,
-                gave_up: false,
-            });
-            let id = client.ops.len() - 1;
-            client.issue(&mut eng, &mut hw, &flows, cfg, &mut frame, &mut seq, id, ta);
-            issued += 1;
-            next_arrival = (issued < cfg.logical_ops).then(|| arrivals.next_arrival_ns());
-        } else {
-            // Retry timer. An op already resolved needs no engine
-            // catch-up (running to a stale timer's horizon would charge
-            // idle time to the run); otherwise catch the engine up to
-            // the timer, so a response already served by now marks the
-            // op done before the client retransmits or gives up.
-            let Reverse((bits, id)) = client.timers.pop().expect("peeked above");
-            let te = f64::from_bits(bits);
-            if client.ops[id].done || client.ops[id].gave_up {
-                continue; // Stale timer.
+    // Event loop: one shared virtual-time queue interleaves the arrival
+    // schedule with the retry timers in global time order (arrivals win
+    // ties by sub-priority, deterministically).
+    while let Some((key, ev)) = client.events.pop() {
+        match ev {
+            ClientEvent::Arrival => {
+                // New logical op.
+                let ta = arrivals.next_arrival_ns();
+                debug_assert_eq!(time_key(ta), key, "peek promised a different time");
+                let q = issued % cores;
+                let req = gens[q].next_request();
+                let deadline = if cfg.deadline_ns.is_finite() {
+                    ta + cfg.deadline_ns
+                } else {
+                    f64::INFINITY
+                };
+                client.ops.push(OpState {
+                    queue: q,
+                    req,
+                    first_ns: ta,
+                    deadline_ns: deadline,
+                    attempts: 0,
+                    done: false,
+                    gave_up: false,
+                });
+                let id = client.ops.len() - 1;
+                client.issue(&mut eng, &mut hw, &flows, cfg, &mut frame, &mut seq, id, ta);
+                issued += 1;
+                if issued < cfg.logical_ops {
+                    client
+                        .events
+                        .push(time_key(arrivals.peek_next_ns()), ClientEvent::Arrival);
+                }
             }
-            eng.run_until(&mut hw, te);
-            drain_outcomes(&mut eng, &mut client, cores);
-            let op = &client.ops[id];
-            if op.done || op.gave_up {
-                continue; // Resolved by the catch-up.
-            }
-            if op.attempts >= cfg.max_attempts || te >= op.deadline_ns {
-                // Budget spent, or even an instant retry could no
-                // longer beat the deadline: stop amplifying overload.
-                let op = &mut client.ops[id];
-                op.gave_up = true;
-                client.gave_up += 1;
-            } else {
-                client.issue(&mut eng, &mut hw, &flows, cfg, &mut frame, &mut seq, id, te);
+            ClientEvent::Retry(id) => {
+                // Retry timer. An op already resolved needs no engine
+                // catch-up (running to a stale timer's horizon would
+                // charge idle time to the run); otherwise catch the
+                // engine up to the timer, so a response already served
+                // by now marks the op done before the client
+                // retransmits or gives up.
+                let te = time_of_key(key);
+                if client.ops[id].done || client.ops[id].gave_up {
+                    continue; // Stale timer.
+                }
+                eng.run_until(&mut hw, te);
+                drain_outcomes(&mut eng, &mut client, cores);
+                let op = &client.ops[id];
+                if op.done || op.gave_up {
+                    continue; // Resolved by the catch-up.
+                }
+                if op.attempts >= cfg.max_attempts || te >= op.deadline_ns {
+                    // Budget spent, or even an instant retry could no
+                    // longer beat the deadline: stop amplifying
+                    // overload.
+                    let op = &mut client.ops[id];
+                    op.gave_up = true;
+                    client.gave_up += 1;
+                } else {
+                    client.issue(&mut eng, &mut hw, &flows, cfg, &mut frame, &mut seq, id, te);
+                }
             }
         }
         drain_outcomes(&mut eng, &mut client, cores);

@@ -19,7 +19,7 @@ use crate::proto::{
 use crate::store::{KvStore, Placement};
 use engine::{
     AdmissionPolicy, Ctx, Engine, EngineConfig, Execution, Hw, MergeCtx, NicDrops, QueueApp,
-    Verdict, WorkerSpec,
+    Scheduler, Verdict, WorkerSpec,
 };
 use llc_sim::machine::Machine;
 use rte::fault::FaultPlan;
@@ -63,6 +63,10 @@ pub struct ServerConfig {
     /// stores with a hot area are still *monitored* (hot-hit counters)
     /// but never migrated.
     pub migrate_epoch: Option<usize>,
+    /// Event-driven virtual-time scheduling (default) or the engine's
+    /// reference tick-stepper; reports are bit-identical either way
+    /// (only `EngineReport::sched` differs).
+    pub scheduler: Scheduler,
 }
 
 impl ServerConfig {
@@ -77,6 +81,7 @@ impl ServerConfig {
             seed,
             faults: FaultPlan::none(),
             execution: Execution::Serial,
+            scheduler: Scheduler::default(),
             migrate_epoch: None,
         }
     }
@@ -493,6 +498,7 @@ pub fn run_server(
         faults: cfg.faults.clone(),
         execution: cfg.execution,
         admission: AdmissionPolicy::AcceptAll,
+        scheduler: cfg.scheduler,
     };
     let mut hw = Hw {
         m,

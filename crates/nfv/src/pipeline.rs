@@ -17,8 +17,8 @@ use crate::elements::{LoadBalancer, MacSwap, Napt};
 use crate::runtime::{mem_err, SetupError};
 use cache_director::{CacheDirector, CACHEDIRECTOR_HEADROOM};
 use engine::{
-    AdmissionPolicy, Ctx as PollCtx, Engine, EngineConfig, Execution, Hw, QueueApp, Verdict,
-    WorkerSpec,
+    AdmissionPolicy, Ctx as PollCtx, Engine, EngineConfig, Execution, Hw, QueueApp, Scheduler,
+    Verdict, WorkerSpec,
 };
 use llc_sim::machine::{Machine, MachineConfig};
 use rte::fault::FaultPlan;
@@ -60,6 +60,10 @@ pub struct PipelineConfig {
     pub seed: u64,
     /// Serial or parallel worker execution (bit-identical either way).
     pub execution: Execution,
+    /// Event-driven virtual-time scheduling (default) or the engine's
+    /// reference tick-stepper; reports are bit-identical either way
+    /// (only `EngineReport::sched` differs).
+    pub scheduler: Scheduler,
 }
 
 impl PipelineConfig {
@@ -74,6 +78,7 @@ impl PipelineConfig {
             stage_cycles: 300,
             seed: 0x99,
             execution: Execution::Serial,
+            scheduler: Scheduler::default(),
         }
     }
 
@@ -286,6 +291,7 @@ pub fn run_pipeline(
         faults: FaultPlan::none(),
         execution: cfg.execution,
         admission: AdmissionPolicy::AcceptAll,
+        scheduler: cfg.scheduler,
     };
     let mut hw = Hw {
         m: &mut m,

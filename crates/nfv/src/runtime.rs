@@ -24,7 +24,8 @@ use crate::lpm::{synth_routes, Lpm};
 use crate::packet::encode_frame;
 use cache_director::{CacheDirector, CACHEDIRECTOR_HEADROOM};
 use engine::{
-    AdmissionPolicy, Engine, EngineConfig, Execution, Hw, NicDrops, QueueApp, Verdict, WorkerSpec,
+    AdmissionPolicy, Engine, EngineConfig, Execution, Hw, NicDrops, QueueApp, Scheduler, Verdict,
+    WorkerSpec,
 };
 use llc_sim::machine::{Machine, MachineConfig};
 use llc_sim::mem::MemError;
@@ -188,6 +189,10 @@ pub struct RunConfig {
     /// Serial (reference) or parallel worker execution; results are
     /// bit-identical either way.
     pub execution: Execution,
+    /// Event-driven virtual-time scheduling (default) or the engine's
+    /// reference tick-stepper; reports are bit-identical either way
+    /// (only `EngineReport::sched` differs).
+    pub scheduler: Scheduler,
 }
 
 impl RunConfig {
@@ -211,6 +216,7 @@ impl RunConfig {
             seed: 0x0dfe_11ce,
             faults: FaultPlan::none(),
             execution: Execution::Serial,
+            scheduler: Scheduler::default(),
         }
     }
 
@@ -452,6 +458,7 @@ impl Testbed {
             faults: cfg.faults.clone(),
             execution: cfg.execution,
             admission: AdmissionPolicy::AcceptAll,
+            scheduler: cfg.scheduler,
         };
         let mut policy = policy;
         // The engine performs the initial descriptor posting.
@@ -612,6 +619,7 @@ mod tests {
             seed: 7,
             faults: FaultPlan::none(),
             execution: Execution::Serial,
+            scheduler: Scheduler::default(),
         }
     }
 

@@ -36,6 +36,13 @@ pub trait Arrivals {
     /// Next arrival timestamp in simulated nanoseconds. Successive calls
     /// are non-decreasing.
     fn next_arrival_ns(&mut self) -> f64;
+
+    /// The timestamp the next [`Arrivals::next_arrival_ns`] call will
+    /// return, without consuming it. Event-driven run loops use this to
+    /// schedule the next-arrival event instead of polling per tick; both
+    /// in-tree generators already hold the value as state, so peeking is
+    /// free and exact (bit-equal to the consuming call).
+    fn peek_next_ns(&self) -> f64;
 }
 
 /// A constant-rate arrival schedule in simulated nanoseconds.
@@ -85,15 +92,25 @@ impl ArrivalSchedule {
 
     /// Next arrival timestamp in nanoseconds.
     pub fn next_arrival_ns(&mut self) -> f64 {
-        let t = self.next_ps as f64 / 1e3;
+        let t = self.peek_next_ns();
         self.next_ps += self.period_ps;
         t
+    }
+
+    /// The next arrival timestamp without consuming it (exactly the
+    /// value the next [`ArrivalSchedule::next_arrival_ns`] returns).
+    pub fn peek_next_ns(&self) -> f64 {
+        self.next_ps as f64 / 1e3
     }
 }
 
 impl Arrivals for ArrivalSchedule {
     fn next_arrival_ns(&mut self) -> f64 {
         ArrivalSchedule::next_arrival_ns(self)
+    }
+
+    fn peek_next_ns(&self) -> f64 {
+        ArrivalSchedule::peek_next_ns(self)
     }
 }
 
@@ -143,6 +160,18 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn rejects_zero_rate() {
         ArrivalSchedule::constant_pps(0.0);
+    }
+
+    /// Peeking returns exactly what the next consuming call yields and
+    /// never advances the schedule.
+    #[test]
+    fn peek_is_exact_and_non_consuming() {
+        let mut s = ArrivalSchedule::constant_gbps(7.0, 123.0);
+        for _ in 0..100 {
+            let p = s.peek_next_ns();
+            assert_eq!(p, s.peek_next_ns());
+            assert_eq!(p, s.next_arrival_ns());
+        }
     }
 
     /// Pins the rounding rule: integer-ps accumulation keeps total drift

@@ -224,11 +224,23 @@ impl OpenLoopGen {
         self.next_ns = t + gap;
         t
     }
+
+    /// The next arrival timestamp without consuming it (exactly the
+    /// value the next [`OpenLoopGen::next_arrival_ns`] returns — the
+    /// gap draw happens when the arrival is consumed, so peeking burns
+    /// no RNG state).
+    pub fn peek_next_ns(&self) -> f64 {
+        self.next_ns
+    }
 }
 
 impl Arrivals for OpenLoopGen {
     fn next_arrival_ns(&mut self) -> f64 {
         OpenLoopGen::next_arrival_ns(self)
+    }
+
+    fn peek_next_ns(&self) -> f64 {
+        OpenLoopGen::peek_next_ns(self)
     }
 }
 
@@ -238,6 +250,28 @@ mod tests {
 
     fn collect(gen: &mut OpenLoopGen, n: usize) -> Vec<f64> {
         (0..n).map(|_| gen.next_arrival_ns()).collect()
+    }
+
+    /// Peeking is free: any number of peeks returns exactly the value
+    /// the consuming call then yields, with no RNG state burned — the
+    /// contract event-driven run loops rely on to promise the next
+    /// arrival.
+    #[test]
+    fn peek_is_exact_and_burns_no_state() {
+        let profile = || RateProfile::flat().with_flash(5_000.0, 50_000.0, 4.0);
+        let mut peeked = OpenLoopGen::poisson(2e6, 99).with_profile(profile());
+        let mut plain = OpenLoopGen::poisson(2e6, 99).with_profile(profile());
+        for _ in 0..1000 {
+            let p = peeked.peek_next_ns();
+            assert_eq!(p, peeked.peek_next_ns(), "peek must be idempotent");
+            let t = peeked.next_arrival_ns();
+            assert_eq!(p, t, "peek must equal the consuming call");
+            assert_eq!(
+                t,
+                plain.next_arrival_ns(),
+                "peeks must not perturb the stream"
+            );
+        }
     }
 
     #[test]

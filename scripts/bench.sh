@@ -1,0 +1,180 @@
+#!/usr/bin/env bash
+# Engine wall-clock benchmark. Times a fixed set of figure workloads
+# (release build, median of 3 runs each), records each workload's epoch
+# efficiency from the `[sched]` stderr line, and measures the
+# empty-epoch tax directly by running fig08_kvs under both the
+# event-driven scheduler (default) and the retained reference
+# tick-stepper (`--scheduler=reference`). Emits BENCH_engine.json at
+# the repo root; EXPERIMENTS.md quotes the committed snapshot.
+#
+# Stdout is bit-identical across schedulers and runs (the determinism
+# gate enforces it), so only wall clock and the [sched] counters move.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> release build"
+cargo build --release -q -p bench
+
+OUT="BENCH_engine.json"
+
+# Integer milliseconds of wall clock for one run, output discarded.
+time_ms() {
+    local t0 t1
+    t0=$(date +%s%N)
+    "$@" > /dev/null 2> /dev/null
+    t1=$(date +%s%N)
+    echo $(( (t1 - t0) / 1000000 ))
+}
+
+median3() { printf '%s\n' "$@" | sort -n | sed -n '2p'; }
+
+# The `[sched] ...` stderr line of one run (stdout discarded).
+sched_line() { "$@" 2>&1 > /dev/null | grep '^\[sched\]'; }
+
+# Numeric field `$2` out of a [sched] line `$1` (strips a trailing %).
+field() { sed -n "s/.*$2=\([0-9.]*\).*/\1/p" <<< "$1"; }
+
+# Fixed workload set: every engine-backed subsystem is represented
+# (multi-queue KVS, migration study, NFV forward + chained pipeline,
+# open-loop overload chaos) at --smoke scale so the benchmark finishes
+# in seconds and CI can afford to re-run it.
+NAMES=(fig08_kvs_c4 fig08_kvs_migrate fig13_forward fig14_chain fig_knee_chaos)
+declare -A CMDS=(
+    [fig08_kvs_c4]="fig08_kvs --smoke --cores=4"
+    [fig08_kvs_migrate]="fig08_kvs --smoke --zipf=0.99 --migrate=4096 --cores=4"
+    [fig13_forward]="fig13_forward --smoke"
+    [fig14_chain]="fig14_chain --smoke"
+    [fig_knee_chaos]="fig_knee_kvs --smoke --chaos"
+)
+
+json_workloads=""
+for name in "${NAMES[@]}"; do
+    # shellcheck disable=SC2086 # word-splitting the argv is the point
+    set -- ${CMDS[$name]}
+    bin="./target/release/$1"; shift
+    echo "==> ${name}: ${bin##*/} $*"
+    t1=$(time_ms "$bin" "$@")
+    t2=$(time_ms "$bin" "$@")
+    t3=$(time_ms "$bin" "$@")
+    med=$(median3 "$t1" "$t2" "$t3")
+    line=$(sched_line "$bin" "$@")
+    echo "    wall_ms=[${t1},${t2},${t3}] median=${med}"
+    echo "    ${line}"
+    json_workloads+=$(printf '
+    {
+      "name": "%s",
+      "cmd": "%s",
+      "wall_ms_runs": [%s, %s, %s],
+      "wall_ms_median": %s,
+      "epochs_dispatched": %s,
+      "epochs_with_work": %s,
+      "events_processed": %s,
+      "epoch_efficiency_pct": %s
+    },' "$name" "${CMDS[$name]}" "$t1" "$t2" "$t3" "$med" \
+        "$(field "$line" epochs_dispatched)" \
+        "$(field "$line" epochs_with_work)" \
+        "$(field "$line" events_processed)" \
+        "$(field "$line" epoch_efficiency)")
+done
+json_workloads=${json_workloads%,}
+
+# The headline comparison: same figure, same stdout, two schedulers.
+# The epochs_dispatched ratio is the empty-epoch tax the event-driven
+# scheduler removes; the acceptance bar is >= 50x.
+#
+# Measurement protocol for the time axis: a reference no-op epoch costs
+# only ~55 ns, so on the default fig08 profile the tax is a couple of
+# percent of runtime — far below this shared container's run-to-run
+# noise (±15 % wall clock). Two countermeasures: (a) a scheduler-bound
+# profile — 2^10-value store, 200k requests — where per-offer dispatch
+# overhead is the largest fixed cost, and (b) min of 5 *interleaved*
+# CPU-time (user+sys) rounds, which cancels slow-neighbor drift that a
+# median of back-to-back wall clocks cannot.
+CMP=(1 200000 10 --cores=4)
+CMP_ROUNDS=5
+cpu_ms() {
+    local out
+    out=$( { TIMEFORMAT='%U %S'; time "$@" > /dev/null 2> /dev/null; } 2>&1 )
+    awk -v l="$out" 'BEGIN { split(l, a, " "); printf "%d", (a[1] + a[2]) * 1000 }'
+}
+echo "==> scheduler comparison: fig08_kvs ${CMP[*]} (min of ${CMP_ROUNDS} interleaved CPU-time rounds)"
+bin=./target/release/fig08_kvs
+ev_t=99999999; rf_t=99999999
+for (( i = 1; i <= CMP_ROUNDS; i++ )); do
+    ev=$(cpu_ms "$bin" "${CMP[@]}")
+    rf=$(cpu_ms "$bin" "${CMP[@]}" --scheduler=reference)
+    (( ev < ev_t )) && ev_t=$ev
+    (( rf < rf_t )) && rf_t=$rf
+    echo "    round ${i}: event_cpu_ms=${ev} reference_cpu_ms=${rf}"
+done
+ev_line=$(sched_line "$bin" "${CMP[@]}")
+rf_line=$(sched_line "$bin" "${CMP[@]}" --scheduler=reference)
+ev_ep=$(field "$ev_line" epochs_dispatched)
+rf_ep=$(field "$rf_line" epochs_dispatched)
+reduction=$(awk -v r="$rf_ep" -v e="$ev_ep" 'BEGIN { printf "%.1f", r / e }')
+speedup=$(awk -v r="$rf_t" -v e="$ev_t" 'BEGIN { printf "%.2f", r / e }')
+echo "    event:     cpu_ms=${ev_t} ${ev_line}"
+echo "    reference: cpu_ms=${rf_t} ${rf_line}"
+echo "    epoch reduction: ${reduction}x   cpu-time speedup: ${speedup}x"
+
+# The dispatch path under a magnifying glass: the in-tree harness
+# benches one closed-loop round (the run_server offer shape, zero-work
+# app) and one bare empty time advance under both schedulers. Tight
+# median-of-samples loops resolve the tens-of-nanoseconds scheduler
+# delta that the figure-scale comparison above cannot.
+echo "==> dispatch-path microbench (cargo bench --bench sched)"
+bench_out=$(cargo bench -p bench --features bench-harness --bench sched 2> /dev/null)
+sed -n 's/^sched_dispatch/    sched_dispatch/p' <<< "$bench_out"
+# Min of the (repeated, interleaved) medians for one bench name: the
+# quiet-window value, robust to multi-second neighbour drift.
+bench_median() {
+    awk -v n="$1" '$1 ~ n"$" { if (m == "" || $2 + 0 < m) m = $2 + 0 } END { print m }' <<< "$bench_out"
+}
+round_ev=$(bench_median "closed_loop_round_event")
+round_rf=$(bench_median "closed_loop_round_reference")
+adv_ev=$(bench_median "empty_advance_event")
+adv_rf=$(bench_median "empty_advance_reference")
+round_speedup=$(awk -v r="$round_rf" -v e="$round_ev" 'BEGIN { printf "%.2f", r / e }')
+adv_speedup=$(awk -v r="$adv_rf" -v e="$adv_ev" 'BEGIN { printf "%.2f", r / e }')
+echo "    closed-loop round speedup: ${round_speedup}x   empty advance speedup: ${adv_speedup}x"
+
+cat > "$OUT" <<EOF
+{
+  "benchmark": "engine event-driven scheduler",
+  "protocol": "release build, median of 3 runs, --smoke scale",
+  "workloads": [${json_workloads}
+  ],
+  "scheduler_comparison": {
+    "cmd": "fig08_kvs ${CMP[*]}",
+    "protocol": "min of ${CMP_ROUNDS} interleaved CPU-time (user+sys) rounds; scheduler-bound profile (2^10-value store) so dispatch overhead dominates per-offer cost",
+    "event_driven": {
+      "cpu_ms_min": ${ev_t},
+      "epochs_dispatched": ${ev_ep},
+      "epoch_efficiency_pct": $(field "$ev_line" epoch_efficiency)
+    },
+    "reference_tick": {
+      "cpu_ms_min": ${rf_t},
+      "epochs_dispatched": ${rf_ep},
+      "epoch_efficiency_pct": $(field "$rf_line" epoch_efficiency)
+    },
+    "epochs_dispatched_reduction": ${reduction},
+    "cpu_time_speedup": ${speedup}
+  },
+  "dispatch_path_microbench": {
+    "protocol": "in-tree harness (cargo bench --bench sched), median ns/iter; zero-work echo app, 4 workers, serial execution",
+    "closed_loop_round": {
+      "description": "32 offers at the synced now + one step, the run_server shape",
+      "event_ns": ${round_ev},
+      "reference_ns": ${round_rf},
+      "wall_clock_speedup": ${round_speedup}
+    },
+    "empty_advance": {
+      "description": "one run_until past a workless engine, the open-loop gap shape",
+      "event_ns": ${adv_ev},
+      "reference_ns": ${adv_rf},
+      "wall_clock_speedup": ${adv_speedup}
+    }
+  }
+}
+EOF
+echo "==> wrote ${OUT}"

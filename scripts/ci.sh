@@ -41,11 +41,14 @@ smoke() {
     ./target/release/fig_knee_kvs --smoke --parallel --chaos > /dev/null
 }
 
-# Determinism gate: the differential serial-vs-parallel suite, plus a
-# byte-level double-run diff of an engine-backed figure binary under
-# --parallel — two runs of the same command must print the same bytes.
+# Determinism gate: the differential suite (serial vs parallel AND
+# event-driven vs reference tick-stepper), a byte-level double-run diff
+# of an engine-backed figure binary under --parallel, a byte-level
+# scheduler diff (the event-driven scheduler must print the same stdout
+# as the retained tick-stepper), and the pinned epoch ceiling (the
+# empty-epoch tax must stay dead).
 det() {
-    echo "==> determinism: differential serial-vs-parallel suite"
+    echo "==> determinism: differential suite (serial/parallel + reference/event-driven)"
     cargo test -p engine --test differential -q
     # Same suite single-threaded: harness scheduling must not matter.
     cargo test -p engine --test differential -q -- --test-threads=1
@@ -57,7 +60,23 @@ det() {
     ./target/release/fig08_kvs --smoke --parallel --cores=4 > "$out_a"
     ./target/release/fig08_kvs --smoke --parallel --cores=4 > "$out_b"
     diff -u "$out_a" "$out_b"
+    echo "==> determinism: scheduler diff of fig08_kvs --smoke (event vs reference)"
+    ./target/release/fig08_kvs --smoke --cores=4 --scheduler=reference > "$out_b"
+    ./target/release/fig08_kvs --smoke --cores=4 > "$out_a"
+    diff -u "$out_b" "$out_a"
     rm -f "$out_a" "$out_b"
+    echo "==> scheduler: pinned epoch ceiling on fig08_kvs --smoke --cores=4"
+    # The event-driven scheduler dispatches ~300 epochs here (one per
+    # closed-loop round); the tick-stepper paid ~52k. The ceiling has
+    # 2x headroom — above it, the empty-epoch tax is creeping back.
+    local ceiling=600 sched dispatched
+    sched="$(./target/release/fig08_kvs --smoke --cores=4 2>&1 >/dev/null | grep '^\[sched\]')"
+    echo "    ${sched}"
+    dispatched="$(sed -n 's/.*epochs_dispatched=\([0-9]*\).*/\1/p' <<<"${sched}")"
+    if [[ -z "${dispatched}" ]] || (( dispatched == 0 || dispatched > ceiling )); then
+        echo "FAIL: epochs_dispatched=${dispatched:-unparsed} outside (0, ${ceiling}]" >&2
+        exit 1
+    fi
 }
 
 if [[ "${1:-}" == "smoke" ]]; then
