@@ -8,7 +8,7 @@
 
 use engine::Execution;
 use kvs::proto::RequestGen;
-use kvs::server::{flow_for_queue, run_server, ServerConfig};
+use kvs::server::{flow_for_queue, run_server, MigrationMode, ServerConfig};
 use kvs::store::{KvStore, Placement};
 use llc_sim::hash::{SliceHash, XorSliceHash};
 use llc_sim::machine::{Machine, MachineConfig};
@@ -16,7 +16,7 @@ use rte::mempool::MbufPool;
 use rte::nic::{FixedHeadroom, Port};
 use rte::steering::{Rss, Steering};
 use slice_aware::alloc::SliceAllocator;
-use trafficgen::{FlowTuple, ZipfGen};
+use trafficgen::{FlowTuple, PhaseGen, PhaseSchedule, ZipfGen};
 use xstats::report::{f, Table};
 
 /// One benchmark point: warm-up pass, then a measured run.
@@ -24,8 +24,10 @@ use xstats::report::{f, Table};
 /// `make_placement` sees the built machine (the migration study homes
 /// each core's hot pool in that core's closest slice); `scramble`
 /// passes client keys through a seeded bijection so Zipf popularity is
-/// decorrelated from key identity; `migrate` enables §8 hot-set
-/// migration every that-many accesses per core.
+/// decorrelated from key identity; `migration` selects the §8 hot-set
+/// migration policy; `churn` runs every client through the given phase
+/// schedule (rank rotation per phase — the non-stationary workload of
+/// the `--churn` study).
 #[allow(clippy::too_many_arguments)]
 fn run_config(
     n_values: usize,
@@ -36,7 +38,8 @@ fn run_config(
     cores: usize,
     execution: Execution,
     scramble: bool,
-    migrate: Option<usize>,
+    migration: MigrationMode,
+    churn: Option<&PhaseSchedule>,
 ) -> Result<kvs::ServerReport, Box<dyn std::error::Error>> {
     // The slice-aware carving needs ~slices x the store's footprint.
     let store_bytes = n_values * 64;
@@ -52,9 +55,17 @@ fn run_config(
     let store = KvStore::build(&mut m, &mut alloc, n_values, placement.clone())?;
     let mut pool = MbufPool::create(&mut m, (1024 * cores) as u32, 128, 2048)?;
     let mut port = Port::new(0, Steering::Rss(Rss::new(cores)), 256);
+    let make_gen = |keygen: ZipfGen, q: u64| match churn {
+        Some(schedule) => RequestGen::phased(
+            PhaseGen::new(keygen, schedule.clone(), 5150 + q),
+            get_permille,
+            77 + q,
+        ),
+        None => RequestGen::new(keygen, get_permille, 77 + q),
+    };
     let mut gens: Vec<RequestGen> = if cores == 1 {
         let keygen = ZipfGen::new(n_values as u64, theta, 4242);
-        vec![RequestGen::new(keygen, get_permille, 77)]
+        vec![make_gen(keygen, 0)]
     } else {
         // Multi-queue (§8): each queue's client draws from its own key
         // class so concurrent workers' SETs stay disjoint.
@@ -63,7 +74,7 @@ fn run_config(
             .map(|q| {
                 let flow = flow_for_queue(&mut port, base, q);
                 let keygen = ZipfGen::new((n_values / cores) as u64, theta, 4242 + q as u64);
-                RequestGen::new(keygen, get_permille, 77 + q as u64)
+                make_gen(keygen, q as u64)
                     .with_flow(flow)
                     .with_key_partition(cores as u32, q as u32)
             })
@@ -81,9 +92,7 @@ fn run_config(
         .with_cores(cores)
         .with_execution(execution);
     cfg.scheduler = bench::scheduler_from_args();
-    if let Some(epoch) = migrate {
-        cfg = cfg.with_migration(epoch);
-    }
+    cfg.migration = migration;
     // Warm-up pass (the paper averages many runs on a hot server). With
     // migration enabled it also pre-migrates the store, so the measured
     // run starts from a layout the warm-up's migrator left behind —
@@ -159,11 +168,15 @@ fn run_migration_study(
         slices: (0..cores).map(|c| m.closest_slice(c)).collect(),
         hot_per_core,
     };
-    type StudyConfig<'a> = (&'a str, &'a dyn Fn(&Machine) -> Placement, Option<usize>);
+    type StudyConfig<'a> = (&'a str, &'a dyn Fn(&Machine) -> Placement, MigrationMode);
     let configs: [StudyConfig<'_>; 3] = [
-        ("Striped (static)", &striped, None),
-        ("StripedHot", &striped_hot, None),
-        ("StripedHot+migrate", &striped_hot, Some(epoch)),
+        ("Striped (static)", &striped, MigrationMode::Off),
+        ("StripedHot", &striped_hot, MigrationMode::Off),
+        (
+            "StripedHot+migrate",
+            &striped_hot,
+            MigrationMode::Always { epoch },
+        ),
     ];
     let mut t = Table::new([
         "Config",
@@ -174,7 +187,7 @@ fn run_migration_study(
         "MigCycles",
     ]);
     let mut reports = Vec::new();
-    for (label, make_placement, migrate) in configs {
+    for (label, make_placement, migration) in configs {
         let rep = run_config(
             n_values,
             make_placement,
@@ -184,7 +197,8 @@ fn run_migration_study(
             cores,
             execution,
             true,
-            migrate,
+            migration,
+            None,
         )?;
         t.row([
             label.to_string(),
@@ -220,6 +234,113 @@ fn run_migration_study(
     Ok(())
 }
 
+/// The `--churn=<epoch>` study: hot-set churn (each client's rank→key
+/// mapping rotates every phase, so the popular keys go cold three times
+/// per run) served by a StripedHot layout under three policies — no
+/// migration, §8 always-migrate, and the cost-aware self-tuning
+/// controller. The claim under test: economics beat both extremes on
+/// TPS, and the cost-aware controller never executes a swap at a
+/// projected loss.
+#[allow(clippy::too_many_arguments)]
+fn run_churn_study(
+    n_values: usize,
+    log2_n: u32,
+    theta: f64,
+    epoch: usize,
+    requests: usize,
+    cores: usize,
+    execution: Execution,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let class_len = n_values / cores;
+    let hot_per_core = (20_000 / cores).min(class_len / 8).max(1);
+    // Every core sees at least six epoch boundaries (two per phase), so
+    // the controller gets a convergence window inside each phase even
+    // at --smoke scale.
+    let requests = requests.max(cores * epoch * 6);
+    let phases = 3usize;
+    let phase_len = (requests / cores / phases).max(1) as u64;
+    // Any non-zero rotation lands on a disjoint key set (clients
+    // scramble their ranks); a third of the class keeps the three
+    // phases' heads pairwise far apart.
+    let step = (class_len as u64 / 3).max(1);
+    let schedule = PhaseSchedule::hot_set_churn(phases, phase_len, step);
+    println!(
+        "Fig. 8 addendum — cost-aware migration under hot-set churn, {cores} core(s), \
+         2^{log2_n} x 64 B values, Zipf({theta}) scrambled keys, {phases} phases x \
+         {phase_len} draws/client (rank rotation {step}), epoch {epoch}, \
+         {requests} requests/point\n"
+    );
+    let striped_hot = move |m: &Machine| Placement::StripedHot {
+        slices: (0..cores).map(|c| m.closest_slice(c)).collect(),
+        hot_per_core,
+    };
+    let configs: [(&str, MigrationMode); 3] = [
+        ("StripedHot (static)", MigrationMode::Off),
+        ("Always-migrate", MigrationMode::Always { epoch }),
+        ("Cost-aware", MigrationMode::CostAware { epoch }),
+    ];
+    let mut t = Table::new([
+        "Config",
+        "HotHit%",
+        "MTPS",
+        "Cycles/req",
+        "Migrated",
+        "Vetoed",
+        "Deferred",
+        "AtLoss",
+        "MigCycles",
+    ]);
+    let mut reports = Vec::new();
+    for (label, migration) in configs {
+        let rep = run_config(
+            n_values,
+            &striped_hot,
+            theta,
+            950,
+            requests,
+            cores,
+            execution,
+            true,
+            migration,
+            Some(&schedule),
+        )?;
+        t.row([
+            label.to_string(),
+            f(rep.hot_hit_rate() * 100.0, 1),
+            f(rep.tps / 1e6, 3),
+            f(rep.cycles_per_request, 1),
+            rep.migrated.to_string(),
+            rep.swaps_vetoed.to_string(),
+            rep.swaps_deferred.to_string(),
+            rep.swaps_at_loss.to_string(),
+            rep.migration_cycles.to_string(),
+        ]);
+        reports.push(rep);
+    }
+    println!("{}", t.render());
+    let [stat, always, aware] = &reports[..] else {
+        unreachable!()
+    };
+    println!(
+        "cost-aware TPS delta: {:+.1}% vs static, {:+.1}% vs always-migrate",
+        (aware.tps - stat.tps) / stat.tps * 100.0,
+        (aware.tps - always.tps) / always.tps * 100.0
+    );
+    println!(
+        "cost-aware swaps at a projected loss: {} (always-migrate executed {})",
+        aware.swaps_at_loss, always.swaps_at_loss
+    );
+    println!(
+        "\nEvery phase rotates each client's rank->key mapping, so the Zipf head \
+         becomes a disjoint, cold key set. Always-migrate re-fills whole hot pools \
+         every epoch and pays for the unprofitable tail (AtLoss counts swaps whose \
+         projected benefit was below the measured swap cost); the cost-aware \
+         controller swaps only candidates that clear its running cost estimate, \
+         defers past its batch cap, and backs off once the hot set is captured."
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = bench::Scale::from_args(1, 150_000);
     let args: Vec<String> = std::env::args().collect();
@@ -232,6 +353,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cores: usize = flag(&args, "--cores=").unwrap_or(1);
     let execution = scale.execution(cores);
     let zipf: f64 = flag(&args, "--zipf=").unwrap_or(0.99);
+    if args
+        .iter()
+        .any(|a| a == "--churn" || a.starts_with("--churn="))
+    {
+        let epoch = flag::<usize>(&args, "--churn=").unwrap_or(4096);
+        let res = run_churn_study(
+            n_values,
+            log2_n,
+            zipf,
+            epoch,
+            scale.packets,
+            cores,
+            execution,
+        );
+        bench::eprint_sched_totals("fig08_kvs");
+        return res;
+    }
     if let Some(epoch) = flag::<usize>(&args, "--migrate=") {
         let res = run_migration_study(
             n_values,
@@ -285,6 +423,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 cores,
                 execution,
                 false,
+                MigrationMode::Off,
                 None,
             )?
             .tps / 1e6;

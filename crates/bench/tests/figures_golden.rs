@@ -104,6 +104,30 @@ mod fig08_kvs_migrate {
     }
 }
 
+/// The fig08_kvs `--churn` study (cost-aware migration under hot-set
+/// churn) has its own golden, same bit-identical serial/parallel
+/// contract. The snapshot also pins the acceptance shape: zero at-loss
+/// swaps for the cost-aware row.
+mod fig08_kvs_churn {
+    use super::*;
+
+    const GOLDEN: &str = include_str!("golden/fig08_kvs_churn.txt");
+    const EXE: &str = env!("CARGO_BIN_EXE_fig08_kvs");
+    const ARGS: [&str; 3] = ["--zipf=0.99", "--churn=4096", "--cores=4"];
+
+    #[test]
+    fn smoke_serial_matches_golden() {
+        let out = run(EXE, &[&["--smoke"], &ARGS[..]].concat());
+        assert_matches_golden("fig08_kvs_churn", "serial", GOLDEN, &out);
+    }
+
+    #[test]
+    fn smoke_parallel_matches_same_golden() {
+        let out = run(EXE, &[&["--smoke", "--parallel"], &ARGS[..]].concat());
+        assert_matches_golden("fig08_kvs_churn", "parallel", GOLDEN, &out);
+    }
+}
+
 /// The fig_knee_kvs `--chaos` study has its own golden (the overload
 /// sweep keeps the default snapshot), same bit-identical
 /// serial/parallel contract.

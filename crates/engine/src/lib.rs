@@ -1320,12 +1320,29 @@ impl<A: QueueApp> Engine<A> {
         }
         // 4. Cross-worker handoff, with the machine fully merged.
         if let Some(hook) = self.epoch_hook.as_mut() {
+            // Timed machine work a hook performs on a worker's core
+            // (e.g. a batched migration at the merge) occupies that
+            // core: fold the hook's clock delta into the worker's
+            // availability so its next poll starts after the batch.
+            // Hooks at workless epochs are no-ops (DESIGN §3f), so this
+            // fold never moves a clock when nothing happened — the
+            // schedulers' epochs-with-work coincide and stay
+            // bit-identical.
+            let before: Vec<u64> = (0..self.cfg.workers.len())
+                .map(|w| hw.m.now(self.cfg.workers[w].core))
+                .collect();
             let mut mc = MergeCtx {
                 pool: hw.pool,
                 m: hw.m,
                 app_drops: &mut self.app_drops,
             };
             moved += hook(&mut self.apps, &mut mc);
+            for (w, &start) in before.iter().enumerate() {
+                let delta = hw.m.now(self.cfg.workers[w].core) - start;
+                if delta > 0 {
+                    self.free_ns[w] += delta as f64 * self.ns_per_cycle;
+                }
+            }
         }
         moved
     }

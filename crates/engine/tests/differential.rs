@@ -391,6 +391,168 @@ fn concurrent_engines_do_not_interfere() {
     });
 }
 
+/// An app whose epoch hook behaves like the cost-aware migrator: it
+/// accumulates per-queue access counts, and at epoch merges performs
+/// *conditional, batched, timed* machine work on the serving core —
+/// with a running cost estimate, an economics veto, and dormancy
+/// back-off, exactly the stateful shape of `kvs`'s controller (which
+/// gets its own end-to-end differential in the workspace-level
+/// `tests/determinism.rs`).
+struct EconApp {
+    seen: u64,
+    charged: u64,
+}
+
+impl QueueApp for EconApp {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, comp: &RxCompletion) -> Verdict {
+        ctx.m.advance(ctx.core, 100);
+        self.seen += 1;
+        Verdict::Tx(TxDesc {
+            mbuf: comp.mbuf,
+            data_pa: comp.data_pa,
+            len: comp.len,
+        })
+    }
+}
+
+/// Runs the economics-hook scenario and returns the report, the final
+/// per-core machine clocks, and the cycles each queue's hook charged.
+fn run_econ(execution: Execution, scheduler: Scheduler) -> (EngineReport, Vec<u64>, Vec<u64>) {
+    let queues = 2usize;
+    let depth = 32usize;
+    let apps: Vec<EconApp> = (0..queues)
+        .map(|_| EconApp {
+            seen: 0,
+            charged: 0,
+        })
+        .collect();
+    let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(64 << 20));
+    let mut pool = MbufPool::create(&mut m, (4 * queues * depth) as u32, 128, 2048).unwrap();
+    let mut port = Port::new(0, Steering::Rss(Rss::new(queues)), depth);
+    let mut policy = FixedHeadroom(128);
+    let mut hw = Hw {
+        m: &mut m,
+        port: &mut port,
+        pool: &mut pool,
+        policy: &mut policy,
+    };
+    let cfg = EngineConfig {
+        workers: WorkerSpec::run_to_completion(queues),
+        queue_depth: depth,
+        burst: 8,
+        faults: FaultPlan::none(),
+        execution,
+        admission: AdmissionPolicy::AcceptAll,
+        scheduler,
+    };
+    let mut eng = Engine::new(apps, cfg, &mut hw);
+    // Controller state captured by the hook: a per-queue cost estimate
+    // refined from "realized" charges, calm-epoch counters and dormancy
+    // flags. Everything is a pure function of the apps' access counts,
+    // so both schedulers and both execution modes must replay it
+    // identically. Crucially the hook is a strict no-op at workless
+    // epochs: `seen` only moves when packets were processed, and every
+    // acting branch resets it.
+    let mut est = vec![800u64; queues];
+    let mut calm = vec![0u32; queues];
+    let mut dormant = vec![false; queues];
+    eng.set_epoch_hook(Box::new(
+        move |apps: &mut [EconApp], mc: &mut engine::MergeCtx<'_>| {
+            for (w, app) in apps.iter_mut().enumerate() {
+                if app.seen < 60 {
+                    continue;
+                }
+                let projected = app.seen * 20;
+                if dormant[w] && projected <= 2 * est[w] {
+                    app.seen = 0;
+                    continue;
+                }
+                if projected > est[w] {
+                    // Batched timed work on the serving core (worker w runs
+                    // on core w under run_to_completion).
+                    let batch = (app.seen / 12).min(4);
+                    let cycles = batch * est[w] / 2 + 37;
+                    mc.m.advance(w, cycles);
+                    app.charged += cycles;
+                    est[w] = (est[w] + cycles / batch.max(1)) / 2;
+                    calm[w] = 0;
+                    dormant[w] = false;
+                } else {
+                    calm[w] += 1;
+                    if calm[w] >= 2 {
+                        dormant[w] = true;
+                    }
+                }
+                app.seen = 0;
+            }
+            0
+        },
+    ));
+    let mut rng = Rng64::seed_from_u64(0xec0_90d);
+    let mut t = 0.0f64;
+    let mut frame = vec![0u8; 128];
+    for i in 0..400usize {
+        t += rng.gen_range(1u32..500) as f64;
+        let f = FlowTuple::tcp(
+            0x0a00_0000 + rng.gen_range(0u32..48),
+            2000 + rng.gen_range(0u32..48) as u16,
+            0xc0a8_0001,
+            443,
+        );
+        frame[0] = i as u8;
+        let _ = eng.offer(&mut hw, &f, &frame, t);
+        if rng.gen_range(0u32..5) == 0 {
+            eng.step(&mut hw);
+        }
+    }
+    eng.drain(&mut hw);
+    let (rep, apps) = eng.finish(&mut hw);
+    let clocks = (0..queues).map(|c| hw.m.now(c)).collect();
+    let charged = apps.iter().map(|a| a.charged).collect();
+    (rep, clocks, charged)
+}
+
+/// The tentpole's engine-side obligation: a stateful, economics-driven
+/// epoch hook that charges timed machine work at merges must stay
+/// bit-identical — report, per-core clocks, and charged cycles — across
+/// serial/parallel and event-driven/reference-tick, because its
+/// decisions are pure functions of noted access counts and it is a
+/// no-op at workless epochs (DESIGN §3f).
+#[test]
+fn stateful_economics_hook_is_bit_identical_across_modes_and_schedulers() {
+    let sans_sched = |mut rep: EngineReport| {
+        rep.sched = SchedStats::default();
+        rep
+    };
+    let (ref_rep, ref_clocks, ref_charged) = run_econ(Execution::Serial, Scheduler::EventDriven);
+    assert!(
+        ref_charged.iter().sum::<u64>() > 0,
+        "the hook must actually charge work for this test to mean anything"
+    );
+    for execution in [
+        Execution::Serial,
+        Execution::Parallel { threads: 1 },
+        Execution::Parallel { threads: 2 },
+    ] {
+        for scheduler in [Scheduler::EventDriven, Scheduler::ReferenceTick] {
+            let (rep, clocks, charged) = run_econ(execution, scheduler);
+            assert_eq!(
+                sans_sched(ref_rep.clone()),
+                sans_sched(rep),
+                "{execution:?}/{scheduler:?}: report diverged"
+            );
+            assert_eq!(
+                ref_clocks, clocks,
+                "{execution:?}/{scheduler:?}: hook charges landed on different clocks"
+            );
+            assert_eq!(
+                ref_charged, charged,
+                "{execution:?}/{scheduler:?}: hook charged different cycles"
+            );
+        }
+    }
+}
+
 /// Over-subscription: more threads than workers (and more threads than
 /// host cores would sensibly allow) still yields the canonical report.
 #[test]

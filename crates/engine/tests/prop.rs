@@ -35,10 +35,14 @@ struct ChaosApp {
     rng: Rng64,
     drop_permille: u32,
     work: u64,
+    /// Packets noted since the last economics-hook decision — the same
+    /// observable the KVS cost-aware migrator folds over.
+    seen: u64,
 }
 
 impl QueueApp for ChaosApp {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, comp: &RxCompletion) -> Verdict {
+        self.seen += 1;
         ctx.m
             .advance(ctx.core, self.work + self.rng.gen_range(0u32..200) as u64);
         if self.rng.gen_range(0u32..1000) < self.drop_permille {
@@ -99,10 +103,27 @@ fn random_plan(rng: &mut Rng64, horizon_ns: u64, queues: usize) -> FaultPlan {
     plan
 }
 
+/// Which epoch hook (if any) a scenario installs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum HookKind {
+    /// No hook.
+    None,
+    /// Unconditionally burns RNG state and cycles *per hook call* —
+    /// deliberately violates the no-op-at-workless-epochs contract, so
+    /// scenarios with it are excluded from the event≡reference check.
+    Unconditional,
+    /// Economics-style hook shaped like the cost-aware migrator:
+    /// decisions are a pure function of packets noted since the last
+    /// acting epoch, charges are batched, the estimate self-tunes, and
+    /// workless epochs are exact no-ops — so it stays *included* in the
+    /// event≡reference comparison.
+    Economics,
+}
+
 /// Replays iteration `seed` under the given execution mode and
-/// scheduler, returning the final report plus whether the scenario
-/// installed the timed epoch hook. Everything — geometry, fault plan,
-/// app behaviour, arrivals, interleaved step calls — is a pure function
+/// scheduler, returning the final report plus which epoch hook the
+/// scenario installed. Everything — geometry, fault plan, app
+/// behaviour, arrivals, interleaved step calls — is a pure function
 /// of `seed`, so two calls with different `execution` or `scheduler`
 /// run the exact same scenario.
 fn run_once(
@@ -110,7 +131,7 @@ fn run_once(
     seed: u64,
     execution: Execution,
     scheduler: Scheduler,
-) -> (EngineReport, bool) {
+) -> (EngineReport, HookKind) {
     let mut rng = Rng64::seed_from_u64(seed);
     let queues = 1usize << rng.gen_range(0u32..3); // 1, 2 or 4.
     let depth = [16usize, 32, 64][rng.gen_range(0u32..3) as usize];
@@ -126,7 +147,11 @@ fn run_once(
     };
     let drop_permille = rng.gen_range(0u32..400);
     let work = 50 + rng.gen_range(0u32..500) as u64;
-    let timed_hook = rng.gen_range(0u32..2) == 0;
+    let hook_kind = match rng.gen_range(0u32..3) {
+        0 => HookKind::None,
+        1 => HookKind::Unconditional,
+        _ => HookKind::Economics,
+    };
     // A third of the grid runs with an ingress admission policy; its
     // sheds must keep every conservation identity balanced and stay
     // bit-identical across execution modes like every other drop cause.
@@ -144,6 +169,7 @@ fn run_once(
             rng: Rng64::seed_from_u64(seed ^ 0xabcd ^ (w as u64).wrapping_mul(0x9e37)),
             drop_permille,
             work,
+            seen: 0,
         })
         .collect();
 
@@ -167,21 +193,56 @@ fn run_once(
         scheduler,
     };
     let mut eng = Engine::new(apps, cfg, &mut hw);
-    if timed_hook {
-        // Half the grid installs an epoch hook that runs *timed* work
-        // against the merged machine — the coordinator-side surface the
-        // KVS hot-set migration uses (`MergeCtx::m`). The hook's cycle
-        // charges are a pure function of the iteration seed, so they
-        // must land identically under serial and parallel execution,
-        // and the conservation/monotonicity asserts below must keep
-        // holding with inter-epoch time injected.
-        let mut hrng = Rng64::seed_from_u64(seed ^ 0x5ee5_a11d);
-        eng.set_epoch_hook(Box::new(move |_apps, mc| {
-            let core = hrng.gen_range(0u32..queues as u32) as usize;
-            let cycles = hrng.gen_range(0u32..500) as u64;
-            mc.m.advance(core, cycles);
-            0
-        }));
+    match hook_kind {
+        HookKind::None => {}
+        HookKind::Unconditional => {
+            // A third of the grid installs an epoch hook that runs
+            // *timed* work against the merged machine — the
+            // coordinator-side surface the KVS hot-set migration uses
+            // (`MergeCtx::m`). The hook's cycle charges are a pure
+            // function of the iteration seed, so they must land
+            // identically under serial and parallel execution, and the
+            // conservation/monotonicity asserts below must keep holding
+            // with inter-epoch time injected.
+            let mut hrng = Rng64::seed_from_u64(seed ^ 0x5ee5_a11d);
+            eng.set_epoch_hook(Box::new(move |_apps, mc| {
+                let core = hrng.gen_range(0u32..queues as u32) as usize;
+                let cycles = hrng.gen_range(0u32..500) as u64;
+                mc.m.advance(core, cycles);
+                0
+            }));
+        }
+        HookKind::Economics => {
+            // Another third installs a hook shaped like the cost-aware
+            // migrator (DESIGN.md §3g): it only acts on workers whose
+            // apps made progress since its last decision, charges a
+            // batched cost on the worker's core, and refines its cost
+            // estimate from the charge it just made. Because every
+            // decision is a pure function of the per-worker noted
+            // counts — and those evolve only at epochs with work, which
+            // the two schedulers dispatch identically — the full report
+            // must stay bit-identical across *schedulers* as well as
+            // execution modes.
+            let threshold = 20 + (seed % 40);
+            let benefit = 8 + ((seed >> 8) % 24);
+            let mut est = vec![600u64; queues];
+            eng.set_epoch_hook(Box::new(move |apps: &mut [ChaosApp], mc| {
+                for (w, app) in apps.iter_mut().enumerate() {
+                    if app.seen < threshold {
+                        continue; // workless/quiet epoch: exact no-op
+                    }
+                    let projected = app.seen * benefit;
+                    if projected > est[w] {
+                        let batch = (app.seen / 8).clamp(1, 4);
+                        let cycles = batch * (est[w] / 2) + 31;
+                        mc.m.advance(w, cycles);
+                        est[w] = (est[w] + cycles / batch) / 2;
+                    }
+                    app.seen = 0;
+                }
+                0
+            }));
+        }
     }
 
     let mut t = 0.0f64;
@@ -253,7 +314,7 @@ fn run_once(
         "iter {iter} (seed {seed:#x}, {execution:?}): queue partition"
     );
     assert!(rep.duration_ns > 0.0);
-    (rep, timed_hook)
+    (rep, hook_kind)
 }
 
 /// The same report with the scheduler counters blanked — the one field
@@ -285,12 +346,14 @@ fn random_configs_conserve_packets_and_time_in_both_modes() {
         );
         // The retained reference tick-stepper must agree field-for-field
         // with the event-driven scheduler (sched counters aside) in both
-        // execution modes — except when the scenario installed the timed
-        // epoch hook: that hook burns RNG state and machine cycles *per
-        // hook call*, and the number of hook calls is exactly what
-        // event-driven scheduling reduces (hooks run only at dispatched
-        // epochs; all real apps' hooks are no-ops at workless epochs,
-        // this synthetic one is deliberately not — see DESIGN.md §3f).
+        // execution modes — except when the scenario installed the
+        // *unconditional* timed hook: that hook burns RNG state and
+        // machine cycles *per hook call*, and the number of hook calls
+        // is exactly what event-driven scheduling reduces (hooks run
+        // only at dispatched epochs; all real apps' hooks are no-ops at
+        // workless epochs, that synthetic one is deliberately not — see
+        // DESIGN.md §3f). The economics-style hook honors the contract,
+        // so its scenarios stay in the comparison.
         let (ref_serial, _) = run_once(iter, seed, Execution::Serial, Scheduler::ReferenceTick);
         let (ref_parallel, _) = run_once(
             iter,
@@ -302,7 +365,7 @@ fn random_configs_conserve_packets_and_time_in_both_modes() {
             ref_serial, ref_parallel,
             "iter {iter} (seed {seed:#x}): reference parallel({threads}) diverged from serial"
         );
-        if !hooked {
+        if hooked != HookKind::Unconditional {
             assert_eq!(
                 sans_sched(serial.clone()),
                 sans_sched(ref_serial.clone()),

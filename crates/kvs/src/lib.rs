@@ -52,8 +52,8 @@ pub mod server;
 pub mod store;
 
 pub use large::{LargeKvStore, LargePlacement};
-pub use migrate::{HotMigrator, MigrateError, MigrationReport};
+pub use migrate::{CostModel, HotMigrator, MigrateError, MigrationPolicy, MigrationReport};
 pub use openloop::{run_openloop, OpenLoopConfig, OpenLoopReport};
 pub use proto::{KvOp, KvRequest};
-pub use server::{run_server, ServerConfig, ServerReport};
+pub use server::{run_server, MigrationMode, ServerConfig, ServerReport};
 pub use store::{KvStore, Placement, SwapError};

@@ -12,7 +12,7 @@
 //! [`crate::store::Placement::Striped`] homes each core's key class in
 //! that core's closest slice.
 
-use crate::migrate::HotMigrator;
+use crate::migrate::{HotMigrator, MigrationPolicy};
 use crate::proto::{
     read_deadline, read_request, write_request, KvOp, RequestGen, REQUEST_SIZE, VALUE_OFF,
 };
@@ -35,6 +35,40 @@ pub const PAYLOAD_OFF: usize = 54;
 /// lands near the paper's ~160-cycle figure (§3.1).
 pub const SERVE_WORK: u64 = 15;
 
+/// How (and whether) the serving cores migrate their hot areas (§8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MigrationMode {
+    /// No migration. Stores with a hot area are still *monitored*
+    /// (hot-hit counters) but never mutated.
+    #[default]
+    Off,
+    /// The PR 4 baseline: promote the whole observed top set every
+    /// `epoch` accesses, unconditionally
+    /// ([`MigrationPolicy::Always`]).
+    Always {
+        /// Accesses per migration epoch (per core).
+        epoch: usize,
+    },
+    /// The cost-aware self-tuning controller
+    /// ([`MigrationPolicy::CostAware`]), with its economics measured
+    /// from the machine model per serving core and `epoch` as the
+    /// initial (self-tuned) epoch length.
+    CostAware {
+        /// Initial accesses per migration epoch (per core).
+        epoch: usize,
+    },
+}
+
+impl MigrationMode {
+    /// The configured epoch length, when migration is on.
+    pub fn epoch(&self) -> Option<usize> {
+        match *self {
+            MigrationMode::Off => None,
+            MigrationMode::Always { epoch } | MigrationMode::CostAware { epoch } => Some(epoch),
+        }
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -55,14 +89,12 @@ pub struct ServerConfig {
     /// Serial (reference) or parallel worker execution; results are
     /// bit-identical either way.
     pub execution: Execution,
-    /// When set, each serving core runs a [`HotMigrator`] over its hot
-    /// area and migrates at every `migrate_epoch` accesses (§8 hot-set
-    /// migration). Requires a placement with one hot area per core:
+    /// Hot-set migration mode (§8). When not [`MigrationMode::Off`],
+    /// each serving core runs a [`HotMigrator`] over its hot area,
+    /// which requires a placement with one hot area per core:
     /// [`Placement::HotSliceAware`] on a single core or
-    /// [`Placement::StripedHot`] with one slice per core. When `None`,
-    /// stores with a hot area are still *monitored* (hot-hit counters)
-    /// but never migrated.
-    pub migrate_epoch: Option<usize>,
+    /// [`Placement::StripedHot`] with one slice per core.
+    pub migration: MigrationMode,
     /// Event-driven virtual-time scheduling (default) or the engine's
     /// reference tick-stepper; reports are bit-identical either way
     /// (only `EngineReport::sched` differs).
@@ -82,7 +114,7 @@ impl ServerConfig {
             faults: FaultPlan::none(),
             execution: Execution::Serial,
             scheduler: Scheduler::default(),
-            migrate_epoch: None,
+            migration: MigrationMode::Off,
         }
     }
 
@@ -108,8 +140,8 @@ impl ServerConfig {
         self
     }
 
-    /// The same configuration with hot-set migration every `epoch`
-    /// accesses per core.
+    /// The same configuration with unconditional (always-migrate)
+    /// hot-set migration every `epoch` accesses per core.
     ///
     /// # Panics
     ///
@@ -117,7 +149,20 @@ impl ServerConfig {
     #[must_use]
     pub fn with_migration(mut self, epoch: usize) -> Self {
         assert!(epoch > 0, "migration epoch must be positive");
-        self.migrate_epoch = Some(epoch);
+        self.migration = MigrationMode::Always { epoch };
+        self
+    }
+
+    /// The same configuration with the cost-aware self-tuning migration
+    /// controller, starting from `epoch` accesses per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epoch` is 0.
+    #[must_use]
+    pub fn with_cost_aware_migration(mut self, epoch: usize) -> Self {
+        assert!(epoch > 0, "migration epoch must be positive");
+        self.migration = MigrationMode::CostAware { epoch };
         self
     }
 }
@@ -187,6 +232,15 @@ pub struct QueueReport {
     /// Cycles this core spent performing migration swaps (included in
     /// `busy_cycles`).
     pub migration_cycles: u64,
+    /// Candidate swaps the cost-aware economics rejected on this core
+    /// (projected benefit ≤ measured swap cost, or dormant epochs).
+    pub swaps_vetoed: u64,
+    /// Approved swaps deferred past a merge's batch cap on this core.
+    pub swaps_deferred: u64,
+    /// Executed swaps whose projected benefit was ≤ the measured cost —
+    /// structurally 0 under [`MigrationMode::CostAware`]; under
+    /// [`MigrationMode::Always`] the swaps the economics would refuse.
+    pub swaps_at_loss: u64,
 }
 
 /// What a server run reports.
@@ -221,6 +275,16 @@ pub struct ServerReport {
     /// Cycles spent on migration swaps, summed over all cores (the
     /// per-queue `migration_cycles` partition this exactly).
     pub migration_cycles: u64,
+    /// Candidate swaps the cost-aware economics rejected, summed over
+    /// all cores (per-queue `swaps_vetoed` partition this exactly).
+    pub swaps_vetoed: u64,
+    /// Approved swaps deferred past merge batch caps, summed over all
+    /// cores (per-queue `swaps_deferred` partition this exactly).
+    pub swaps_deferred: u64,
+    /// Executed swaps at a projected loss, summed over all cores
+    /// (per-queue `swaps_at_loss` partition this exactly; structurally
+    /// 0 under [`MigrationMode::CostAware`]).
+    pub swaps_at_loss: u64,
     /// The per-queue breakdown; counters sum exactly to the aggregate.
     pub per_queue: Vec<QueueReport>,
 }
@@ -365,6 +429,9 @@ struct KvApp<'s> {
     hot_hits: u64,
     migrated: u64,
     migration_cycles: u64,
+    swaps_vetoed: u64,
+    swaps_deferred: u64,
+    swaps_at_loss: u64,
 }
 
 impl KvApp<'_> {
@@ -384,6 +451,9 @@ impl KvApp<'_> {
             .expect("noted keys were parsed from served requests, so they are in range");
         self.migrated += rep.migrated as u64;
         self.migration_cycles += rep.cycles;
+        self.swaps_vetoed += rep.vetoed;
+        self.swaps_deferred += rep.deferred;
+        self.swaps_at_loss += rep.at_loss;
     }
 }
 
@@ -464,16 +534,16 @@ pub fn run_server(
         _ => false,
     };
     assert!(
-        cfg.migrate_epoch.is_none() || monitored,
+        cfg.migration == MigrationMode::Off || monitored,
         "migration needs one hot area per serving core \
          (HotSliceAware on a single core, or StripedHot with one slice \
          per core); got {:?} on {} cores",
         store.placement(),
         cores
     );
-    // With no migration epoch configured the migrators still monitor
-    // hot hits; usize::MAX keeps `epoch_due` forever false.
-    let epoch_len = cfg.migrate_epoch.unwrap_or(usize::MAX);
+    // With migration off the migrators still monitor hot hits;
+    // usize::MAX keeps `epoch_due` forever false.
+    let epoch_len = cfg.migration.epoch().unwrap_or(usize::MAX);
     let apps: Vec<KvApp<'_>> = (0..cores)
         .map(|q| KvApp {
             store,
@@ -483,12 +553,22 @@ pub fn run_server(
             truncated: 0,
             expired: 0,
             migrator: monitored.then(|| {
-                HotMigrator::for_store(m, store, q, epoch_len)
-                    .expect("placement declared a hot area for every serving core")
+                let mig = HotMigrator::for_store(m, store, q, epoch_len)
+                    .expect("placement declared a hot area for every serving core");
+                if let MigrationMode::CostAware { .. } = cfg.migration {
+                    // Economics measured per core: each serving core's
+                    // slice distances price its own migrations.
+                    mig.with_policy(MigrationPolicy::cost_aware(m, q))
+                } else {
+                    mig
+                }
             }),
             hot_hits: 0,
             migrated: 0,
             migration_cycles: 0,
+            swaps_vetoed: 0,
+            swaps_deferred: 0,
+            swaps_at_loss: 0,
         })
         .collect();
     let ecfg = EngineConfig {
@@ -507,7 +587,7 @@ pub fn run_server(
         policy,
     };
     let mut eng = Engine::new(apps, ecfg, &mut hw);
-    if cfg.migrate_epoch.is_some() {
+    if cfg.migration != MigrationMode::Off {
         // Migration runs at epoch merges on the coordinator: the merged
         // machine is available there in both execution modes, so the
         // timed swaps stay bit-identical serial vs. parallel. The hook
@@ -591,6 +671,9 @@ pub fn run_server(
             hot_hits: apps[q].hot_hits,
             migrated: apps[q].migrated,
             migration_cycles: apps[q].migration_cycles,
+            swaps_vetoed: apps[q].swaps_vetoed,
+            swaps_deferred: apps[q].swaps_deferred,
+            swaps_at_loss: apps[q].swaps_at_loss,
         });
     }
     let drops = ServerDrops {
@@ -626,6 +709,9 @@ pub fn run_server(
         hot_hits: apps.iter().map(|a| a.hot_hits).sum(),
         migrated: apps.iter().map(|a| a.migrated).sum(),
         migration_cycles: apps.iter().map(|a| a.migration_cycles).sum(),
+        swaps_vetoed: apps.iter().map(|a| a.swaps_vetoed).sum(),
+        swaps_deferred: apps.iter().map(|a| a.swaps_deferred).sum(),
+        swaps_at_loss: apps.iter().map(|a| a.swaps_at_loss).sum(),
         per_queue,
     }
 }
@@ -829,6 +915,7 @@ mod tests {
     fn assert_partitions(rep: &ServerReport) {
         let (mut off, mut car, mut srv, mut gets, mut inf, mut drp) = (0, 0, 0, 0, 0, 0);
         let (mut hh, mut mig, mut mcyc) = (0, 0, 0);
+        let (mut veto, mut defer, mut loss) = (0, 0, 0);
         for qr in &rep.per_queue {
             assert!(qr.served > 0, "queue {} served nothing", qr.queue);
             assert!(qr.busy_cycles > 0 && qr.tps > 0.0, "queue {}", qr.queue);
@@ -857,6 +944,9 @@ mod tests {
             hh += qr.hot_hits;
             mig += qr.migrated;
             mcyc += qr.migration_cycles;
+            veto += qr.swaps_vetoed;
+            defer += qr.swaps_deferred;
+            loss += qr.swaps_at_loss;
         }
         assert_eq!(off, rep.offered, "offered must partition");
         assert_eq!(car, rep.carried, "carried must partition");
@@ -870,11 +960,14 @@ mod tests {
             mcyc, rep.migration_cycles,
             "migration_cycles must partition"
         );
+        assert_eq!(veto, rep.swaps_vetoed, "swaps_vetoed must partition");
+        assert_eq!(defer, rep.swaps_deferred, "swaps_deferred must partition");
+        assert_eq!(loss, rep.swaps_at_loss, "swaps_at_loss must partition");
     }
 
     /// Four-core StripedHot run: Zipf clients with scrambled keys so
     /// the popular set starts cold. Returns the report.
-    fn run_striped_hot(requests: usize, migrate_epoch: Option<usize>) -> ServerReport {
+    fn run_striped_hot(requests: usize, migration: MigrationMode) -> ServerReport {
         let cores = 4;
         let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20));
         let region = m.mem_mut().alloc(32 << 20, 1 << 20).unwrap();
@@ -906,9 +999,7 @@ mod tests {
             .collect();
         let mut policy = FixedHeadroom(128);
         let mut cfg = ServerConfig::fig8(requests, 900, 1).with_cores(cores);
-        if let Some(epoch) = migrate_epoch {
-            cfg = cfg.with_migration(epoch);
-        }
+        cfg.migration = migration;
         run_server(
             &mut m,
             &store,
@@ -922,8 +1013,8 @@ mod tests {
 
     #[test]
     fn migration_lifts_hot_hit_rate_and_the_ledger_partitions() {
-        let baseline = run_striped_hot(12_000, None);
-        let migrated = run_striped_hot(12_000, Some(1000));
+        let baseline = run_striped_hot(12_000, MigrationMode::Off);
+        let migrated = run_striped_hot(12_000, MigrationMode::Always { epoch: 1000 });
         // Monitor-only: counters tick, nothing moves.
         assert!(
             baseline.hot_hits > 0,
@@ -931,6 +1022,7 @@ mod tests {
         );
         assert_eq!(baseline.migrated, 0);
         assert_eq!(baseline.migration_cycles, 0);
+        assert_eq!(baseline.swaps_vetoed, 0);
         // Migrating: every core promoted keys, paid timed cycles for
         // it, and the per-queue ledger partitions the new columns.
         assert_partitions(&migrated);
@@ -942,12 +1034,96 @@ mod tests {
                 qr.queue
             );
         }
+        // Always never vetoes or defers, but the measured economics
+        // flag its uneconomic tail swaps.
+        assert_eq!(migrated.swaps_vetoed, 0);
+        assert_eq!(migrated.swaps_deferred, 0);
+        assert!(
+            migrated.swaps_at_loss > 0,
+            "a Zipf tail must produce at-loss swaps under Always"
+        );
         assert!(
             migrated.hot_hit_rate() > baseline.hot_hit_rate(),
             "migration must lift the hot-hit rate: {} vs {}",
             migrated.hot_hit_rate(),
             baseline.hot_hit_rate()
         );
+    }
+
+    #[test]
+    fn cost_aware_migration_vetoes_the_tail_and_never_swaps_at_a_loss() {
+        let aware = run_striped_hot(12_000, MigrationMode::CostAware { epoch: 1000 });
+        assert_partitions(&aware);
+        assert!(aware.migrated > 0, "the Zipf head must still migrate");
+        assert_eq!(
+            aware.swaps_at_loss, 0,
+            "cost-aware migration must never execute an at-loss swap"
+        );
+        assert!(
+            aware.swaps_vetoed > 0,
+            "the Zipf tail must be vetoed by the economics"
+        );
+        // The controller migrates a strict subset of what Always moves.
+        let always = run_striped_hot(12_000, MigrationMode::Always { epoch: 1000 });
+        assert!(
+            aware.migrated < always.migrated,
+            "cost-aware ({}) must swap less than Always ({})",
+            aware.migrated,
+            always.migrated
+        );
+    }
+
+    #[test]
+    fn uniform_traffic_server_backs_off_to_zero_swaps() {
+        // Stationary uniform clients on a migrating StripedHot server:
+        // the controller must veto everything, back off, and report
+        // zero executed swaps — the server-level half of the dormancy
+        // acceptance criterion.
+        let cores = 4;
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20));
+        let region = m.mem_mut().alloc(32 << 20, 1 << 20).unwrap();
+        let h = XorSliceHash::haswell_8slice();
+        let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
+        let slices: Vec<usize> = (0..cores).map(|c| m.closest_slice(c)).collect();
+        let store = KvStore::build(
+            &mut m,
+            &mut alloc,
+            4096,
+            Placement::StripedHot {
+                slices,
+                hot_per_core: 64,
+            },
+        )
+        .unwrap();
+        let mut pool = MbufPool::create(&mut m, 4096, 128, 2048).unwrap();
+        let mut port = Port::new(0, Steering::Rss(Rss::new(cores)), 256);
+        let base = trafficgen::FlowTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 11211);
+        let mut gens: Vec<RequestGen> = (0..cores)
+            .map(|q| {
+                let flow = flow_for_queue(&mut port, base, q);
+                // theta = 0: stationary uniform keys.
+                let keygen = ZipfGen::new(4096 / cores as u64, 0.0, 11 + q as u64);
+                RequestGen::new(keygen, 900, 7 + q as u64)
+                    .with_flow(flow)
+                    .with_key_partition(cores as u32, q as u32)
+            })
+            .collect();
+        let mut policy = FixedHeadroom(128);
+        let mut cfg = ServerConfig::fig8(16_000, 900, 1).with_cores(cores);
+        cfg.migration = MigrationMode::CostAware { epoch: 500 };
+        let rep = run_server(
+            &mut m,
+            &store,
+            &mut pool,
+            &mut port,
+            &mut policy,
+            &mut gens,
+            &cfg,
+        );
+        assert_partitions(&rep);
+        assert_eq!(rep.migrated, 0, "uniform traffic must never migrate");
+        assert_eq!(rep.migration_cycles, 0);
+        assert_eq!(rep.swaps_at_loss, 0);
     }
 
     #[test]

@@ -644,9 +644,11 @@ mod tests {
         let (mut m, mut a) = setup(16);
         let kv = KvStore::build(&mut m, &mut a, 128, Placement::Normal).unwrap();
         kv.set(&mut m, 0, 9, &[0x5a; 64]);
+        let home = kv.value_pa(&mut m, 9);
         let before = m.now(0);
         assert_eq!(kv.swap_keys(&mut m, 0, 9, 9), Ok(0), "self-swap is free");
         assert_eq!(m.now(0), before, "no cycles charged");
+        assert_eq!(kv.value_pa(&mut m, 9), home, "index entry untouched");
         let mut out = [0u8; 64];
         kv.get(&mut m, 0, 9, &mut out);
         assert_eq!(out, [0x5a; 64]);
@@ -656,6 +658,7 @@ mod tests {
     fn swap_absent_key_is_a_typed_error_not_a_panic() {
         let (mut m, mut a) = setup(16);
         let kv = KvStore::build(&mut m, &mut a, 128, Placement::Normal).unwrap();
+        let home5 = kv.value_pa(&mut m, 5);
         let before = m.now(0);
         assert_eq!(
             kv.swap_keys(&mut m, 0, 5, 128),
@@ -669,8 +672,30 @@ mod tests {
             })
         );
         assert_eq!(m.now(0), before, "rejected swaps charge nothing");
-        // And the store is untouched: key 5 still maps to slot 5.
+        // And the store is untouched: key 5 still maps to slot 5, and
+        // the surviving key of each rejected pair kept its home — no
+        // partial write even when the *second* key is the bad one.
         assert_eq!(kv.residents(&m, &[5]), vec![5]);
+        assert_eq!(kv.value_pa(&mut m, 5), home5, "index untouched");
+    }
+
+    #[test]
+    fn swap_error_exhaustive_match_and_display() {
+        // No wildcard arm: adding a SwapError variant must break this
+        // test, and the Display must carry the diagnostic payload.
+        let e = SwapError::KeyOutOfRange {
+            key: 4096,
+            len: 128,
+        };
+        match e {
+            SwapError::KeyOutOfRange { key, len } => {
+                assert_eq!((key, len), (4096, 128));
+            }
+        }
+        let msg = e.to_string();
+        assert!(msg.contains("4096") && msg.contains("128"), "{msg}");
+        let _: &dyn std::error::Error = &e;
+        assert_eq!(e, e.clone(), "SwapError is comparable for test use");
     }
 
     #[test]

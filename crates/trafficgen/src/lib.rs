@@ -21,10 +21,16 @@
 //!   trains and phase-shifting rate profiles (ramps, flash crowds) that
 //!   keep sending regardless of what the server absorbs — the load
 //!   source for the overload/knee studies.
+//! * **Phase-shifting key generators** ([`phase`]): non-stationary key
+//!   distributions — Zipf hot-set churn, diurnal rotation, flash-crowd
+//!   hot keys — indexed by draw count so they compose with any arrival
+//!   process or fault plan. The workload source for the §8 hot-set
+//!   migration churn studies.
 
 pub mod arrival;
 pub mod flow;
 pub mod openloop;
+pub mod phase;
 pub mod rng;
 pub mod trace;
 pub mod tracefile;
@@ -33,6 +39,7 @@ pub mod zipf;
 pub use arrival::{gbps_to_pps, ArrivalSchedule, Arrivals};
 pub use flow::FlowTuple;
 pub use openloop::{OpenLoopGen, RateProfile};
+pub use phase::{FlashCrowd, Phase, PhaseGen, PhaseSchedule};
 pub use rng::Rng64;
 pub use trace::{CampusTrace, PacketSpec, SizeMix};
 pub use zipf::ZipfGen;

@@ -15,6 +15,7 @@ echo "================ Fig. 5 ================";   $BIN fig05_latency 50 $EXTRA
 echo "================ Fig. 6 ================";   $BIN fig06_speedup 20 10000 $EXTRA
 echo "================ Fig. 7 ================";   $BIN fig07_ops 1 15000 $EXTRA
 echo "================ Fig. 8 ================";   $BIN fig08_kvs 1 100000 21 $EXTRA
+echo "================ §8 migration (hot-set churn) ================"; $BIN fig08_kvs 1 100000 21 --zipf=0.99 --churn=4096 --cores=4 $EXTRA
 echo "================ §4.2 headroom ================"; $BIN headroom_dist 1 16384 $EXTRA
 echo "================ Fig. 12 ================";  $BIN fig12_lowrate 10 5000 $EXTRA
 echo "================ Fig. 13 / Table 3a ================"; $BIN fig13_forward 10 120000 $EXTRA

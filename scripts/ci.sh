@@ -34,6 +34,19 @@ smoke() {
     echo "    -> fig08_kvs (migration study)"
     ./target/release/fig08_kvs --smoke --zipf=0.99 --migrate=4096 --cores=4 > /dev/null
     ./target/release/fig08_kvs --smoke --parallel --zipf=0.99 --migrate=4096 --cores=4 > /dev/null
+    # The cost-aware migration churn study, in both execution modes,
+    # with the acceptance invariant pinned: the cost-aware controller
+    # must execute ZERO swaps at a projected loss (its golden also pins
+    # the full table, but this assertion survives golden re-records).
+    echo "    -> fig08_kvs (churn study)"
+    local churn_out
+    churn_out="$(./target/release/fig08_kvs --smoke --zipf=0.99 --churn=4096 --cores=4 2>/dev/null)"
+    ./target/release/fig08_kvs --smoke --parallel --zipf=0.99 --churn=4096 --cores=4 > /dev/null
+    if ! grep -q '^cost-aware swaps at a projected loss: 0 ' <<<"${churn_out}"; then
+        echo "FAIL: cost-aware migration executed swaps at a projected loss" >&2
+        grep 'projected loss' <<<"${churn_out}" >&2 || true
+        exit 1
+    fi
     # The overload chaos scenario: flash crowd + link flap + RX stall,
     # graceful degradation and recovery, in both execution modes.
     echo "    -> fig_knee_kvs (chaos scenario)"

@@ -31,6 +31,12 @@ echo "-> fig08_kvs (migration study)"
 ./target/release/fig08_kvs --smoke --zipf=0.99 --migrate=4096 --cores=4 \
     > crates/bench/tests/golden/fig08_kvs_migrate.txt
 
+# The cost-aware-migration churn study is a third output mode of
+# fig08_kvs with its own snapshot.
+echo "-> fig08_kvs (churn study)"
+./target/release/fig08_kvs --smoke --zipf=0.99 --churn=4096 --cores=4 \
+    > crates/bench/tests/golden/fig08_kvs_churn.txt
+
 # The overload chaos scenario is a second output mode of fig_knee_kvs
 # with its own snapshot.
 echo "-> fig_knee_kvs (chaos scenario)"

@@ -9,9 +9,9 @@
 //! (flow tables, LPM lookups, the shared KV store, cross-core
 //! handoffs).
 
-use engine::Execution;
+use engine::{Execution, Scheduler};
 use kvs::proto::RequestGen;
-use kvs::server::{flow_for_queue, run_server, ServerConfig, ServerReport};
+use kvs::server::{flow_for_queue, run_server, MigrationMode, ServerConfig, ServerReport};
 use kvs::store::{KvStore, Placement};
 use llc_sim::hash::{SliceHash, XorSliceHash};
 use llc_sim::machine::{Machine, MachineConfig};
@@ -125,13 +125,21 @@ fn pipelined_chain_results_are_identical_serial_vs_parallel() {
 }
 
 /// The 4-core KVS server (§8 extension): striped key classes, one
-/// client generator per queue. With `migrate` the placement becomes
+/// client generator per queue. With migration on, the placement becomes
 /// StripedHot, clients scramble their keys, and every core runs the
 /// hot-set migration loop at engine-epoch boundaries — the timed swaps
 /// go through the coordinator-side merge hook, which this suite must
-/// prove bit-identical across execution modes.
-fn kvs_run(execution: Execution, migrate: bool, theta: f64) -> ServerReport {
+/// prove bit-identical across execution modes (and, for the cost-aware
+/// controller, across schedulers too).
+fn kvs_run_on(
+    execution: Execution,
+    scheduler: Scheduler,
+    migration: MigrationMode,
+    theta: f64,
+    requests: usize,
+) -> ServerReport {
     let cores = 4;
+    let migrate = migration != MigrationMode::Off;
     let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(512 << 20));
     let region = m.mem_mut().alloc(32 << 20, 1 << 20).unwrap();
     let h = XorSliceHash::haswell_8slice();
@@ -163,12 +171,11 @@ fn kvs_run(execution: Execution, migrate: bool, theta: f64) -> ServerReport {
         })
         .collect();
     let mut policy = FixedHeadroom(128);
-    let mut cfg = ServerConfig::fig8(6_000, 900, 1)
+    let mut cfg = ServerConfig::fig8(requests, 900, 1)
         .with_cores(cores)
         .with_execution(execution);
-    if migrate {
-        cfg = cfg.with_migration(500);
-    }
+    cfg.scheduler = scheduler;
+    cfg.migration = migration;
     run_server(
         &mut m,
         &store,
@@ -178,6 +185,17 @@ fn kvs_run(execution: Execution, migrate: bool, theta: f64) -> ServerReport {
         &mut gens,
         &cfg,
     )
+}
+
+/// Shorthand for the pre-existing cases: event-driven scheduling, the
+/// always-migrate policy at epoch 500 when `migrate` is set.
+fn kvs_run(execution: Execution, migrate: bool, theta: f64) -> ServerReport {
+    let migration = if migrate {
+        MigrationMode::Always { epoch: 500 }
+    } else {
+        MigrationMode::Off
+    };
+    kvs_run_on(execution, Scheduler::EventDriven, migration, theta, 6_000)
 }
 
 #[test]
@@ -217,6 +235,53 @@ fn kvs_migration_results_are_identical_serial_vs_parallel() {
         format!("{b:?}"),
         "kvs migrate parallel repeat"
     );
+}
+
+#[test]
+fn kvs_cost_aware_migration_is_identical_across_modes_and_schedulers() {
+    // The cost-aware controller is stateful across epochs (cost
+    // estimate, calm counter, dormancy, epoch-length tuner), so any
+    // dependence on *how many* merges the scheduler dispatches — rather
+    // than on the noted access counts — would diverge here. Decisions
+    // must be pure functions of per-epoch counts, which evolve only at
+    // epochs with work; those coincide between the schedulers.
+    // Epoch 1000 over partitioned Zipf(0.99): the hottest keys' nets
+    // clear the ~800-cycle measured swap cost while the tail stays
+    // below it, so every decision path (execute, veto, ledger) is live.
+    let mode = MigrationMode::CostAware { epoch: 1000 };
+    let reference = kvs_run_on(
+        Execution::Serial,
+        Scheduler::EventDriven,
+        mode,
+        0.99,
+        12_000,
+    );
+    assert!(
+        reference.migrated > 0,
+        "the skewed cost-aware case must actually migrate"
+    );
+    assert!(
+        reference.swaps_vetoed > 0,
+        "the Zipf tail must produce vetoed candidates"
+    );
+    assert_eq!(
+        reference.swaps_at_loss, 0,
+        "cost-aware must never execute a swap at a projected loss"
+    );
+    for scheduler in [Scheduler::EventDriven, Scheduler::ReferenceTick] {
+        for execution in [
+            Execution::Serial,
+            Execution::Parallel { threads: 2 },
+            Execution::Parallel { threads: 4 },
+        ] {
+            let run = kvs_run_on(execution, scheduler, mode, 0.99, 12_000);
+            assert_eq!(
+                format!("{reference:?}"),
+                format!("{run:?}"),
+                "kvs cost-aware: {execution:?} under {scheduler:?} diverged"
+            );
+        }
+    }
 }
 
 #[test]
