@@ -165,6 +165,7 @@ golden_tests!(
     fig_knee_kvs,
     fig16_table4_skylake,
     fig17_isolation,
+    fig_tenants,
     ext_pipeline,
     headroom_dist,
     kvs_probe,

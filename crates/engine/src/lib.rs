@@ -440,6 +440,20 @@ impl MergeCtx<'_> {
 /// which keeps [`Engine::drain`] honest.
 pub type EpochHook<A> = Box<dyn FnMut(&mut [A], &mut MergeCtx<'_>) -> usize>;
 
+/// A periodic control-plane hook ([`Engine::set_control_hook`]): the
+/// coordinator fires it at every multiple of the control period that a
+/// [`Engine::run_until`] horizon crosses, after catching simulated time
+/// up to exactly that boundary. The third argument is the boundary time
+/// (ns). Unlike the epoch hook — which runs whenever the *scheduler*
+/// decides an epoch is due, a cadence that legitimately differs between
+/// [`Scheduler::EventDriven`] and [`Scheduler::ReferenceTick`] — the
+/// control hook's firing times are a pure function of the horizon
+/// sequence, so a controller's decisions stay bit-identical across both
+/// schedulers and both execution modes. Hooks may run timed work
+/// against `MergeCtx::m`; the cycles are folded into the owning
+/// workers' free-at times exactly like epoch-hook time.
+pub type ControlHook<A> = Box<dyn FnMut(&mut [A], &mut MergeCtx<'_>, f64)>;
+
 /// Per-queue slice of the final [`EngineReport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueLedger {
@@ -481,6 +495,13 @@ pub struct EngineReport {
     pub in_flight: u64,
     /// The per-queue breakdown; sums to the aggregate fields above.
     pub per_queue: Vec<QueueLedger>,
+    /// Per-group ledgers when [`Engine::set_queue_groups`] partitioned
+    /// the queues (e.g. one group per tenant): entry `g` sums the
+    /// ledgers of every queue mapped to group `g`, each satisfying the
+    /// same conservation identity (asserted in [`Engine::finish`]), and
+    /// the groups together partition the aggregate. Empty when no
+    /// grouping was installed.
+    pub per_group: Vec<QueueLedger>,
     /// Simulated run duration: the latest worker free-at time, ≥ 1 ns.
     pub duration_ns: f64,
     /// The last offered frame's arrival time.
@@ -655,6 +676,15 @@ enum EngineEvent {
 pub struct Engine<A: QueueApp> {
     apps: Vec<A>,
     epoch_hook: Option<EpochHook<A>>,
+    /// Periodic control-plane hook plus its period and next boundary
+    /// (ns). `next_control_ns` only ever advances by whole periods, so
+    /// the firing schedule is scheduler-independent.
+    control_hook: Option<ControlHook<A>>,
+    control_period_ns: f64,
+    next_control_ns: f64,
+    /// Queue → report-group map ([`Engine::set_queue_groups`]); empty
+    /// when ungrouped.
+    queue_groups: Vec<usize>,
     cfg: EngineConfig,
     /// Persistent threads for [`Execution::Parallel`], spawned lazily
     /// at the first multi-worker epoch (never in serial mode).
@@ -766,6 +796,10 @@ impl<A: QueueApp> Engine<A> {
             base_stats,
             apps,
             epoch_hook: None,
+            control_hook: None,
+            control_period_ns: 0.0,
+            next_control_ns: f64::INFINITY,
+            queue_groups: Vec::new(),
             cfg,
             thread_pool: None,
         };
@@ -790,6 +824,49 @@ impl<A: QueueApp> Engine<A> {
     /// merge (see [`EpochHook`]).
     pub fn set_epoch_hook(&mut self, hook: EpochHook<A>) {
         self.epoch_hook = Some(hook);
+    }
+
+    /// Installs a periodic control-plane hook (see [`ControlHook`]),
+    /// fired at every multiple of `period_ns` a [`Engine::run_until`]
+    /// horizon crosses — the first boundary is `period_ns` itself.
+    /// [`Engine::step`]/[`Engine::drain`] do not advance the boundary
+    /// clock; a harness that wants control decisions over the drain
+    /// tail must `run_until` past it first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `period_ns` is not positive and finite.
+    pub fn set_control_hook(&mut self, period_ns: f64, hook: ControlHook<A>) {
+        assert!(
+            period_ns.is_finite() && period_ns > 0.0,
+            "control period must be positive and finite"
+        );
+        self.control_hook = Some(hook);
+        self.control_period_ns = period_ns;
+        self.next_control_ns = period_ns;
+    }
+
+    /// Partitions the port's queues into report groups: `groups[q]` is
+    /// the group of queue `q` (group ids must be dense, `0..max+1`).
+    /// [`Engine::finish`] then emits one summed [`QueueLedger`] per
+    /// group in [`EngineReport::per_group`] and asserts the
+    /// conservation identity for each — the per-tenant double-entry
+    /// ledgers of the multi-tenant studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `groups` does not cover every queue exactly once or
+    /// the group ids are not dense.
+    pub fn set_queue_groups(&mut self, groups: Vec<usize>) {
+        assert_eq!(groups.len(), self.nic.len(), "one group id per port queue");
+        let n = groups.iter().max().map_or(0, |&g| g + 1);
+        for g in 0..n {
+            assert!(
+                groups.contains(&g),
+                "group ids must be dense: {g} of {n} unused"
+            );
+        }
+        self.queue_groups = groups;
     }
 
     /// Worker `w`'s application (inspection).
@@ -1018,13 +1095,61 @@ impl<A: QueueApp> Engine<A> {
     /// `until_ns` without one. The resulting [`EngineReport`] is
     /// bit-identical either way (only [`EngineReport::sched`] differs)
     /// — `crates/engine/tests/reference.rs` pins this.
+    /// With a control hook installed ([`Engine::set_control_hook`]) the
+    /// horizon is segmented at control boundaries: catch up to each
+    /// crossed multiple of the period, fire the hook there, and only
+    /// then continue — so the controller observes the machine at exact,
+    /// scheduler-independent virtual times.
     pub fn run_until(&mut self, hw: &mut Hw<'_>, until_ns: f64) {
+        if self.control_hook.is_some() {
+            while self.next_control_ns <= until_ns {
+                let boundary = self.next_control_ns;
+                self.catch_up(hw, boundary);
+                self.fire_control(hw, boundary);
+                self.next_control_ns += self.control_period_ns;
+            }
+        }
+        self.catch_up(hw, until_ns);
+    }
+
+    /// Scheduler-dispatched catch-up to one horizon (the whole of
+    /// `run_until` when no control hook is installed).
+    fn catch_up(&mut self, hw: &mut Hw<'_>, until_ns: f64) {
         match self.cfg.scheduler {
             Scheduler::ReferenceTick => {
                 self.run_epoch(hw, until_ns, false);
             }
             Scheduler::EventDriven => self.advance_to(hw, until_ns),
         }
+    }
+
+    /// Fires the control hook at boundary time `t`, folding any timed
+    /// work it ran into the owning workers' free-at times (the same
+    /// accounting as epoch-hook time, see `run_epoch`).
+    fn fire_control(&mut self, hw: &mut Hw<'_>, t: f64) {
+        let Some(mut hook) = self.control_hook.take() else {
+            return;
+        };
+        self.materialize_floor();
+        let before: Vec<u64> = (0..self.cfg.workers.len())
+            .map(|w| hw.m.now(self.cfg.workers[w].core))
+            .collect();
+        let mut mc = MergeCtx {
+            pool: hw.pool,
+            m: hw.m,
+            app_drops: &mut self.app_drops,
+        };
+        hook(&mut self.apps, &mut mc, t);
+        for (w, &start) in before.iter().enumerate() {
+            let delta = hw.m.now(self.cfg.workers[w].core) - start;
+            if delta > 0 {
+                self.free_ns[w] += delta as f64 * self.ns_per_cycle;
+            }
+        }
+        self.control_hook = Some(hook);
+        // The hook may have created backlog (or consumed it); re-key
+        // merge events against the workers' current state.
+        self.resched_merges(hw);
     }
 
     /// Event-driven catch-up to horizon `h`, equivalent to
@@ -1381,6 +1506,37 @@ impl<A: QueueApp> Engine<A> {
                 l.in_flight
             );
         }
+        // Group ledgers: sum the per-queue ledgers of each report group
+        // and assert the same double-entry identity per group. With the
+        // per-queue identities already proven, the group sums inherit
+        // conservation by construction — the assert documents (and pins)
+        // that the groups *partition* the aggregate rather than sample it.
+        let per_group: Vec<QueueLedger> = if self.queue_groups.is_empty() {
+            Vec::new()
+        } else {
+            let n = self.queue_groups.iter().max().unwrap() + 1;
+            (0..n)
+                .map(|g| {
+                    let qs = || (0..queues).filter(|&q| self.queue_groups[q] == g);
+                    QueueLedger {
+                        offered: qs().map(|q| per_queue[q].offered).sum(),
+                        carried: qs().map(|q| per_queue[q].carried).sum(),
+                        delivered: qs().map(|q| per_queue[q].delivered).sum(),
+                        nic: NicDrops::sum(qs().map(|q| &per_queue[q].nic)),
+                        admit: AdmitDrops::sum(qs().map(|q| &per_queue[q].admit)),
+                        app_drops: qs().map(|q| per_queue[q].app_drops).sum(),
+                        in_flight: qs().map(|q| per_queue[q].in_flight).sum(),
+                    }
+                })
+                .collect()
+        };
+        for (g, l) in per_group.iter().enumerate() {
+            assert_eq!(
+                l.offered + l.carried,
+                l.delivered + l.nic.total() + l.admit.total() + l.app_drops + l.in_flight,
+                "group {g} conservation"
+            );
+        }
         let nic = NicDrops::sum(per_queue.iter().map(|l| &l.nic));
         let admit = AdmitDrops::sum(per_queue.iter().map(|l| &l.admit));
         let app_drops: u64 = per_queue.iter().map(|l| l.app_drops).sum();
@@ -1422,6 +1578,7 @@ impl<A: QueueApp> Engine<A> {
             app_drops,
             in_flight,
             per_queue,
+            per_group,
             duration_ns: self.now_ns().max(1.0),
             last_arrival_ns: self.last_arrival_ns,
             offered_wire_bits: self.offered_wire_bits,
@@ -1556,6 +1713,180 @@ mod tests {
         assert!(rep.nic.nodesc > 0, "overload must exhaust descriptors");
         assert!(rep.delivered > 0, "the loop still makes progress");
         assert_eq!(rep.offered, rep.delivered + rep.nic.total() + rep.app_drops);
+    }
+
+    /// Offers a steady trickle with a 1 µs control hook installed and
+    /// returns (boundary times seen, report).
+    fn run_with_control(scheduler: Scheduler, execution: Execution) -> (Vec<f64>, EngineReport) {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let (mut m, mut pool, mut port) = setup(2, 32);
+        let mut policy = rte::nic::FixedHeadroom(128);
+        let mut hw = Hw {
+            m: &mut m,
+            port: &mut port,
+            pool: &mut pool,
+            policy: &mut policy,
+        };
+        let mut eng = Engine::new(
+            echo_apps(300, 2),
+            EngineConfig {
+                workers: WorkerSpec::run_to_completion(2),
+                queue_depth: 32,
+                burst: 8,
+                faults: FaultPlan::none(),
+                execution,
+                admission: AdmissionPolicy::AcceptAll,
+                scheduler,
+            },
+            &mut hw,
+        );
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let log = Rc::clone(&seen);
+        eng.set_control_hook(
+            1_000.0,
+            Box::new(move |apps, _mc, t| {
+                assert_eq!(apps.len(), 2);
+                log.borrow_mut().push(t);
+            }),
+        );
+        for i in 0..40u32 {
+            // Irregular gaps so horizons cross boundaries mid-stride.
+            let t = i as f64 * 137.0;
+            let _ = eng.offer(&mut hw, &flow(i), &[0u8; 64], t);
+        }
+        eng.run_until(&mut hw, 6_500.0);
+        eng.drain(&mut hw);
+        let (rep, _) = eng.finish(&mut hw);
+        (Rc::try_unwrap(seen).unwrap().into_inner(), rep)
+    }
+
+    #[test]
+    fn control_hook_fires_at_exact_boundaries_under_both_schedulers() {
+        // 40 arrivals spread to ~5.3 µs, final horizon 6.5 µs: every
+        // multiple of the 1 µs period up to 6 µs must fire, exactly
+        // once, at exactly the boundary time — independent of which
+        // scheduler dispatched the epochs in between.
+        let (ref_times, ref_rep) = run_with_control(Scheduler::ReferenceTick, Execution::Serial);
+        assert_eq!(
+            ref_times,
+            vec![1_000.0, 2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0]
+        );
+        for scheduler in [Scheduler::EventDriven, Scheduler::ReferenceTick] {
+            for execution in [Execution::Serial, Execution::Parallel { threads: 2 }] {
+                let (times, rep) = run_with_control(scheduler, execution);
+                assert_eq!(times, ref_times, "{scheduler:?}/{execution:?} boundaries");
+                // Everything but the scheduler counters is bit-identical.
+                assert_eq!(rep.per_queue, ref_rep.per_queue);
+                assert_eq!(rep.duration_ns, ref_rep.duration_ns);
+                assert_eq!(rep.delivered, ref_rep.delivered);
+            }
+        }
+    }
+
+    #[test]
+    fn control_hook_timed_work_lands_in_busy_time() {
+        // A hook that burns cycles on a worker's core must push that
+        // worker's free-at time (and so the run duration) forward, the
+        // same accounting as epoch-hook time.
+        let run = |burn: u64| {
+            let (mut m, mut pool, mut port) = setup(1, 32);
+            let mut policy = rte::nic::FixedHeadroom(128);
+            let mut hw = Hw {
+                m: &mut m,
+                port: &mut port,
+                pool: &mut pool,
+                policy: &mut policy,
+            };
+            let mut eng = Engine::new(
+                echo_apps(300, 1),
+                EngineConfig {
+                    workers: WorkerSpec::run_to_completion(1),
+                    queue_depth: 32,
+                    burst: 8,
+                    faults: FaultPlan::none(),
+                    execution: Execution::Serial,
+                    admission: AdmissionPolicy::AcceptAll,
+                    scheduler: Scheduler::default(),
+                },
+                &mut hw,
+            );
+            eng.set_control_hook(
+                500.0,
+                Box::new(move |_apps, mc, _t| {
+                    mc.m.advance(0, burn);
+                }),
+            );
+            for i in 0..10u32 {
+                let _ = eng.offer(&mut hw, &flow(i), &[0u8; 64], i as f64 * 100.0);
+            }
+            eng.run_until(&mut hw, 2_000.0);
+            eng.drain(&mut hw);
+            eng.finish(&mut hw).0.duration_ns
+        };
+        let idle_hook = run(0);
+        let busy_hook = run(50_000);
+        assert!(
+            busy_hook > idle_hook,
+            "hook cycles must extend busy time: {busy_hook} vs {idle_hook}"
+        );
+    }
+
+    #[test]
+    fn queue_groups_partition_the_aggregate() {
+        let (mut m, mut pool, mut port) = setup(4, 32);
+        let mut policy = rte::nic::FixedHeadroom(128);
+        let mut hw = Hw {
+            m: &mut m,
+            port: &mut port,
+            pool: &mut pool,
+            policy: &mut policy,
+        };
+        let mut eng = Engine::new(
+            echo_apps(300, 4),
+            EngineConfig {
+                workers: WorkerSpec::run_to_completion(4),
+                queue_depth: 32,
+                burst: 8,
+                faults: FaultPlan::none(),
+                execution: Execution::Serial,
+                admission: AdmissionPolicy::AcceptAll,
+                scheduler: Scheduler::default(),
+            },
+            &mut hw,
+        );
+        eng.set_queue_groups(vec![0, 0, 1, 1]);
+        for i in 0..400u32 {
+            let _ = eng.offer(&mut hw, &flow(i), &[0u8; 64], i as f64 * 20.0);
+        }
+        eng.drain(&mut hw);
+        let (rep, _) = eng.finish(&mut hw);
+        assert_eq!(rep.per_group.len(), 2);
+        for (field, agg) in [
+            (
+                rep.per_group.iter().map(|g| g.offered).sum::<u64>(),
+                rep.offered,
+            ),
+            (
+                rep.per_group.iter().map(|g| g.delivered).sum::<u64>(),
+                rep.delivered,
+            ),
+            (
+                rep.per_group.iter().map(|g| g.in_flight).sum::<u64>(),
+                rep.in_flight,
+            ),
+        ] {
+            assert_eq!(field, agg, "groups must partition the aggregate");
+        }
+        assert_eq!(
+            rep.per_group.iter().map(|g| g.nic.total()).sum::<u64>(),
+            rep.nic.total()
+        );
+        // Group 0 == queues {0,1}, group 1 == queues {2,3}.
+        assert_eq!(
+            rep.per_group[0].offered,
+            rep.per_queue[0].offered + rep.per_queue[1].offered
+        );
     }
 
     /// Drives the same hopeless 20 Mpps overload as

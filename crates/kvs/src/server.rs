@@ -324,10 +324,11 @@ pub fn flow_for_queue(port: &mut Port, base: FlowTuple, queue: usize) -> FlowTup
 }
 
 /// What happened to one *delivered* request: the shared serve path's
-/// outcome vocabulary, used by both the closed-loop [`KvApp`] and the
-/// open-loop server app (`crate::openloop`).
+/// outcome vocabulary, used by the closed-loop [`KvApp`], the
+/// open-loop server app (`crate::openloop`), and external tenants
+/// embedding the KVS serve path (`tenancy`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Served {
+pub enum Served {
     /// Parsed, in deadline, store accessed, response transmitted.
     Ok {
         /// The request's opcode.
@@ -348,7 +349,7 @@ pub(crate) enum Served {
 /// place. Returns the outcome plus this request's hot-hit delta (0
 /// without a migrator). The *caller* turns the outcome into a
 /// [`Verdict`] and its own counters.
-pub(crate) fn serve_packet(
+pub fn serve_packet(
     store: &KvStore,
     migrator: Option<&mut HotMigrator>,
     ctx: &mut Ctx<'_>,

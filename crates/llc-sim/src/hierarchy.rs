@@ -219,6 +219,32 @@ impl Machine {
         self.cat_mask[core] = u64::MAX;
     }
 
+    /// The CAT way mask currently applied to `core` (`u64::MAX` when
+    /// unrestricted).
+    pub fn cat_mask(&self, core: usize) -> u64 {
+        self.cat_mask[core]
+    }
+
+    /// Reprograms the number of ways DDIO allocates into at runtime —
+    /// the `IIO_LLC_WAYS` register an isolation controller rewrites to
+    /// shrink or widen the I/O ways online (paper §6; IOCA). The same
+    /// construction rule as [`Machine::new`] applies: the top `ways`
+    /// ways of every slice, clamped to the slice associativity, and the
+    /// mask never goes empty (0 keeps way 0 usable, matching the
+    /// config-time clamp). Only *future* DMA placements are affected;
+    /// lines already resident stay wherever they are until evicted.
+    pub fn set_ddio_ways(&mut self, ways: usize) {
+        let w = self.cfg.llc_slice.ways;
+        let dd = ways.min(w);
+        self.ddio_mask = (((1u64 << dd) - 1) << (w - dd)).max(1);
+    }
+
+    /// The number of ways DDIO currently allocates into (the popcount
+    /// of the active DDIO way mask).
+    pub fn ddio_ways(&self) -> usize {
+        self.ddio_mask.count_ones() as usize
+    }
+
     /// Per-slice LLC statistics.
     pub fn llc_stats(&self, slice: usize) -> crate::cache::CacheStats {
         self.llc[slice].stats()
@@ -888,6 +914,39 @@ mod tests {
             })
             .count();
         assert_eq!(resident, 2, "DDIO allocates into exactly 2 ways");
+    }
+
+    #[test]
+    fn set_ddio_ways_reprograms_future_placements() {
+        let mut m = haswell();
+        assert_eq!(m.ddio_ways(), 2, "Haswell config default");
+        m.set_ddio_ways(1);
+        assert_eq!(m.ddio_ways(), 1);
+        let r = m.mem_mut().alloc(64 << 20, 1 << 20).unwrap();
+        let target = r.pa(0);
+        let slice = m.slice_of(target);
+        let set = target.line() & 2047;
+        let mut placed = 0;
+        for i in 0..400 {
+            let pa = r.pa(i * 128 * 1024);
+            if m.slice_of(pa) == slice && (pa.line() & 2047) == set {
+                m.dma_write(pa, &[1; 64]);
+                placed += 1;
+            }
+        }
+        assert!(placed > 1, "need more DMA lines than DDIO ways");
+        let resident = (0..400)
+            .map(|i| r.pa(i * 128 * 1024))
+            .filter(|&pa| {
+                m.slice_of(pa) == slice && (pa.line() & 2047) == set && m.llc_probe(slice, pa)
+            })
+            .count();
+        assert_eq!(resident, 1, "shrunk DDIO allocates into exactly 1 way");
+        // Clamped to the associativity; 0 never empties the mask.
+        m.set_ddio_ways(999);
+        assert_eq!(m.ddio_ways(), m.config().llc_slice.ways);
+        m.set_ddio_ways(0);
+        assert_eq!(m.ddio_ways(), 1);
     }
 
     #[test]

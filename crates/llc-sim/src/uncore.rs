@@ -33,6 +33,23 @@ struct SliceTally {
     victims: u64,
 }
 
+/// A point-in-time capture of the selected event's per-slice readings,
+/// the base of a windowed-delta read ([`Uncore::read_window`]). Lets a
+/// controller poll counter *growth* over its own control epochs without
+/// resetting counters other observers may be watching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UncoreSnapshot {
+    event: UncoreEvent,
+    counts: Vec<u64>,
+}
+
+impl UncoreSnapshot {
+    /// The event that was programmed when this snapshot was taken.
+    pub fn event(&self) -> UncoreEvent {
+        self.event
+    }
+}
+
 /// The uncore monitoring unit: one programmable counter per slice.
 #[derive(Debug)]
 pub struct Uncore {
@@ -94,10 +111,68 @@ impl Uncore {
     /// The slice whose counter grew the most — the polling decision rule
     /// of §2.1 ("a C-Box counter showing a larger number of lookups will
     /// identify that the slice is mapped to that particular address").
+    ///
+    /// Tie-break: the **lowest-numbered** slice wins. Polling hammers one
+    /// address hard enough that the target slice strictly dominates, so
+    /// ties only arise in degenerate inputs (e.g. a freshly reset
+    /// uncore) — but a controller branching on this value still needs
+    /// the answer to be a pure function of the counters, not of
+    /// iterator-combinator ordering quirks.
     pub fn busiest_slice(&self) -> usize {
+        let mut best = 0;
+        for s in 1..self.tallies.len() {
+            if self.read(s) > self.read(best) {
+                best = s;
+            }
+        }
+        best
+    }
+
+    /// Captures the selected event's current per-slice readings for later
+    /// windowed-delta reads via [`Uncore::read_window`]. Unlike
+    /// [`Uncore::reset`], taking a snapshot does not disturb the shared
+    /// counters, so several observers (a figure's reporting and an
+    /// isolation controller, say) can each keep their own window without
+    /// clobbering one another.
+    pub fn snapshot(&self) -> UncoreSnapshot {
+        UncoreSnapshot {
+            event: self.event,
+            counts: self.read_all(),
+        }
+    }
+
+    /// Slice `s`'s counter growth since `base` was taken: the windowed
+    /// delta `read(s) - base[s]`.
+    ///
+    /// The window is only meaningful while the programmed event is
+    /// unchanged and no [`Uncore::reset`]/[`Uncore::select`] intervened
+    /// since the snapshot; a reset can make the live reading smaller
+    /// than the snapshot, in which case the delta saturates to 0 rather
+    /// than wrapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `base` was taken under a different programmed event,
+    /// or from an uncore with a different slice count.
+    pub fn read_window(&self, base: &UncoreSnapshot, s: usize) -> u64 {
+        assert_eq!(
+            base.event, self.event,
+            "snapshot was taken under a different uncore event"
+        );
+        assert_eq!(
+            base.counts.len(),
+            self.tallies.len(),
+            "snapshot slice count mismatch"
+        );
+        self.read(s).saturating_sub(base.counts[s])
+    }
+
+    /// All slices' windowed deltas since `base` (see
+    /// [`Uncore::read_window`]).
+    pub fn read_window_all(&self, base: &UncoreSnapshot) -> Vec<u64> {
         (0..self.tallies.len())
-            .max_by_key(|&s| self.read(s))
-            .expect("at least one slice")
+            .map(|s| self.read_window(base, s))
+            .collect()
     }
 
     // Event feeds, called by the machine.
@@ -166,6 +241,53 @@ mod tests {
         u.on_fill(1);
         u.on_fill(2);
         assert_eq!(u.read_all(), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn busiest_slice_tie_breaks_to_lowest_index() {
+        let u = Uncore::new(4);
+        assert_eq!(u.busiest_slice(), 0, "all-zero counters: slice 0 wins");
+        let mut u = Uncore::new(4);
+        u.on_lookup(1);
+        u.on_lookup(3);
+        assert_eq!(u.busiest_slice(), 1, "tied maxima: lowest index wins");
+    }
+
+    #[test]
+    fn windowed_deltas_do_not_disturb_counters() {
+        let mut u = Uncore::new(3);
+        u.on_lookup(0);
+        u.on_lookup(2);
+        let base = u.snapshot();
+        u.on_lookup(2);
+        u.on_lookup(2);
+        // The window sees only post-snapshot growth...
+        assert_eq!(u.read_window(&base, 0), 0);
+        assert_eq!(u.read_window(&base, 2), 2);
+        assert_eq!(u.read_window_all(&base), vec![0, 0, 2]);
+        // ...while the live counters still hold the full totals.
+        assert_eq!(u.read_all(), vec![1, 0, 3]);
+    }
+
+    #[test]
+    fn window_saturates_after_reset() {
+        let mut u = Uncore::new(1);
+        u.on_lookup(0);
+        u.on_lookup(0);
+        let base = u.snapshot();
+        u.reset();
+        u.on_lookup(0);
+        // Live reading (1) is below the snapshot (2): saturate, don't wrap.
+        assert_eq!(u.read_window(&base, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different uncore event")]
+    fn window_rejects_cross_event_snapshot() {
+        let mut u = Uncore::new(2);
+        let base = u.snapshot();
+        u.select(UncoreEvent::LlcMiss);
+        u.read_window(&base, 0);
     }
 
     #[test]

@@ -50,15 +50,57 @@ pub struct IsolationSetup {
     pub noise_buf: SliceBuffer,
 }
 
+/// Why an isolation scenario could not be set up. Both causes are
+/// recoverable — an experiment sweep (or an online controller probing
+/// candidate partitions) skips the infeasible point and moves on —
+/// matching the PR-1 graceful-degradation convention of typed errors on
+/// setup paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationError {
+    /// The requested CAT split grants the main application zero ways or
+    /// leaves none for the neighbour (`ways` must satisfy
+    /// `0 < ways < llc_ways`).
+    InvalidWaySplit {
+        /// The ways requested for the main application.
+        ways: usize,
+        /// The LLC's associativity (the exclusive upper bound).
+        llc_ways: usize,
+    },
+    /// Allocating one of the working sets failed.
+    Alloc(AllocError),
+}
+
+impl core::fmt::Display for IsolationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IsolationError::InvalidWaySplit { ways, llc_ways } => write!(
+                f,
+                "invalid way split: {ways} ways for the main application \
+                 (need 0 < ways < {llc_ways})"
+            ),
+            IsolationError::Alloc(e) => write!(f, "working-set allocation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IsolationError {}
+
+impl From<AllocError> for IsolationError {
+    fn from(e: AllocError) -> Self {
+        IsolationError::Alloc(e)
+    }
+}
+
 /// Prepares machine CAT masks and allocates both working sets.
 ///
 /// `main_bytes` follows the paper: "2 MB, which corresponds to
 /// three-fourths of the size of each slice plus the size of L2" on the
 /// Xeon Gold 6134. The neighbour's set is sized to sweep the whole LLC.
 ///
-/// # Panics
-///
-/// Panics when `ways` is zero or not below the LLC associativity.
+/// Returns [`IsolationError::InvalidWaySplit`] when a CAT scenario's
+/// `ways` is zero or not below the LLC associativity (the machine is
+/// left untouched in that case), and [`IsolationError::Alloc`] when a
+/// working set does not fit the allocator's region.
 pub fn setup_isolation<F: FnMut(PhysAddr) -> usize>(
     m: &mut Machine,
     alloc: &mut SliceAllocator<F>,
@@ -67,8 +109,17 @@ pub fn setup_isolation<F: FnMut(PhysAddr) -> usize>(
     noise_core: usize,
     main_bytes: usize,
     noise_bytes: usize,
-) -> Result<IsolationSetup, AllocError> {
+) -> Result<IsolationSetup, IsolationError> {
     let llc_ways = m.config().llc_slice.ways;
+    // Validate before mutating: an infeasible split must not clobber the
+    // masks an earlier (successful) setup installed.
+    if let IsolationScenario::WayIsolated { ways } | IsolationScenario::WaysAndSlice { ways, .. } =
+        scenario
+    {
+        if ways == 0 || ways >= llc_ways {
+            return Err(IsolationError::InvalidWaySplit { ways, llc_ways });
+        }
+    }
     m.clear_cat_mask(main_core);
     m.clear_cat_mask(noise_core);
     let (main_buf, noise_buf) = match scenario {
@@ -77,7 +128,6 @@ pub fn setup_isolation<F: FnMut(PhysAddr) -> usize>(
             alloc.alloc_contiguous_bytes(noise_bytes)?,
         ),
         IsolationScenario::WayIsolated { ways } => {
-            assert!(ways > 0 && ways < llc_ways, "invalid way split");
             let main_mask = (1u64 << ways) - 1;
             let noise_mask = ((1u64 << llc_ways) - 1) & !main_mask;
             m.set_cat_mask(main_core, main_mask);
@@ -100,7 +150,6 @@ pub fn setup_isolation<F: FnMut(PhysAddr) -> usize>(
             (main, SliceBuffer::from_lines(lines))
         }
         IsolationScenario::WaysAndSlice { ways, slice } => {
-            assert!(ways > 0 && ways < llc_ways, "invalid way split");
             let main_mask = (1u64 << ways) - 1;
             let noise_mask = ((1u64 << llc_ways) - 1) & !main_mask;
             m.set_cat_mask(main_core, main_mask);
@@ -334,17 +383,81 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid way split")]
-    fn rejects_full_way_grant() {
+    fn rejects_full_way_grant_with_typed_error() {
         let (mut m, mut a) = setup();
-        let _ = setup_isolation(
+        for ways in [0, 11, 12] {
+            let err = setup_isolation(
+                &mut m,
+                &mut a,
+                IsolationScenario::WayIsolated { ways },
+                0,
+                1,
+                MAIN_BYTES,
+                1 << 20,
+            )
+            .unwrap_err();
+            assert_eq!(err, IsolationError::InvalidWaySplit { ways, llc_ways: 11 });
+            assert!(err.to_string().contains("invalid way split"));
+        }
+        // The combined scenario validates the same bound.
+        let err = setup_isolation(
             &mut m,
             &mut a,
-            IsolationScenario::WayIsolated { ways: 11 },
+            IsolationScenario::WaysAndSlice { ways: 11, slice: 0 },
             0,
             1,
             MAIN_BYTES,
             1 << 20,
+        )
+        .unwrap_err();
+        assert!(matches!(err, IsolationError::InvalidWaySplit { .. }));
+    }
+
+    #[test]
+    fn infeasible_split_leaves_existing_masks_untouched() {
+        let (mut m, mut a) = setup();
+        let _ = setup_isolation(
+            &mut m,
+            &mut a,
+            IsolationScenario::WayIsolated { ways: 2 },
+            0,
+            1,
+            MAIN_BYTES,
+            1 << 20,
+        )
+        .unwrap();
+        let (main_before, noise_before) = (m.cat_mask(0), m.cat_mask(1));
+        let _ = setup_isolation(
+            &mut m,
+            &mut a,
+            IsolationScenario::WayIsolated { ways: 0 },
+            0,
+            1,
+            MAIN_BYTES,
+            1 << 20,
+        )
+        .unwrap_err();
+        assert_eq!(
+            m.cat_mask(0),
+            main_before,
+            "rejected split must not clobber"
         );
+        assert_eq!(m.cat_mask(1), noise_before);
+    }
+
+    #[test]
+    fn alloc_failure_maps_to_typed_error() {
+        let (mut m, mut a) = setup();
+        let err = setup_isolation(
+            &mut m,
+            &mut a,
+            IsolationScenario::NoCat,
+            0,
+            1,
+            usize::MAX / 2, // cannot fit any region
+            1 << 20,
+        )
+        .unwrap_err();
+        assert!(matches!(err, IsolationError::Alloc(_)));
     }
 }

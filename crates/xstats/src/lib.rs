@@ -22,4 +22,5 @@ pub use hist::Histogram;
 pub use percentile::Summary;
 pub use slo::{
     slo_violation_ns, time_above_threshold, try_slo_violation_ns, try_time_above_threshold,
+    try_violation_minutes, violation_minutes,
 };

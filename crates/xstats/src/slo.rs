@@ -85,6 +85,42 @@ pub fn try_slo_violation_ns(series: &[(f64, f64)], slo: f64) -> Option<f64> {
     try_time_above_threshold(series, slo)
 }
 
+/// Nanoseconds per minute: the unit conversion of
+/// [`violation_minutes`].
+const NS_PER_MINUTE: f64 = 60.0e9;
+
+/// Aggregate SLO-violation time over several runs' series, in minutes.
+///
+/// Each run contributes its own `(t_ns, value)` latency series; the
+/// per-run violation times ([`slo_violation_ns`], first-order hold,
+/// strictly above `slo`) are summed and converted from nanoseconds to
+/// minutes — the unit multi-run robustness studies report ("how long,
+/// across the whole campaign, was the tenant out of SLO?").
+///
+/// Total over all inputs, inheriting [`time_above_threshold`]'s
+/// absorption rules per run: non-finite samples are skipped (the
+/// previous hold extends over them), backwards timestamps clamp to
+/// zero width (never negative), and a non-finite `slo` yields 0.0. An
+/// empty run list is 0.0. Use [`try_violation_minutes`] to detect dirty
+/// input instead of absorbing it.
+pub fn violation_minutes(runs: &[&[(f64, f64)]], slo: f64) -> f64 {
+    runs.iter()
+        .map(|series| slo_violation_ns(series, slo))
+        .sum::<f64>()
+        / NS_PER_MINUTE
+}
+
+/// Strict variant of [`violation_minutes`]: `None` when the SLO or any
+/// run's sample is non-finite, or any run's timestamps are not
+/// non-decreasing (per-run rules of [`try_time_above_threshold`]).
+pub fn try_violation_minutes(runs: &[&[(f64, f64)]], slo: f64) -> Option<f64> {
+    let mut total = 0.0;
+    for series in runs {
+        total += try_slo_violation_ns(series, slo)?;
+    }
+    Some(total / NS_PER_MINUTE)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +171,33 @@ mod tests {
             try_time_above_threshold(&[(0.0, 1.0), (1.0, 1.0)], f64::INFINITY),
             None
         );
+    }
+
+    #[test]
+    fn violation_minutes_sums_runs_and_converts_units() {
+        // Run A violates for 15 ns, run B for 45e9 ns (0.75 min).
+        let a = [(0.0, 8.0), (10.0, 2.0), (20.0, 9.0), (25.0, 1.0)];
+        let b = [(0.0, 9.0), (45.0e9, 1.0), (50.0e9, 1.0)];
+        let runs: [&[(f64, f64)]; 2] = [&a, &b];
+        let mins = violation_minutes(&runs, 5.0);
+        assert!((mins - (15.0 + 45.0e9) / 60.0e9).abs() < 1e-12);
+        assert_eq!(try_violation_minutes(&runs, 5.0), Some(mins));
+        // No runs, no violation.
+        assert_eq!(violation_minutes(&[], 5.0), 0.0);
+        assert_eq!(try_violation_minutes(&[], 5.0), Some(0.0));
+    }
+
+    #[test]
+    fn violation_minutes_absorbs_dirty_runs_and_try_detects_them() {
+        let clean = [(0.0, 9.0), (60.0e9, 1.0)];
+        let dirty = [(0.0, f64::NAN), (10.0, 2.0)];
+        let runs: [&[(f64, f64)]; 2] = [&clean, &dirty];
+        // Total: the NaN sample is skipped, the clean run still counts.
+        assert!((violation_minutes(&runs, 5.0) - 1.0).abs() < 1e-12);
+        assert_eq!(try_violation_minutes(&runs, 5.0), None);
+        // Non-finite SLO cannot be violated (total) / is an error (try).
+        assert_eq!(violation_minutes(&runs[..1], f64::NAN), 0.0);
+        assert_eq!(try_violation_minutes(&runs[..1], f64::INFINITY), None);
     }
 
     #[test]

@@ -36,15 +36,17 @@ field() { sed -n "s/.*$2=\([0-9.]*\).*/\1/p" <<< "$1"; }
 
 # Fixed workload set: every engine-backed subsystem is represented
 # (multi-queue KVS, migration study, NFV forward + chained pipeline,
-# open-loop overload chaos) at --smoke scale so the benchmark finishes
+# open-loop overload chaos, multi-tenant isolation controller) at
+# --smoke scale so the benchmark finishes
 # in seconds and CI can afford to re-run it.
-NAMES=(fig08_kvs_c4 fig08_kvs_migrate fig13_forward fig14_chain fig_knee_chaos)
+NAMES=(fig08_kvs_c4 fig08_kvs_migrate fig13_forward fig14_chain fig_knee_chaos fig_tenants)
 declare -A CMDS=(
     [fig08_kvs_c4]="fig08_kvs --smoke --cores=4"
     [fig08_kvs_migrate]="fig08_kvs --smoke --zipf=0.99 --migrate=4096 --cores=4"
     [fig13_forward]="fig13_forward --smoke"
     [fig14_chain]="fig14_chain --smoke"
     [fig_knee_chaos]="fig_knee_kvs --smoke --chaos"
+    [fig_tenants]="fig_tenants --smoke"
 )
 
 json_workloads=""

@@ -21,7 +21,8 @@ smoke() {
         table01_cachespec fig04_hash fig05_latency fig06_speedup
         fig07_ops fig08_kvs fig12_lowrate fig13_forward fig14_chain
         fig15_knee fig_knee_kvs fig16_table4_skylake fig17_isolation
-        ext_pipeline headroom_dist kvs_probe skylake_nfv calibrate
+        fig_tenants ext_pipeline headroom_dist kvs_probe skylake_nfv
+        calibrate
     )
     for bin in "${bins[@]}"; do
         echo "    -> ${bin}"
@@ -77,6 +78,13 @@ det() {
     ./target/release/fig08_kvs --smoke --cores=4 --scheduler=reference > "$out_b"
     ./target/release/fig08_kvs --smoke --cores=4 > "$out_a"
     diff -u "$out_b" "$out_a"
+    # The multi-tenant controller study: the stateful isolation control
+    # loop (streaks, cooldown, DDIO calm counter) must also be invisible
+    # to scheduler choice and worker threading, at the byte level.
+    echo "==> determinism: scheduler+mode diff of fig_tenants --smoke"
+    ./target/release/fig_tenants --smoke > "$out_a"
+    ./target/release/fig_tenants --smoke --parallel --scheduler=reference > "$out_b"
+    diff -u "$out_a" "$out_b"
     rm -f "$out_a" "$out_b"
     echo "==> scheduler: pinned epoch ceiling on fig08_kvs --smoke --cores=4"
     # The event-driven scheduler dispatches ~300 epochs here (one per

@@ -301,3 +301,86 @@ fn kvs_migration_with_tied_counts_is_identical_serial_vs_parallel() {
         );
     }
 }
+
+/// The multi-tenant chaos harness at one mode point.
+fn tenancy_run(execution: Execution, scheduler: Scheduler) -> tenancy::run::TenancyReport {
+    let cfg = tenancy::run::TenancyConfig {
+        execution,
+        scheduler,
+        ..tenancy::run::TenancyConfig::new(tenancy::run::Regime::Online, 6_000)
+    };
+    tenancy::run::run_tenancy(&cfg)
+}
+
+#[test]
+fn tenancy_controller_results_are_identical_across_modes_and_schedulers() {
+    // The isolation controller is stateful across control epochs
+    // (streaks, cooldown, calm counter, the held-p99 series), and its
+    // observations come from worker-produced latency logs and merged
+    // uncore counters — the maximal surface for a scheduler- or
+    // thread-count dependence to leak in. The full report (per-tenant
+    // ledgers, violation integrals, every controller action count) must
+    // be bit-identical across the grid.
+    let reference = tenancy_run(Execution::Serial, Scheduler::EventDriven);
+    assert!(
+        reference.moves > 0 && reference.ddio_shrinks > 0,
+        "the online case must actually exercise the controller"
+    );
+    for scheduler in [Scheduler::EventDriven, Scheduler::ReferenceTick] {
+        for execution in [
+            Execution::Serial,
+            Execution::Parallel { threads: 1 },
+            Execution::Parallel { threads: 2 },
+            Execution::Parallel { threads: 4 },
+        ] {
+            let run = tenancy_run(execution, scheduler);
+            assert_eq!(
+                format!("{reference:?}"),
+                format!("{run:?}"),
+                "tenancy: {execution:?} under {scheduler:?} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn tenancy_per_tenant_ledgers_partition_the_aggregate_identities() {
+    // Aggregate conservation must equal the sum of per-tenant
+    // identities: each tenant's group ledger balances on its own, and
+    // the groups sum to the run's totals — no frame is lost between or
+    // double-counted across tenants. Checked in both execution modes.
+    for execution in [Execution::Serial, Execution::Parallel { threads: 2 }] {
+        let rep = tenancy_run(execution, Scheduler::EventDriven);
+        let mut sums = (0u64, 0u64, 0u64, 0u64);
+        for (group, tenant) in rep.per_group.iter().zip(&rep.tenants) {
+            assert_eq!(
+                group.offered + group.carried,
+                group.delivered
+                    + group.nic.total()
+                    + group.admit.total()
+                    + group.app_drops
+                    + group.in_flight,
+                "{} ({execution:?}): tenant ledger leaks frames",
+                tenant.name
+            );
+            assert_eq!(group.offered, tenant.offered);
+            assert_eq!(group.delivered, tenant.served);
+            sums.0 += group.offered;
+            sums.1 += group.delivered;
+            sums.2 += group.nic.total() + group.admit.total();
+            sums.3 += group.app_drops + group.in_flight + group.carried;
+        }
+        let offered: u64 = rep.tenants.iter().map(|t| t.offered).sum();
+        let served: u64 = rep.tenants.iter().map(|t| t.served).sum();
+        let rejected: u64 = rep.tenants.iter().map(|t| t.rejected).sum();
+        assert_eq!(sums.0, offered, "{execution:?}: offered partition broken");
+        assert_eq!(sums.1, served, "{execution:?}: delivered partition broken");
+        assert_eq!(
+            sums.2, rejected,
+            "{execution:?}: rejection partition broken"
+        );
+        // The run has fully drained: nothing is still queued, in flight,
+        // or silently dropped inside an app across any tenant.
+        assert_eq!(sums.3, 0, "{execution:?}: residual frames after drain");
+    }
+}
