@@ -166,6 +166,7 @@ golden_tests!(
     fig16_table4_skylake,
     fig17_isolation,
     fig_tenants,
+    fig_scale_kvs,
     ext_pipeline,
     headroom_dist,
     kvs_probe,

@@ -55,7 +55,33 @@ use rte::fault::FaultPlan;
 use rte::mempool::MbufPool;
 use rte::nic::{HeadroomPolicy, Port, RxCompletion, TxDesc};
 use std::collections::VecDeque;
-use trafficgen::{Arrivals, FlowTuple, ZipfGen};
+use trafficgen::{Arrivals, FlowTuple, ZipfConstants, ZipfGen};
+
+/// Where completed-op latency records go, one call per completion.
+///
+/// The default [`run_openloop`] collects them into
+/// [`OpenLoopReport::completions`] — exact but O(completions) memory.
+/// Million-request figure runs use [`run_openloop_streaming`] with a
+/// bounded sink instead (e.g. one `xstats::LogHist` per queue), so the
+/// report path holds no per-request `Vec` at any scale.
+///
+/// Calls arrive in the engine's deterministic processing order —
+/// identical in serial and parallel execution — so any deterministic
+/// sink yields bit-identical figures across execution modes.
+pub trait CompletionSink {
+    /// One completed logical op: the RX queue that served it, the
+    /// completion timestamp, and the first-attempt-to-response latency.
+    fn record(&mut self, queue: usize, completion_ns: f64, latency_ns: f64);
+}
+
+/// The collect-everything sink behind the default [`run_openloop`].
+struct VecSink(Vec<(f64, f64)>);
+
+impl CompletionSink for VecSink {
+    fn record(&mut self, _queue: usize, completion_ns: f64, latency_ns: f64) {
+        self.0.push((completion_ns, latency_ns));
+    }
+}
 
 /// Open-loop run configuration. Arrival *timing* comes from the
 /// [`Arrivals`] implementation passed to [`run_openloop`]; this struct
@@ -214,8 +240,14 @@ pub struct OpenLoopReport {
     /// Per completed op: `(completion time ns, latency ns)`, where
     /// latency is measured from the op's *first* attempt — a retried op
     /// pays its timeouts. Stamped when the server transmits the
-    /// response (delivery in this NIC model is immediate).
+    /// response (delivery in this NIC model is immediate). Empty for
+    /// [`run_openloop_streaming`] runs, whose records went to the
+    /// caller's [`CompletionSink`] instead.
     pub completions: Vec<(f64, f64)>,
+    /// True when the run streamed its completion records to an external
+    /// sink ([`run_openloop_streaming`]) instead of collecting them in
+    /// [`OpenLoopReport::completions`].
+    pub streamed: bool,
 }
 
 impl OpenLoopReport {
@@ -271,11 +303,18 @@ impl OpenLoopReport {
             self.completed + self.late,
             "every transmitted response completed an op or arrived late"
         );
-        assert_eq!(
-            self.completed,
-            self.completions.len() as u64,
-            "one completion record per completed op"
-        );
+        if self.streamed {
+            assert!(
+                self.completions.is_empty(),
+                "a streamed run keeps no completion Vec"
+            );
+        } else {
+            assert_eq!(
+                self.completed,
+                self.completions.len() as u64,
+                "one completion record per completed op"
+            );
+        }
     }
 }
 
@@ -370,7 +409,6 @@ struct Client {
     completed: u64,
     gave_up: u64,
     late: u64,
-    completions: Vec<(f64, f64)>,
 }
 
 impl Client {
@@ -422,8 +460,8 @@ impl Client {
     }
 
     /// Matches drained server outcomes against the per-queue attempt
-    /// FIFOs.
-    fn absorb(&mut self, q: usize, log: Vec<(f64, Served)>) {
+    /// FIFOs, streaming each completion to the sink.
+    fn absorb(&mut self, q: usize, log: Vec<(f64, Served)>, sink: &mut dyn CompletionSink) {
         for (t, outcome) in log {
             let id = self.pending[q]
                 .pop_front()
@@ -435,7 +473,7 @@ impl Client {
                 } else {
                     op.done = true;
                     self.completed += 1;
-                    self.completions.push((t, t - op.first_ns));
+                    sink.record(q, t, t - op.first_ns);
                 }
             }
             // Server-side drops produce no response; the client only
@@ -448,11 +486,16 @@ impl Client {
 /// fixed, outcome order within a worker is the engine's deterministic
 /// processing order, and matching is per-queue — so the client's state
 /// evolution is bit-identical in serial and parallel execution.
-fn drain_outcomes(eng: &mut Engine<OpenLoopApp<'_>>, client: &mut Client, cores: usize) {
+fn drain_outcomes(
+    eng: &mut Engine<OpenLoopApp<'_>>,
+    client: &mut Client,
+    cores: usize,
+    sink: &mut dyn CompletionSink,
+) {
     for w in 0..cores {
         let log = std::mem::take(&mut eng.app_mut(w).outcomes);
         if !log.is_empty() {
-            client.absorb(w, log);
+            client.absorb(w, log, sink);
         }
     }
 }
@@ -476,6 +519,50 @@ pub fn run_openloop(
     arrivals: &mut dyn Arrivals,
     cfg: &OpenLoopConfig,
 ) -> OpenLoopReport {
+    let mut sink = VecSink(Vec::new());
+    let mut report = run_openloop_impl(m, store, pool, port, policy, arrivals, cfg, &mut sink);
+    report.completions = sink.0;
+    report.streamed = false;
+    report.assert_conservation();
+    report
+}
+
+/// [`run_openloop`] with bounded report-path memory: every completion
+/// record goes to `sink` (typically one streaming quantile sketch per
+/// queue) instead of a per-request `Vec`, so million-request runs hold
+/// O(sketch) state regardless of scale. The returned report is
+/// identical except `completions` stays empty (`streamed` is set).
+///
+/// # Panics
+///
+/// As [`run_openloop`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_openloop_streaming(
+    m: &mut Machine,
+    store: &KvStore,
+    pool: &mut MbufPool,
+    port: &mut Port,
+    policy: &mut dyn HeadroomPolicy,
+    arrivals: &mut dyn Arrivals,
+    cfg: &OpenLoopConfig,
+    sink: &mut dyn CompletionSink,
+) -> OpenLoopReport {
+    let report = run_openloop_impl(m, store, pool, port, policy, arrivals, cfg, sink);
+    report.assert_conservation();
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_openloop_impl(
+    m: &mut Machine,
+    store: &KvStore,
+    pool: &mut MbufPool,
+    port: &mut Port,
+    policy: &mut dyn HeadroomPolicy,
+    arrivals: &mut dyn Arrivals,
+    cfg: &OpenLoopConfig,
+    sink: &mut dyn CompletionSink,
+) -> OpenLoopReport {
     let cores = cfg.cores;
     assert!(cores > 0, "no serving cores");
     assert!(cfg.max_attempts >= 1, "an op always gets its first attempt");
@@ -498,13 +585,13 @@ pub fn run_openloop(
     let base = FlowTuple::tcp(0x0a00_0001, 40_000, 0xc0a8_0001, 11211);
     let flows: Vec<FlowTuple> = (0..cores).map(|q| flow_for_queue(port, base, q)).collect();
     let n_keys = store.len() as u64;
+    // One set of Zipf constants for all queues: the O(n) zeta setup
+    // runs once, each per-queue generator reuses it (bit-identical to
+    // recomputing — pinned in trafficgen::zipf).
+    let zc = ZipfConstants::shared((n_keys / cores as u64).max(1), cfg.zipf_theta);
     let mut gens: Vec<RequestGen> = (0..cores)
         .map(|q| {
-            let keygen = ZipfGen::new(
-                (n_keys / cores as u64).max(1),
-                cfg.zipf_theta,
-                cfg.seed ^ (0x5eed + q as u64),
-            );
+            let keygen = ZipfGen::from_constants(&zc, cfg.seed ^ (0x5eed + q as u64));
             RequestGen::new(keygen, cfg.get_permille, cfg.seed ^ (0xc11e + q as u64))
                 .with_flow(flows[q])
                 .with_key_partition(cores as u32, q as u32)
@@ -548,7 +635,6 @@ pub fn run_openloop(
         completed: 0,
         gave_up: 0,
         late: 0,
-        completions: Vec::new(),
     };
     let mut frame = vec![0u8; REQUEST_SIZE];
     let mut seq = 0u64;
@@ -609,7 +695,7 @@ pub fn run_openloop(
                     continue; // Stale timer.
                 }
                 eng.run_until(&mut hw, te);
-                drain_outcomes(&mut eng, &mut client, cores);
+                drain_outcomes(&mut eng, &mut client, cores, sink);
                 let op = &client.ops[id];
                 if op.done || op.gave_up {
                     continue; // Resolved by the catch-up.
@@ -626,10 +712,10 @@ pub fn run_openloop(
                 }
             }
         }
-        drain_outcomes(&mut eng, &mut client, cores);
+        drain_outcomes(&mut eng, &mut client, cores, sink);
     }
     eng.drain(&mut hw);
-    drain_outcomes(&mut eng, &mut client, cores);
+    drain_outcomes(&mut eng, &mut client, cores, sink);
     for (q, fifo) in client.pending.iter().enumerate() {
         assert!(
             fifo.is_empty(),
@@ -665,13 +751,13 @@ pub fn run_openloop(
         drops,
         admit: rep.admit,
         duration_ns: rep.duration_ns,
-        completions: client.completions,
+        completions: Vec::new(),
+        streamed: true,
     };
     assert_eq!(
         report.offered, client.offered,
         "client and engine count the same physical attempts"
     );
-    report.assert_conservation();
     report
 }
 
@@ -800,6 +886,62 @@ mod tests {
         assert!(rep.drops.nic.link_down > 0, "flap must surface");
         assert!(rep.completed > 0);
         rep.assert_conservation();
+    }
+
+    /// The streaming sink sees exactly the records the Vec path
+    /// collects — same order, same bits — and the two reports agree on
+    /// every counter. This is the contract that lets figure binaries
+    /// swap the O(completions) Vec for a bounded sketch without any
+    /// output drift.
+    #[test]
+    fn streaming_sink_matches_vec_path_bit_for_bit() {
+        struct Collect(Vec<(usize, f64, f64)>);
+        impl CompletionSink for Collect {
+            fn record(&mut self, queue: usize, completion_ns: f64, latency_ns: f64) {
+                self.0.push((queue, completion_ns, latency_ns));
+            }
+        }
+
+        let cfg = OpenLoopConfig::new(1500, 21)
+            .with_cores(2)
+            .with_retries(2_000.0, 2);
+        let mut a1 = OpenLoopGen::poisson(5e7, 3);
+        let vec_rep = run(&cfg, &mut a1);
+
+        let mut m = Machine::new(MachineConfig::haswell_e5_2667_v3().with_dram_capacity(256 << 20));
+        let region = m.mem_mut().alloc(16 << 20, 1 << 20).unwrap();
+        let h = XorSliceHash::haswell_8slice();
+        let mut alloc = SliceAllocator::new(region, move |pa| h.slice_of(pa));
+        let store = KvStore::build(&mut m, &mut alloc, 4096, Placement::Normal).unwrap();
+        let mut pool = MbufPool::create(&mut m, 4096, 128, 2048).unwrap();
+        let mut port = Port::new(0, Steering::Rss(Rss::new(cfg.cores)), cfg.queue_depth);
+        let mut policy = FixedHeadroom(128);
+        let mut a2 = OpenLoopGen::poisson(5e7, 3);
+        let mut sink = Collect(Vec::new());
+        let streamed = run_openloop_streaming(
+            &mut m,
+            &store,
+            &mut pool,
+            &mut port,
+            &mut policy,
+            &mut a2,
+            &cfg,
+            &mut sink,
+        );
+
+        assert!(streamed.streamed && streamed.completions.is_empty());
+        let stream_records: Vec<(f64, f64)> = sink.0.iter().map(|&(_, t, l)| (t, l)).collect();
+        assert_eq!(
+            stream_records, vec_rep.completions,
+            "record streams diverged"
+        );
+        assert!(sink.0.iter().all(|&(q, _, _)| q < cfg.cores));
+        assert_eq!(streamed.completed, vec_rep.completed);
+        assert_eq!(streamed.offered, vec_rep.offered);
+        assert_eq!(streamed.retries, vec_rep.retries);
+        assert_eq!(streamed.late, vec_rep.late);
+        assert_eq!(streamed.duration_ns, vec_rep.duration_ns);
+        streamed.assert_conservation();
     }
 
     #[test]

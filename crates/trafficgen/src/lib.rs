@@ -26,11 +26,17 @@
 //!   hot keys — indexed by draw count so they compose with any arrival
 //!   process or fault plan. The workload source for the §8 hot-set
 //!   migration churn studies.
+//! * **Trace replay** ([`replay`]): a v2 tracefile records per-packet
+//!   `arrival_ns` ([`tracefile`]); [`replay::TraceReplay`] feeds that
+//!   timestamp column back through the [`arrival::Arrivals`] trait, so
+//!   recorded or synthesized traces drive the open-loop run loops with
+//!   their original inter-arrival structure.
 
 pub mod arrival;
 pub mod flow;
 pub mod openloop;
 pub mod phase;
+pub mod replay;
 pub mod rng;
 pub mod trace;
 pub mod tracefile;
@@ -40,6 +46,8 @@ pub use arrival::{gbps_to_pps, ArrivalSchedule, Arrivals};
 pub use flow::FlowTuple;
 pub use openloop::{OpenLoopGen, RateProfile};
 pub use phase::{FlashCrowd, Phase, PhaseGen, PhaseSchedule};
+pub use replay::TraceReplay;
 pub use rng::Rng64;
 pub use trace::{CampusTrace, PacketSpec, SizeMix};
-pub use zipf::ZipfGen;
+pub use tracefile::TimedPacket;
+pub use zipf::{ZipfConstants, ZipfGen};

@@ -13,30 +13,41 @@
 //! hot set is spread over the key space.
 
 use crate::rng::Rng64;
+use std::sync::{Mutex, OnceLock};
 
-/// A seeded Zipf(θ) generator over `[0, n)`.
-#[derive(Debug, Clone)]
-pub struct ZipfGen {
+/// The precomputed Gray et al. constants for one `(n, theta)` pair.
+///
+/// Computing `zeta(n, theta)` is O(n) — a few milliseconds at the
+/// paper's `n = 2^24`, which turns into seconds of redundant setup when
+/// every queue/tenant/client builds its own generator over the same key
+/// space. The constants depend only on `(n, theta)`, so they are
+/// computed once ([`ZipfConstants::compute`]) and shared: either
+/// explicitly via [`ZipfGen::from_constants`], or transparently through
+/// the process-wide cache consulted by [`ZipfGen::new`]
+/// ([`ZipfConstants::shared`]).
+///
+/// Sharing is bit-transparent: a generator built from cached constants
+/// produces draw sequences byte-identical to one that recomputed them,
+/// because the cache stores exactly the value `compute` returns (the
+/// regression test `shared_constants_draws_are_byte_identical` pins
+/// this).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfConstants {
     n: u64,
     theta: f64,
     alpha: f64,
     zetan: f64,
     eta: f64,
-    rng: Rng64,
 }
 
-impl ZipfGen {
-    /// A generator over `[0, n)` with skew `theta` (0 ⇒ uniform), seeded
-    /// deterministically.
-    ///
-    /// `zeta(n, theta)` is computed once in O(n); for the paper's
-    /// `n = 2^24` this is a few milliseconds.
+impl ZipfConstants {
+    /// Computes the constants from scratch in O(n).
     ///
     /// # Panics
     ///
-    /// Panics when `n == 0`, `theta < 0` or `theta >= 1` (the Gray et al.
-    /// closed form needs θ < 1; the paper uses 0.99).
-    pub fn new(n: u64, theta: f64, seed: u64) -> Self {
+    /// Panics when `n == 0`, `theta < 0` or `theta >= 1` (the Gray et
+    /// al. closed form needs θ < 1; the paper uses 0.99).
+    pub fn compute(n: u64, theta: f64) -> Self {
         assert!(n > 0, "need a non-empty key space");
         assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
         let zetan = zeta(n, theta);
@@ -49,13 +60,35 @@ impl ZipfGen {
             alpha,
             zetan,
             eta,
-            rng: Rng64::seed_from_u64(seed),
         }
     }
 
-    /// The paper's KVS workload: `2^24` keys, skew 0.99.
-    pub fn paper_kvs(seed: u64) -> Self {
-        Self::new(1 << 24, 0.99, seed)
+    /// The constants for `(n, theta)`, from the process-wide cache —
+    /// O(n) the first time a pair is seen, O(distinct pairs) after.
+    ///
+    /// The cache is a small linear-scan table (a handful of `(n, θ)`
+    /// pairs exist per process); `theta` is keyed by its exact bit
+    /// pattern, so no two distinct floats ever alias.
+    pub fn shared(n: u64, theta: f64) -> Self {
+        static CACHE: OnceLock<Mutex<Vec<ZipfConstants>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+        let table = cache.lock().expect("zipf constant cache poisoned");
+        if let Some(c) = table
+            .iter()
+            .find(|c| c.n == n && c.theta.to_bits() == theta.to_bits())
+        {
+            return *c;
+        }
+        drop(table); // don't hold the lock across the O(n) compute
+        let c = Self::compute(n, theta);
+        let mut table = cache.lock().expect("zipf constant cache poisoned");
+        if !table
+            .iter()
+            .any(|e| e.n == n && e.theta.to_bits() == theta.to_bits())
+        {
+            table.push(c);
+        }
+        c
     }
 
     /// Key-space size.
@@ -67,31 +100,83 @@ impl ZipfGen {
     pub fn theta(&self) -> f64 {
         self.theta
     }
+}
+
+/// A seeded Zipf(θ) generator over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    constants: ZipfConstants,
+    rng: Rng64,
+}
+
+impl ZipfGen {
+    /// A generator over `[0, n)` with skew `theta` (0 ⇒ uniform), seeded
+    /// deterministically.
+    ///
+    /// `zeta(n, theta)` is computed once per distinct `(n, theta)` pair
+    /// per process (see [`ZipfConstants::shared`]); building many
+    /// generators over the same key space — one per queue, tenant or
+    /// client — is O(1) after the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`, `theta < 0` or `theta >= 1` (the Gray et al.
+    /// closed form needs θ < 1; the paper uses 0.99).
+    pub fn new(n: u64, theta: f64, seed: u64) -> Self {
+        Self::from_constants(&ZipfConstants::shared(n, theta), seed)
+    }
+
+    /// A generator reusing already-computed [`ZipfConstants`] — the
+    /// explicit zero-setup-cost constructor for callers that build one
+    /// generator per queue over a shared key space.
+    pub fn from_constants(constants: &ZipfConstants, seed: u64) -> Self {
+        Self {
+            constants: *constants,
+            rng: Rng64::seed_from_u64(seed),
+        }
+    }
+
+    /// The paper's KVS workload: `2^24` keys, skew 0.99.
+    pub fn paper_kvs(seed: u64) -> Self {
+        Self::new(1 << 24, 0.99, seed)
+    }
+
+    /// Key-space size.
+    pub fn n(&self) -> u64 {
+        self.constants.n
+    }
+
+    /// Configured skew.
+    pub fn theta(&self) -> f64 {
+        self.constants.theta
+    }
 
     /// Draws the next rank in `[0, n)`; rank 0 is the most popular.
     pub fn next_rank(&mut self) -> u64 {
-        if self.theta == 0.0 {
-            return self.rng.gen_range(0..self.n);
+        let c = &self.constants;
+        if c.theta == 0.0 {
+            return self.rng.gen_range(0..c.n);
         }
         let u: f64 = self.rng.gen_f64();
-        let uz = u * self.zetan;
+        let uz = u * c.zetan;
         if uz < 1.0 {
             return 0;
         }
-        if uz < 1.0 + 0.5f64.powf(self.theta) {
+        if uz < 1.0 + 0.5f64.powf(c.theta) {
             return 1;
         }
-        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
-        rank.min(self.n - 1)
+        let rank = (c.n as f64 * (c.eta * u - c.eta + 1.0).powf(c.alpha)) as u64;
+        rank.min(c.n - 1)
     }
 
     /// Theoretical probability of rank `k` (for tests/analysis).
     pub fn prob(&self, k: u64) -> f64 {
-        assert!(k < self.n);
-        if self.theta == 0.0 {
-            1.0 / self.n as f64
+        let c = &self.constants;
+        assert!(k < c.n);
+        if c.theta == 0.0 {
+            1.0 / c.n as f64
         } else {
-            1.0 / ((k + 1) as f64).powf(self.theta) / self.zetan
+            1.0 / ((k + 1) as f64).powf(c.theta) / c.zetan
         }
     }
 }
@@ -186,6 +271,49 @@ mod tests {
     #[should_panic(expected = "theta must be in")]
     fn rejects_theta_one() {
         ZipfGen::new(10, 1.0, 0);
+    }
+
+    /// The O(n)-per-generator fix must be bit-transparent: a generator
+    /// built from shared/cached constants draws byte-identical rank
+    /// sequences to one whose constants were recomputed from scratch.
+    #[test]
+    fn shared_constants_draws_are_byte_identical() {
+        for &(n, theta) in &[(1u64 << 16, 0.99), (1 << 12, 0.5), (977, 0.0)] {
+            let fresh = ZipfConstants::compute(n, theta);
+            let cached = ZipfConstants::shared(n, theta);
+            assert_eq!(
+                fresh, cached,
+                "cache must store exactly what compute returns"
+            );
+            assert_eq!(fresh.zetan.to_bits(), cached.zetan.to_bits());
+            assert_eq!(fresh.eta.to_bits(), cached.eta.to_bits());
+            assert_eq!(fresh.alpha.to_bits(), cached.alpha.to_bits());
+
+            // `new` (cache path) vs `from_constants` over a fresh compute:
+            // identical draw sequences, bit for bit.
+            let a: Vec<u64> = {
+                let mut g = ZipfGen::new(n, theta, 42);
+                (0..1000).map(|_| g.next_rank()).collect()
+            };
+            let b: Vec<u64> = {
+                let mut g = ZipfGen::from_constants(&fresh, 42);
+                (0..1000).map(|_| g.next_rank()).collect()
+            };
+            assert_eq!(a, b, "(n={n}, theta={theta})");
+        }
+    }
+
+    /// Repeated cache hits return the same constants (the cache never
+    /// recomputes into a different value) and the second construction
+    /// over a cached pair is O(1) — pinned behaviourally, not by timing.
+    #[test]
+    fn cache_is_stable_across_lookups() {
+        let a = ZipfConstants::shared(4321, 0.73);
+        let b = ZipfConstants::shared(4321, 0.73);
+        assert_eq!(a, b);
+        // A different theta bit pattern must not alias.
+        let c = ZipfConstants::shared(4321, 0.7300000000000001);
+        assert!(c.theta.to_bits() != a.theta.to_bits());
     }
 
     #[test]

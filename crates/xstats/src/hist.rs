@@ -1,6 +1,13 @@
 //! Fixed-width histograms (headroom-size distribution, §4.2).
 
 /// A histogram over `[lo, hi)` with equally sized bins plus an overflow bin.
+///
+/// Out-of-range mass is never folded into an edge bin: samples below
+/// `lo` count as [`Histogram::underflow`], samples at or above `hi` as
+/// [`Histogram::overflow`], and non-finite samples (NaN, ±∞ — which
+/// would otherwise slip through both range checks and saturate into
+/// bin 0) as [`Histogram::nonfinite`]. Real lowest-bucket mass is
+/// therefore always distinguishable from clamped garbage.
 #[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
@@ -8,6 +15,7 @@ pub struct Histogram {
     bins: Vec<u64>,
     overflow: u64,
     underflow: u64,
+    nonfinite: u64,
     count: u64,
 }
 
@@ -26,6 +34,7 @@ impl Histogram {
             bins: vec![0; bins],
             overflow: 0,
             underflow: 0,
+            nonfinite: 0,
             count: 0,
         }
     }
@@ -33,7 +42,14 @@ impl Histogram {
     /// Records one sample.
     pub fn record(&mut self, x: f64) {
         self.count += 1;
-        if x < self.lo {
+        if !x.is_finite() {
+            // NaN compares false with both edges and `as usize`
+            // saturates NaN to 0 — without this branch a NaN would be
+            // silently clamped into bin 0. +∞ is caught by the
+            // overflow check but -∞ would underflow ambiguously; all
+            // three are accounted here instead.
+            self.nonfinite += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
@@ -59,6 +75,11 @@ impl Histogram {
         self.overflow
     }
 
+    /// Non-finite samples (NaN, ±∞), counted but never binned.
+    pub fn nonfinite(&self) -> u64 {
+        self.nonfinite
+    }
+
     /// Per-bin counts.
     pub fn bins(&self) -> &[u64] {
         &self.bins
@@ -77,7 +98,12 @@ impl Histogram {
     /// Fraction of in-range samples at or below the bin containing `x`.
     ///
     /// Used for statements such as "95 % of the values are less than 512 B".
+    /// A NaN threshold has no ordering, so it returns NaN rather than
+    /// silently behaving like `x < lo`.
     pub fn fraction_le(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return f64::NAN;
+        }
         if self.count == 0 {
             return 0.0;
         }
@@ -117,6 +143,41 @@ mod tests {
         assert_eq!(h.underflow(), 1);
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.bins().iter().sum::<u64>(), 0);
+    }
+
+    /// Both edges stay distinguishable from real edge-bin mass: a
+    /// below-range sample lands in `underflow` (not bin 0), an at-`hi`
+    /// sample lands in `overflow` (not the last bin), and a sample at
+    /// `lo` exactly is real bin-0 mass.
+    #[test]
+    fn edge_samples_never_clamp_into_edge_bins() {
+        let mut h = Histogram::new(10.0, 20.0, 5);
+        h.record(10.0); // lowest in-range value: bin 0
+        h.record(9.999_999); // below lo: underflow, NOT bin 0
+        h.record(20.0); // at hi: overflow, NOT last bin
+        h.record(19.999_999); // highest in-range value: last bin
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.bins()[4], 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    /// NaN and ±∞ are counted separately, never silently binned (NaN
+    /// used to saturate into bin 0 through the `as usize` cast).
+    #[test]
+    fn nonfinite_samples_are_counted_not_binned() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(0.5);
+        assert_eq!(h.nonfinite(), 3);
+        assert_eq!(h.bins().iter().sum::<u64>(), 1);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.count(), 4);
+        assert!(h.fraction_le(f64::NAN).is_nan());
     }
 
     #[test]

@@ -26,5 +26,6 @@ echo "================ Overload chaos ================"; $BIN fig_knee_kvs 1 300
 echo "================ Fig. 16 / Table 4 ================"; $BIN fig16_table4_skylake 10 $EXTRA
 echo "================ Fig. 17 ================";  $BIN fig17_isolation 1 40000 $EXTRA
 echo "================ Multi-tenant SLO defense ================"; $BIN fig_tenants 1 20000 $EXTRA
+echo "================ Scale study (million-key KVS) ================"; $BIN fig_scale_kvs 1 1000000 21 $EXTRA
 echo "================ §6 Skylake NFV ================"; $BIN skylake_nfv 5 120000 $EXTRA
 echo "================ §8 pipelined compromise ================"; $BIN ext_pipeline 1 60000 $EXTRA

@@ -39,7 +39,7 @@ field() { sed -n "s/.*$2=\([0-9.]*\).*/\1/p" <<< "$1"; }
 # open-loop overload chaos, multi-tenant isolation controller) at
 # --smoke scale so the benchmark finishes
 # in seconds and CI can afford to re-run it.
-NAMES=(fig08_kvs_c4 fig08_kvs_migrate fig13_forward fig14_chain fig_knee_chaos fig_tenants)
+NAMES=(fig08_kvs_c4 fig08_kvs_migrate fig13_forward fig14_chain fig_knee_chaos fig_tenants fig_scale_kvs)
 declare -A CMDS=(
     [fig08_kvs_c4]="fig08_kvs --smoke --cores=4"
     [fig08_kvs_migrate]="fig08_kvs --smoke --zipf=0.99 --migrate=4096 --cores=4"
@@ -47,6 +47,7 @@ declare -A CMDS=(
     [fig14_chain]="fig14_chain --smoke"
     [fig_knee_chaos]="fig_knee_kvs --smoke --chaos"
     [fig_tenants]="fig_tenants --smoke"
+    [fig_scale_kvs]="fig_scale_kvs --smoke"
 )
 
 json_workloads=""

@@ -21,8 +21,8 @@ smoke() {
         table01_cachespec fig04_hash fig05_latency fig06_speedup
         fig07_ops fig08_kvs fig12_lowrate fig13_forward fig14_chain
         fig15_knee fig_knee_kvs fig16_table4_skylake fig17_isolation
-        fig_tenants ext_pipeline headroom_dist kvs_probe skylake_nfv
-        calibrate
+        fig_tenants fig_scale_kvs ext_pipeline headroom_dist kvs_probe
+        skylake_nfv calibrate
     )
     for bin in "${bins[@]}"; do
         echo "    -> ${bin}"
@@ -84,6 +84,13 @@ det() {
     echo "==> determinism: scheduler+mode diff of fig_tenants --smoke"
     ./target/release/fig_tenants --smoke > "$out_a"
     ./target/release/fig_tenants --smoke --parallel --scheduler=reference > "$out_b"
+    diff -u "$out_a" "$out_b"
+    # The scale study: streamed sketch quantiles, trace replay, and the
+    # migrator must all be invisible to scheduler choice and worker
+    # threading, at the byte level.
+    echo "==> determinism: scheduler+mode diff of fig_scale_kvs --smoke"
+    ./target/release/fig_scale_kvs --smoke > "$out_a"
+    ./target/release/fig_scale_kvs --smoke --parallel --scheduler=reference > "$out_b"
     diff -u "$out_a" "$out_b"
     rm -f "$out_a" "$out_b"
     echo "==> scheduler: pinned epoch ceiling on fig08_kvs --smoke --cores=4"
